@@ -1,0 +1,33 @@
+"""Ablation (Section VI-A): sensitivity to the beta size threshold.
+
+Greedy-with-heuristics only admits a general index if its size is at most
+(1 + beta) times the total size of the specific indexes it generalizes.
+The paper reports beta = 10% "to work well".  Sweeping beta shows the
+trade-off: tiny beta blocks every general index; huge beta admits bloated
+ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_ablation_beta(benchmark, bench_db, mixed_workload):
+    rows = benchmark.pedantic(
+        ablations.run_beta_sweep,
+        args=(bench_db, mixed_workload),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + ablations.format_beta_sweep(rows))
+
+    # admitted generals are monotone in beta
+    generals = [row["generals"] for row in rows]
+    assert generals == sorted(generals)
+
+    # the benefit objective keeps every beta's speedup close to the best
+    best = max(row["speedup"] for row in rows)
+    for row in rows:
+        assert row["speedup"] >= 0.8 * best

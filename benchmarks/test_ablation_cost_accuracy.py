@@ -1,0 +1,44 @@
+"""Ablation (tech report [24]): accuracy of virtual-index cost estimation.
+
+The advisor's decisions are only as good as the Evaluate Indexes mode's
+estimates.  This benchmark builds three physical configurations (none,
+recommended, All-Index), executes every query under each, and checks that
+estimated costs *rank* the (query, configuration) pairs like the real
+work does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import accuracy
+from repro.workloads import tpox
+
+
+def run_accuracy():
+    db = tpox.build_database(
+        num_securities=150, num_orders=150, num_customers=80, seed=42
+    )
+    workload = tpox.tpox_workload(num_securities=150, seed=42)
+    return accuracy.run(db, workload)
+
+
+def test_ablation_cost_accuracy(benchmark):
+    rows = benchmark.pedantic(run_accuracy, rounds=1, iterations=1)
+    print("\n" + accuracy.format_rows(rows))
+
+    stats = accuracy.correlations(rows)
+    # estimated cost must strongly rank real work (docs are deterministic)
+    assert stats["estimated_vs_docs"] > 0.8
+    # wall clock is noisier but should still correlate clearly
+    assert stats["estimated_vs_seconds"] > 0.5
+
+    # within every query, the estimate must not prefer a config that does
+    # MORE real work: check none vs all_index per query
+    by_query = {}
+    for row in rows:
+        by_query.setdefault(row["query"], {})[row["config"]] = row
+    for query, configs in by_query.items():
+        none, full = configs["none"], configs["all_index"]
+        if none["docs_examined"] > full["docs_examined"]:
+            assert none["estimated_cost"] >= full["estimated_cost"]

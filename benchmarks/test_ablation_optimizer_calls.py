@@ -1,0 +1,31 @@
+"""Ablation (Section VI-C): optimizer calls saved by affected sets,
+sub-configurations, and the sub-configuration cache.
+
+The paper's efficiency claim is that the advisor "makes a minimal number
+of optimizer calls".  We run the same search with the efficient evaluator
+and with a naive evaluator (whole workload re-optimized against the whole
+configuration at every step) and compare optimizer call counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_ablation_optimizer_calls(benchmark, bench_db, bench_workload):
+    rows = benchmark.pedantic(
+        ablations.run_optimizer_calls,
+        args=(bench_db, bench_workload),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + ablations.format_optimizer_calls(rows))
+
+    for row in rows:
+        assert row["efficient_calls"] < row["naive_calls"]
+    # the savings are substantial, not marginal
+    total_eff = sum(r["efficient_calls"] for r in rows)
+    total_naive = sum(r["naive_calls"] for r in rows)
+    assert total_eff < 0.6 * total_naive

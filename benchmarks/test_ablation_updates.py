@@ -1,0 +1,53 @@
+"""Ablation (Section III): maintenance-cost awareness.
+
+The advisor subtracts the index maintenance charge mc(x, s) for update
+statements.  As update frequency rises, recommended configurations must
+shrink (indexes whose query benefit no longer covers their churn are
+dropped).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.workloads import tpox
+
+from bench_common import NUM_SECURITIES, SEED
+
+
+def make_workload(frequency: float):
+    return tpox.tpox_workload(
+        num_securities=NUM_SECURITIES,
+        seed=SEED,
+        include_updates=frequency > 0,
+        update_frequency=max(frequency, 1.0),
+    )
+
+
+def test_ablation_updates(benchmark, bench_db):
+    rows = benchmark.pedantic(
+        ablations.run_update_sweep,
+        args=(bench_db, make_workload),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + ablations.format_update_sweep(rows))
+
+    # configurations shrink monotonically as churn rises
+    sizes = [row["indexes"] for row in rows]
+    assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    # the churn hits SDOC only: its query indexes disappear under extreme
+    # churn while indexes on the untouched collections survive.  One SDOC
+    # index may legitimately remain: the delete statements use
+    # /Security/Symbol to find their victims, a benefit that scales with
+    # the update frequency just like the maintenance charge.
+    sdoc = [row["churn_collection_indexes"] for row in rows]
+    assert all(b <= a for a, b in zip(sdoc, sdoc[1:]))
+    assert rows[-1]["churn_collection_indexes"] <= 1
+    assert rows[0]["churn_collection_indexes"] >= 3
+
+    # benefit never goes negative (the advisor just recommends less)
+    for row in rows:
+        assert row["benefit"] >= 0.0

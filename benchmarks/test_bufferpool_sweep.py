@@ -1,0 +1,99 @@
+"""Buffer-pool sweep: physical I/O with and without the recommendation.
+
+Runs the TPoX query workload repeatedly against buffer pools of growing
+size, with no indexes and with the advisor's configuration.  Expected
+shape: the indexed working set fits in a small pool (high hit ratio
+early), while the scan-based execution needs a pool the size of the whole
+database before it stops doing physical I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IndexAdvisor
+from repro.storage.bufferpool import BufferPool, PagedExecutor
+from repro.workloads import tpox
+
+POOL_SIZES = [16, 64, 256, 1024, 8192]
+PASSES = 2  # second pass measures steady-state hit ratios
+
+
+def run_sweep():
+    results = {}
+    for label in ("no_indexes", "recommended"):
+        db = tpox.build_database(
+            num_securities=150, num_orders=150, num_customers=80, seed=42
+        )
+        workload = tpox.tpox_workload(num_securities=150, seed=42)
+        if label == "recommended":
+            advisor = IndexAdvisor(db, workload)
+            advisor.create_indexes(
+                advisor.recommend(budget_bytes=10**7, algorithm="greedy_heuristics")
+            )
+        rows = []
+        for capacity in POOL_SIZES:
+            pool = BufferPool(capacity_pages=capacity)
+            executor = PagedExecutor(db, pool)
+            physical = 0
+            accesses = 0
+            for _ in range(PASSES):
+                pool.reset_stats()
+                physical = 0
+                accesses = 0
+                for entry in workload.queries():
+                    outcome = executor.execute(entry.statement)
+                    physical += outcome.physical_reads
+                    accesses += outcome.page_accesses
+            rows.append(
+                {
+                    "capacity": capacity,
+                    "physical_reads": physical,
+                    "accesses": accesses,
+                    "hit_ratio": 1 - physical / accesses if accesses else 0.0,
+                }
+            )
+        results[label] = rows
+    return results
+
+
+def print_sweep(results):
+    print("\n=== Buffer pool sweep (steady-state pass) ===")
+    print(f"{'pool pages':>11} {'scan phys/acc':>16} {'scan hit':>9} "
+          f"{'idx phys/acc':>15} {'idx hit':>8}")
+    for scan_row, idx_row in zip(results["no_indexes"], results["recommended"]):
+        print(
+            f"{scan_row['capacity']:>11} "
+            f"{scan_row['physical_reads']:>8}/{scan_row['accesses']:<7} "
+            f"{scan_row['hit_ratio']:>8.2f} "
+            f"{idx_row['physical_reads']:>7}/{idx_row['accesses']:<7} "
+            f"{idx_row['hit_ratio']:>8.2f}"
+        )
+
+
+def test_bufferpool_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_sweep(results)
+
+    scan = results["no_indexes"]
+    indexed = results["recommended"]
+
+    # the indexed execution touches far fewer pages at every pool size
+    for scan_row, idx_row in zip(scan, indexed):
+        assert idx_row["accesses"] < scan_row["accesses"] / 3
+
+    # the indexed working set fits in a modest pool: near-perfect steady
+    # state hit ratio well before the scan's does
+    idx_small = next(r for r in indexed if r["capacity"] == 256)
+    scan_small = next(r for r in scan if r["capacity"] == 256)
+    assert idx_small["hit_ratio"] > 0.95
+    assert scan_small["hit_ratio"] < 0.9
+
+    # with a pool bigger than the database, both reach steady-state hits
+    assert scan[-1]["hit_ratio"] > 0.95
+    assert indexed[-1]["hit_ratio"] > 0.95
+
+    # physical reads shrink monotonically with pool size
+    for rows in (scan, indexed):
+        reads = [row["physical_reads"] for row in rows]
+        assert all(b <= a for a, b in zip(reads, reads[1:]))

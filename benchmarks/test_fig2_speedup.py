@@ -1,0 +1,39 @@
+"""Figure 2: estimated speedup vs disk space budget per search algorithm.
+
+Paper series: greedy, greedy+heuristics, top down lite, top down full,
+dynamic programming, and the All-Index reference line.  Expected shape:
+speedup rises with budget toward the All-Index plateau; plain greedy needs
+significantly more space than the others because it wastes budget on
+redundant indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2
+
+
+def test_fig2_speedup(benchmark, bench_db, bench_workload):
+    rows, all_speedup = benchmark.pedantic(
+        fig2.run, args=(bench_db, bench_workload), rounds=1, iterations=1
+    )
+    print("\n" + fig2.format_rows(rows, all_speedup))
+
+    # speedup rises with budget for every informed algorithm
+    for algorithm in ("greedy_heuristics", "topdown_lite", "topdown_full"):
+        series = [row[algorithm] for row in rows]
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:])), algorithm
+
+    # nothing beats the All-Index configuration (query-only workload)
+    for row in rows:
+        for algorithm in fig2.ALGORITHMS:
+            assert row[algorithm] <= all_speedup * 1.02
+
+    # greedy wastes budget: strictly below heuristics somewhere mid-range
+    mid = [row for row in rows if 0.3 <= row["fraction"] <= 1.0]
+    assert any(row["greedy"] < row["greedy_heuristics"] - 1e-6 for row in mid)
+
+    # informed searches approach All-Index once the budget allows
+    final = rows[-1]
+    assert final["greedy_heuristics"] >= 0.85 * all_speedup

@@ -1,0 +1,34 @@
+"""Figure 3: advisor run time vs disk space budget per search algorithm.
+
+Paper claims: top down full is the most expensive (up to ~7x greedy with
+heuristics), and its run time *improves* as the budget grows because fewer
+DAG nodes must be replaced before the configuration fits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3
+
+
+def test_fig3_runtime(benchmark, bench_db, bench_workload):
+    rows = benchmark.pedantic(
+        fig3.run, args=(bench_db, bench_workload), rounds=1, iterations=1
+    )
+    print("\n" + fig3.format_rows(rows))
+
+    # top down full costs the most optimizer calls at tight budgets
+    tight = rows[0]
+    assert (
+        tight["topdown_full"]["optimizer_calls"]
+        >= tight["greedy_heuristics"]["optimizer_calls"]
+    )
+    assert (
+        tight["topdown_full"]["optimizer_calls"]
+        >= tight["topdown_lite"]["optimizer_calls"]
+    )
+
+    # top down full gets cheaper as the budget grows (fewer replacements)
+    search_calls = [row["topdown_full"]["search_calls"] for row in rows]
+    assert search_calls[-1] <= search_calls[0]

@@ -1,0 +1,43 @@
+"""Figure 4: generalization to unseen queries (estimated speedup).
+
+Train the advisor on the first n of 20 queries (11 TPoX + 9 synthetic),
+evaluate the recommended configuration's estimated speedup on the full
+20-query test workload, with a disk budget well above the All-Index size
+(the paper uses 2 GB).  Expected shape: top down climbs toward the
+All-Index line much faster than greedy-with-heuristics, which only
+catches up once it has seen (nearly) the whole workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_fig4_generalization(benchmark, bench_db, mixed_workload):
+    rows, all_speedup = benchmark.pedantic(
+        fig4.run, args=(bench_db, mixed_workload), rounds=1, iterations=1
+    )
+    print("\n" + fig4.format_rows(rows, all_speedup))
+
+    # no configuration beats All-Index on the test workload
+    for row in rows:
+        for algorithm in fig4.ALGORITHMS:
+            assert row[algorithm] <= all_speedup * 1.02
+
+    # top down generalizes: at partial training it beats heuristics
+    partial = [row for row in rows if 5 <= row["n"] <= 14]
+    wins = sum(
+        1 for row in partial if row["topdown_lite"] > row["greedy_heuristics"]
+    )
+    assert wins >= len(partial) - 1
+
+    # with the whole workload seen, heuristics reaches All-Index territory
+    final = rows[-1]
+    assert final["greedy_heuristics"] >= 0.8 * all_speedup
+
+    # both series trend upward with more training data
+    for algorithm in fig4.ALGORITHMS:
+        series = [row[algorithm] for row in rows]
+        assert series[-1] >= series[0]

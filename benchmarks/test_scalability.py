@@ -1,0 +1,71 @@
+"""Scalability of the advisor with workload size (Section VIII claim:
+"During its search, the advisor makes a minimal number of optimizer
+calls, making it very efficient").
+
+Sweeps synthetic workloads of growing size and tracks optimizer calls and
+wall time for a full greedy-with-heuristics session.  The shape claim:
+optimizer calls grow roughly linearly in the workload (thanks to affected
+sets + sub-configuration caching), not quadratically or worse.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import IndexAdvisor, Workload
+from repro.workloads import synthetic
+
+WORKLOAD_SIZES = [5, 10, 20, 40]
+
+
+def run_scalability(db):
+    rows = []
+    for size in WORKLOAD_SIZES:
+        workload = Workload.from_statements(
+            synthetic.random_path_queries(db, "SDOC", size, seed=size)
+        )
+        advisor = IndexAdvisor(db, workload)
+        all_size = advisor.all_index_configuration().size_bytes()
+        started = time.perf_counter()
+        advisor.recommend(
+            budget_bytes=max(1, all_size // 2), algorithm="greedy_heuristics"
+        )
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "queries": size,
+                "candidates": len(advisor.candidates),
+                "optimizer_calls": advisor.optimizer.calls,
+                "seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def print_scalability(rows):
+    print("\n=== Scalability: advisor cost vs workload size ===")
+    print(f"{'queries':>8} {'candidates':>11} {'opt calls':>10} {'ms':>8} "
+          f"{'calls/query':>12}")
+    for row in rows:
+        per_query = row["optimizer_calls"] / row["queries"]
+        print(
+            f"{row['queries']:>8} {row['candidates']:>11} "
+            f"{row['optimizer_calls']:>10} {row['seconds'] * 1000:>8.1f} "
+            f"{per_query:>12.1f}"
+        )
+
+
+def test_scalability(benchmark, bench_db):
+    rows = benchmark.pedantic(run_scalability, args=(bench_db,), rounds=1, iterations=1)
+    print_scalability(rows)
+
+    # optimizer calls grow sub-quadratically: calls-per-query stays within
+    # a small constant factor across an 8x workload growth
+    per_query = [row["optimizer_calls"] / row["queries"] for row in rows]
+    assert max(per_query) <= 3.0 * min(per_query)
+
+    # and the absolute counts stay modest (minimal-calls claim)
+    for row in rows:
+        assert row["optimizer_calls"] <= 12 * row["queries"]

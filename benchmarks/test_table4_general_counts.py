@@ -1,0 +1,35 @@
+"""Table IV: number of general (G) and specific (S) indexes recommended.
+
+Paper: for rising disk budgets, top down (lite and full) recommends more
+general indexes the more space it has, while greedy-with-heuristics is
+"very conservative about recommending them" (G stays at/near zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+
+
+def test_table4_general_counts(benchmark, bench_db, mixed_workload):
+    rows = benchmark.pedantic(
+        table4.run, args=(bench_db, mixed_workload), rounds=1, iterations=1
+    )
+    print("\n" + table4.format_rows(rows))
+
+    # top down recommends more generals with more disk space
+    for algorithm in ("topdown_lite", "topdown_full"):
+        generals = [row[algorithm][0] for row in rows]
+        assert generals[-1] >= generals[0]
+        assert generals[-1] >= 1
+
+    # heuristic search stays conservative about generals at every budget
+    for row in rows:
+        heuristics_g = row["greedy_heuristics"][0]
+        topdown_g = row["topdown_lite"][0]
+        assert heuristics_g <= max(1, topdown_g)
+
+    # at the largest budget, top down is clearly more general
+    final = rows[-1]
+    assert final["topdown_lite"][0] > final["greedy_heuristics"][0]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Index recommendation over recursive XML (bill of materials).
+
+The paper singles out recursion as one of the things that make XML index
+recommendation hard (Section I): a recursive tag occurs at many depths,
+so a descendant-axis pattern matches unboundedly many rooted paths while
+a specific pattern matches exactly one.  This example:
+
+1. generates a bill-of-materials collection (``Part`` nesting ``Part``),
+2. prints its DataGuide structural summary (recursion made visible),
+3. recommends indexes for descendant-navigating queries, and
+4. shows the depth-spanning index answering a query a top-level index
+   cannot.
+
+Run:  python examples/recursive_bom.py
+"""
+
+from repro import Executor, IndexAdvisor
+from repro.storage.schema import build_dataguide, format_dataguide, recursive_tags
+from repro.workloads import recursive
+
+
+def main() -> None:
+    db = recursive.build_database(num_parts=120, max_depth=4, seed=23)
+    stats = db.runstats("PARTS")
+    print(f"collection PARTS: {stats.doc_count} documents, "
+          f"{len(stats.path_counts)} distinct rooted paths\n")
+
+    guide = build_dataguide(stats)
+    print("=== DataGuide (truncated to depth 4) ===")
+    print(format_dataguide(guide, max_depth=4))
+    print(f"\nrecursive tags: {', '.join(recursive_tags(guide))}")
+
+    workload = recursive.recursive_workload(seed=23)
+    advisor = IndexAdvisor(db, workload)
+    print("\n=== Candidates (note the descendant-axis patterns) ===")
+    for candidate in advisor.candidates:
+        print(f"  {candidate}  (~{candidate.size_bytes} bytes)")
+
+    recommendation = advisor.recommend(budget_bytes=300_000)
+    print("\n" + recommendation.report())
+
+    advisor.create_indexes(recommendation)
+    executor = Executor(db)
+    print("\n=== Execution ===")
+    for entry in workload.queries():
+        result = executor.execute(entry.statement)
+        print(
+            f"  rows={result.rows:<4} docs={result.docs_examined:<4} "
+            f"entries={result.index_entries_scanned:<5} "
+            f"indexes={list(result.used_indexes) or 'scan'}"
+        )
+    print(
+        "\nThe /Part//Material-style indexes contain entries from every\n"
+        "nesting depth, so one index serves the whole recursion; a\n"
+        "top-level /Part/Material index could not answer the descendant\n"
+        "queries at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

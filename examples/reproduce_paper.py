@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the drivers in :mod:`repro.experiments` at laptop scale and prints
+the text version of each table/figure.  Pass experiment names to run a
+subset:
+
+    python examples/reproduce_paper.py               # everything
+    python examples/reproduce_paper.py fig2 table3   # a subset
+
+Available experiments: fig2 fig3 table3 table4 fig4 fig5 ablations
+"""
+
+import sys
+
+from repro import Workload
+from repro.experiments import ablations, fig2, fig3, fig4, fig5, table3, table4
+from repro.workloads import synthetic, tpox
+
+NUM_SECURITIES = 250
+SEED = 42
+
+
+def build():
+    db = tpox.build_database(
+        num_securities=NUM_SECURITIES, num_orders=250, num_customers=120, seed=SEED
+    )
+    workload = tpox.tpox_workload(num_securities=NUM_SECURITIES, seed=SEED)
+    mixed = Workload(list(workload.entries))
+    for query in synthetic.random_path_queries(db, "SDOC", 9, seed=5):
+        mixed.add(query)
+    return db, workload, mixed
+
+
+def run_fig2(db, workload, mixed):
+    rows, all_speedup = fig2.run(db, workload)
+    print(fig2.format_rows(rows, all_speedup))
+
+
+def run_fig3(db, workload, mixed):
+    print(fig3.format_rows(fig3.run(db, workload)))
+
+
+def run_table3(db, workload, mixed):
+    print(table3.format_rows(table3.run(db)))
+
+
+def run_table4(db, workload, mixed):
+    print(table4.format_rows(table4.run(db, mixed)))
+
+
+def run_fig4(db, workload, mixed):
+    rows, all_speedup = fig4.run(db, mixed)
+    print(fig4.format_rows(rows, all_speedup))
+
+
+def run_fig5(db, workload, mixed):
+    # fig5 creates real indexes; use a private, smaller database
+    small_db = tpox.build_database(
+        num_securities=150, num_orders=150, num_customers=80, seed=SEED
+    )
+    small_workload = tpox.tpox_workload(num_securities=150, seed=SEED)
+    for query in synthetic.random_path_queries(small_db, "SDOC", 9, seed=5):
+        small_workload.add(query)
+    rows, secs, docs = fig5.run(small_db, small_workload)
+    print(fig5.format_rows(rows, secs, docs))
+
+
+def run_ablations(db, workload, mixed):
+    print(ablations.format_optimizer_calls(
+        ablations.run_optimizer_calls(db, workload)))
+    print()
+    print(ablations.format_beta_sweep(ablations.run_beta_sweep(db, mixed)))
+    print()
+
+    def workload_factory(frequency):
+        return tpox.tpox_workload(
+            num_securities=NUM_SECURITIES,
+            seed=SEED,
+            include_updates=frequency > 0,
+            update_frequency=max(frequency, 1.0),
+        )
+
+    print(ablations.format_update_sweep(
+        ablations.run_update_sweep(db, workload_factory)))
+
+
+EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "ablations": run_ablations,
+}
+
+
+def main() -> None:
+    selected = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; choose from {sorted(EXPERIMENTS)}"
+        )
+    print("building the benchmark database...")
+    db, workload, mixed = build()
+    for name in selected:
+        print(f"\n{'=' * 70}")
+        EXPERIMENTS[name](db, workload, mixed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A full tuning session on the TPoX-like benchmark.
+
+Walks through what a DBA would do with the advisor:
+
+1. inspect the workload's indexable patterns (Enumerate Indexes mode),
+2. compare all five search algorithms across disk budgets (mini Figure 2),
+3. look at EXPLAIN plans before and after the recommendation,
+4. materialize the winning configuration and verify real execution.
+
+Run:  python examples/tpox_tuning.py
+"""
+
+from repro import Executor, IndexAdvisor, Optimizer, OptimizerMode
+from repro.workloads import tpox
+
+ALGORITHMS = ["greedy", "greedy_heuristics", "topdown_lite", "topdown_full", "dp"]
+
+
+def main() -> None:
+    db = tpox.build_database(
+        num_securities=250, num_orders=250, num_customers=120, seed=42
+    )
+    workload = tpox.tpox_workload(num_securities=250, seed=42)
+
+    # ------------------------------------------------------------------
+    # 1. What can be indexed?  Ask the optimizer per query.
+    # ------------------------------------------------------------------
+    optimizer = Optimizer(db)
+    print("=== Enumerate Indexes mode, per query ===")
+    for position, entry in enumerate(workload):
+        result = optimizer.optimize(entry.statement, OptimizerMode.ENUMERATE)
+        patterns = ", ".join(str(c) for c in result.candidates) or "(nothing)"
+        print(f"Q{position + 1:<2} -> {patterns}")
+
+    # ------------------------------------------------------------------
+    # 2. Compare the search algorithms across budgets.
+    # ------------------------------------------------------------------
+    probe = IndexAdvisor(db, workload)
+    all_config = probe.all_index_configuration()
+    all_size = all_config.size_bytes()
+    all_speedup = probe.evaluate_configuration(all_config)
+    print(f"\n=== Algorithm comparison (All-Index: {all_size} B, "
+          f"{all_speedup:.2f}x) ===")
+    print(f"{'budget':>9} " + " ".join(f"{a:>20}" for a in ALGORITHMS))
+    for fraction in (0.3, 0.6, 1.0):
+        budget = int(all_size * fraction)
+        cells = []
+        for algorithm in ALGORITHMS:
+            advisor = IndexAdvisor(db, workload)
+            rec = advisor.recommend(budget_bytes=budget, algorithm=algorithm)
+            cells.append(
+                f"{rec.estimated_speedup:7.2f}x G{rec.search.general_count}"
+                f"S{rec.search.specific_count:02d} {rec.search.elapsed_seconds*1000:4.0f}ms"
+            )
+        print(f"{budget:>9} " + " ".join(f"{c:>20}" for c in cells))
+
+    # ------------------------------------------------------------------
+    # 3. EXPLAIN the paper's Q2 before/after.
+    # ------------------------------------------------------------------
+    advisor = IndexAdvisor(db, workload)
+    recommendation = advisor.recommend(
+        budget_bytes=all_size, algorithm="topdown_full"
+    )
+    q4 = workload.entries[3].statement  # search_securities (paper Q2)
+    virtual = [
+        c.definition(f"v{i}") for i, c in enumerate(recommendation.configuration)
+    ]
+    before = optimizer.optimize(q4, OptimizerMode.EVALUATE, ())
+    after = optimizer.optimize(q4, OptimizerMode.EVALUATE, virtual)
+    print("\n=== EXPLAIN search_securities, no indexes ===")
+    print(before.explain())
+    print("\n=== EXPLAIN search_securities, recommended configuration ===")
+    print(after.explain())
+
+    # ------------------------------------------------------------------
+    # 4. Materialize and verify.
+    # ------------------------------------------------------------------
+    print("\n=== Recommended DDL ===")
+    for ddl in recommendation.ddl:
+        print(f"  {ddl}")
+    advisor.create_indexes(recommendation)
+    executor = Executor(db)
+    total_docs = sum(
+        executor.execute(e.statement).docs_examined for e in workload.queries()
+    )
+    full_scan_docs = sum(
+        len(db.collection(e.statement.collection)) for e in workload.queries()
+    )
+    print(
+        f"\nworkload executed: {total_docs} documents examined "
+        f"(full scans would examine {full_scan_docs})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Update-aware index recommendation.
+
+The advisor charges every candidate index the maintenance cost mc(x, s)
+for the workload's insert/delete statements (Section III).  This example
+sweeps the update rate of a mixed workload and shows the recommended
+configuration shrinking: indexes whose query benefit no longer covers
+their churn get dropped, and at extreme churn only the index that the
+delete statements themselves use survives on the churning collection.
+
+Run:  python examples/update_aware_tuning.py
+"""
+
+from repro import IndexAdvisor
+from repro.workloads import tpox
+
+
+def main() -> None:
+    db = tpox.build_database(
+        num_securities=250, num_orders=250, num_customers=120, seed=42
+    )
+    probe = IndexAdvisor(db, tpox.tpox_workload(num_securities=250, seed=42))
+    budget = 2 * probe.all_index_configuration().size_bytes()
+
+    print(f"{'update freq':>12} {'indexes':>8} {'on SDOC':>8} "
+          f"{'size (B)':>10} {'benefit':>12}  configuration")
+    for frequency in (0.0, 5.0, 50.0, 500.0, 5000.0):
+        workload = tpox.tpox_workload(
+            num_securities=250,
+            seed=42,
+            include_updates=frequency > 0,
+            update_frequency=max(frequency, 1.0),
+        )
+        advisor = IndexAdvisor(db, workload)
+        rec = advisor.recommend(budget_bytes=budget, algorithm="greedy_heuristics")
+        sdoc = [c for c in rec.configuration if c.collection == "SDOC"]
+        summary = ", ".join(str(c.pattern) for c in sdoc) or "(none)"
+        print(
+            f"{frequency:>12.0f} {len(rec.configuration):>8} {len(sdoc):>8} "
+            f"{rec.search.size_bytes:>10} {rec.search.benefit:>12.1f}  "
+            f"SDOC: {summary}"
+        )
+
+    print(
+        "\nAs churn on SDOC rises, its indexes disappear -- except the one\n"
+        "the delete statements use to find their victims, whose benefit\n"
+        "grows with the update frequency just like its maintenance charge.\n"
+        "Indexes on ODOC/CDOC (no updates there) are unaffected."
+    )
+
+
+if __name__ == "__main__":
+    main()

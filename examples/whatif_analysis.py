@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""What-if analysis and workload compression.
+
+Shows two facilities a DBA uses around the advisor proper:
+
+* **workload compression** -- a raw statement stream with heavy repetition
+  is folded into unique statements with frequencies (and optionally into
+  literal-insensitive templates) before tuning;
+* **what-if analysis** -- a candidate configuration is evaluated virtually
+  (no index is built), reporting per-statement costs, plans, the indexes
+  each plan would use, and any dead-weight indexes no plan touches.
+
+Run:  python examples/whatif_analysis.py
+"""
+
+from repro import IndexAdvisor, Workload
+from repro.core.compression import compress, compression_ratio
+from repro.core.whatif import analyze
+from repro.workloads import tpox
+
+
+def main() -> None:
+    db = tpox.build_database(
+        num_securities=200, num_orders=100, num_customers=50, seed=21
+    )
+
+    # ------------------------------------------------------------------
+    # 1. A raw "query log": lots of repeated point lookups.
+    # ------------------------------------------------------------------
+    raw = Workload.from_statements(
+        [
+            f"""for $s in X('SDOC')/Security
+                where $s/Symbol = "{tpox.symbol_for(i % 7)}"
+                return $s"""
+            for i in range(40)
+        ]
+        + [
+            """for $s in X('SDOC')/Security[Yield>4.5]
+               where $s/SecInfo/*/Sector = "Energy"
+               return $s/Name"""
+        ]
+    )
+    exact = compress(raw)
+    templates = compress(raw, by_template=True)
+    print(f"raw workload        : {len(raw)} statements")
+    print(f"exact compression   : {len(exact)} unique statements "
+          f"({compression_ratio(raw, exact):.0%} removed)")
+    print(f"template compression: {len(templates)} templates "
+          f"({compression_ratio(raw, templates):.0%} removed)")
+    for entry in templates:
+        print(f"  freq={entry.frequency:>5.0f}  {entry.statement.describe()[:70]}")
+
+    # ------------------------------------------------------------------
+    # 2. Recommend on the compressed workload, then ask "what if?".
+    # ------------------------------------------------------------------
+    advisor = IndexAdvisor(db, exact)
+    recommendation = advisor.recommend(budget_bytes=50_000)
+    print(f"\nrecommended {len(recommendation.configuration)} indexes "
+          f"(estimated speedup {recommendation.estimated_speedup:.2f}x)\n")
+
+    report = analyze(db, exact, recommendation.configuration)
+    print("=== What-if report (configuration evaluated virtually) ===")
+    print(report.summary())
+
+    # ------------------------------------------------------------------
+    # 3. What-if on a deliberately bad configuration: dead weight shows up.
+    # ------------------------------------------------------------------
+    from repro.core.candidates import CandidateIndex
+    from repro.core.config import IndexConfiguration
+    from repro.storage.index import IndexValueType
+    from repro.xpath import parse_pattern
+
+    dead = CandidateIndex(
+        parse_pattern("/Security/Price/Bid"), IndexValueType.NUMERIC, "SDOC"
+    )
+    dead.size_bytes = 5000
+    bad = IndexConfiguration(list(recommendation.configuration) + [dead])
+    bad_report = analyze(db, exact, bad)
+    print("\n=== Same workload, configuration padded with a useless index ===")
+    print(f"unused indexes: {bad_report.unused_indexes()}")
+
+
+if __name__ == "__main__":
+    main()

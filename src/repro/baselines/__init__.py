@@ -1,0 +1,19 @@
+"""Baseline advisors the paper argues against (Related Work, Section II).
+
+The paper positions tight optimizer coupling against advisors that are
+*independent* of the query optimizer ([19], [20] / XIST-style tools):
+their candidates are the paths occurring in the data (an "uncontrolled
+explosion of the space"), their cost models are "independent of the
+database system which can lead to inaccurate estimates", and "there is no
+guarantee that the optimizer will use the recommended indexes".
+
+:class:`~repro.baselines.decoupled.DecoupledAdvisor` implements that
+design faithfully enough to measure the gap, and the benchmark
+``benchmarks/test_baseline_decoupled.py`` compares it against the
+tightly-coupled advisor on candidate-space size, optimizer usage of the
+recommended indexes, and realized workload speedup.
+"""
+
+from repro.baselines.decoupled import DecoupledAdvisor, DecoupledRecommendation
+
+__all__ = ["DecoupledAdvisor", "DecoupledRecommendation"]

@@ -1,0 +1,156 @@
+"""A decoupled (optimizer-independent) XML index advisor baseline.
+
+Models the design of the related work the paper criticizes ([19], [20]):
+
+* **Candidates** are the distinct rooted tag paths occurring in the *data*
+  (one exact pattern per path; a numeric variant when the path carries
+  numeric values) -- not the patterns the optimizer can actually match for
+  the workload.  On any realistically-shaped document collection this is
+  far larger than the workload-driven candidate set.
+* **The cost model is its own**, not the optimizer's: an index is credited
+  whenever a query's *text* mentions the final tag of the index's path,
+  scaled by how many nodes the path has (a navigation-savings guess).  No
+  predicate selectivity, no plan costs, no index interaction.
+* **Search** is plain greedy by (heuristic benefit / size) under the disk
+  budget.
+
+The recommended configuration is returned as ordinary
+:class:`~repro.core.candidates.CandidateIndex` objects, so the paper's
+(tightly-coupled) evaluator can score it and the executor can check
+whether the optimizer ever uses the indexes -- exactly the failure modes
+Section II predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.candidates import CandidateIndex
+from repro.core.config import IndexConfiguration
+from repro.query.model import Query
+from repro.query.workload import Workload
+from repro.storage.database import Database
+from repro.storage.index import IndexValueType
+from repro.xpath.ast import Axis
+from repro.xpath.patterns import PathPattern, PatternStep
+
+
+@dataclass
+class DecoupledRecommendation:
+    """Outcome of the baseline advisor."""
+
+    configuration: IndexConfiguration
+    candidate_count: int
+    budget_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.configuration.size_bytes()
+
+
+def _pattern_for_tag_path(tag_path: Tuple[str, ...]) -> PathPattern:
+    return PathPattern(
+        [PatternStep(Axis.CHILD, name) for name in tag_path]
+    )
+
+
+class DecoupledAdvisor:
+    """The baseline: data-driven candidates + text-match cost heuristic."""
+
+    def __init__(self, database: Database, workload: Workload) -> None:
+        self.database = database
+        self.workload = workload
+
+    # ------------------------------------------------------------------
+    # Candidate generation: every path in the data
+    # ------------------------------------------------------------------
+    def enumerate_candidates(self) -> List[CandidateIndex]:
+        """One candidate per distinct rooted path per collection the
+        workload touches (plus numeric variants for numeric paths)."""
+        collections = {
+            entry.statement.collection
+            for entry in self.workload
+            if hasattr(entry.statement, "collection")
+        }
+        candidates: List[CandidateIndex] = []
+        for collection in sorted(collections):
+            if collection not in self.database.collections:
+                continue
+            stats = self.database.runstats(collection)
+            for tag_path in sorted(stats.path_counts):
+                pattern = _pattern_for_tag_path(tag_path)
+                string_stats = stats.derive_index_statistics(
+                    pattern, IndexValueType.STRING
+                )
+                candidate = CandidateIndex(
+                    pattern, IndexValueType.STRING, collection
+                )
+                candidate.size_bytes = string_stats.size_bytes
+                candidates.append(candidate)
+                summary = stats.summaries.get(tag_path)
+                if summary is not None and summary.numeric_count > 0:
+                    numeric_stats = stats.derive_index_statistics(
+                        pattern, IndexValueType.NUMERIC
+                    )
+                    numeric = CandidateIndex(
+                        pattern, IndexValueType.NUMERIC, collection
+                    )
+                    numeric.size_bytes = numeric_stats.size_bytes
+                    candidates.append(numeric)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Optimizer-independent cost heuristic
+    # ------------------------------------------------------------------
+    def heuristic_benefit(self, candidate: CandidateIndex) -> float:
+        """Text-level guess: credit the index once per workload query that
+        mentions the final tag of its path, scaled by the path's node
+        count (more nodes = more navigation "saved")."""
+        last = candidate.pattern.last_step.name.lstrip("@")
+        if not last or last == "*":
+            return 0.0
+        stats = self.database.runstats(candidate.collection)
+        nodes = sum(
+            count for path, count in stats.path_counts.items()
+            if candidate.pattern.matches(path)
+        )
+        mentions = 0.0
+        for entry in self.workload:
+            statement = entry.statement
+            if not isinstance(statement, Query):
+                continue
+            if statement.collection != candidate.collection:
+                continue
+            if last in statement.describe():
+                mentions += entry.frequency
+        return mentions * nodes
+
+    # ------------------------------------------------------------------
+    # Greedy search
+    # ------------------------------------------------------------------
+    def recommend(self, budget_bytes: int) -> DecoupledRecommendation:
+        candidates = self.enumerate_candidates()
+        scored = [
+            (self.heuristic_benefit(candidate), candidate)
+            for candidate in candidates
+        ]
+        scored = [
+            (benefit, candidate)
+            for benefit, candidate in scored
+            if benefit > 0 and candidate.size_bytes > 0
+        ]
+        scored.sort(
+            key=lambda pair: pair[0] / pair[1].size_bytes, reverse=True
+        )
+        chosen: List[CandidateIndex] = []
+        remaining = budget_bytes
+        for __, candidate in scored:
+            if candidate.size_bytes <= remaining:
+                chosen.append(candidate)
+                remaining -= candidate.size_bytes
+        return DecoupledRecommendation(
+            configuration=IndexConfiguration(chosen),
+            candidate_count=len(candidates),
+            budget_bytes=budget_bytes,
+        )

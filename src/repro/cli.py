@@ -1,0 +1,424 @@
+"""Command-line interface.
+
+Gives the reproduction the shape of a usable tool::
+
+    python -m repro generate DBDIR --benchmark tpox --scale 200
+    python -m repro stats DBDIR SDOC
+    python -m repro query DBDIR "for \\$s in X('SDOC')/Security where ..."
+    python -m repro explain DBDIR "..." [--with-recommendation ...]
+    python -m repro recommend DBDIR --workload workload.xq --budget 100000
+    python -m repro reproduce DBDIR fig2 table3 ...
+
+Workload files contain statements separated by lines consisting of a
+single ``;``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.advisor import IndexAdvisor
+from repro.optimizer.executor import Executor
+from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.query.parser import parse_statement
+from repro.query.workload import Workload
+from repro.storage.database import Database
+from repro.storage.persist import load_database, save_database
+
+
+def read_workload_file(path: str) -> Workload:
+    """Parse a workload file: statements separated by ``;`` lines.
+
+    A statement line may end with ``@ <frequency>`` on its separator line
+    (``; @ 10`` gives the preceding statement frequency 10).
+    """
+    with open(path) as handle:
+        text = handle.read()
+    workload = Workload()
+    current: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith(";"):
+            frequency = 1.0
+            rest = stripped[1:].strip()
+            if rest.startswith("@"):
+                frequency = float(rest[1:].strip())
+            statement_text = "\n".join(current).strip()
+            if statement_text:
+                workload.add(parse_statement(statement_text), frequency)
+            current = []
+        else:
+            current.append(line)
+    trailing = "\n".join(current).strip()
+    if trailing:
+        workload.add(parse_statement(trailing), 1.0)
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import tpox, xmark
+
+    if args.benchmark == "tpox":
+        db = tpox.build_database(
+            num_securities=args.scale,
+            num_orders=args.scale,
+            num_customers=max(1, args.scale // 2),
+            seed=args.seed,
+        )
+    else:
+        db = xmark.build_database(
+            num_items=args.scale,
+            num_persons=args.scale,
+            num_auctions=args.scale,
+            seed=args.seed,
+        )
+    save_database(db, args.dbdir)
+    total = sum(len(c) for c in db.collections.values())
+    print(f"generated {args.benchmark} database at {args.dbdir}: "
+          f"{total} documents in {len(db.collections)} collections")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    db = load_database(args.dbdir)
+    if args.collection not in db.collections:
+        db.create_collection(args.collection)
+    count = 0
+    for path in args.files:
+        with open(path) as handle:
+            db.insert_document(args.collection, handle.read())
+        count += 1
+    save_database(db, args.dbdir)
+    print(f"loaded {count} documents into {args.collection}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    db = load_database(args.dbdir)
+    stats = db.runstats(args.collection)
+    print(f"collection {args.collection}: {stats.doc_count} documents, "
+          f"{stats.total_nodes} nodes, {len(stats.path_counts)} distinct paths")
+    if args.tree:
+        from repro.storage.schema import (
+            build_dataguide,
+            format_dataguide,
+            recursive_tags,
+        )
+
+        guide = build_dataguide(stats)
+        print(format_dataguide(guide))
+        recursion = recursive_tags(guide)
+        if recursion:
+            print(f"recursive tags: {', '.join(recursion)}")
+        return 0
+    print(f"{'count':>8}  path")
+    for path, count in sorted(
+        stats.path_counts.items(), key=lambda kv: -kv[1]
+    )[: args.limit]:
+        print(f"{count:>8}  /" + "/".join(path))
+    return 0
+
+
+def cmd_path_stats(args: argparse.Namespace) -> int:
+    from repro.storage.index import IndexValueType
+    from repro.xpath.ast import Literal
+    from repro.xpath.patterns import parse_pattern
+
+    db = load_database(args.dbdir)
+    stats = db.runstats(args.collection)
+    pattern = parse_pattern(args.pattern)
+    matches = stats.matching_paths(pattern)
+    print(f"pattern {pattern} matches {len(matches)} distinct rooted paths, "
+          f"{sum(c for _, c in matches)} nodes")
+    for path, count in sorted(matches, key=lambda kv: -kv[1])[:10]:
+        print(f"  {count:>7}  /" + "/".join(path))
+    for value_type in IndexValueType:
+        derived = stats.derive_index_statistics(pattern, value_type)
+        print(
+            f"virtual {value_type.value:>9} index: {derived.entry_count} entries, "
+            f"{derived.distinct_keys} distinct keys, {derived.size_bytes} bytes, "
+            f"{derived.levels} levels"
+        )
+    if args.probe is not None:
+        try:
+            literal = Literal(float(args.probe))
+        except ValueError:
+            literal = Literal(args.probe)
+        for op in ("=", "<", ">"):
+            sel = stats.selectivity(pattern, op, literal)
+            print(f"selectivity({op} {literal}) = {sel:.4f}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = load_database(args.dbdir)
+    statement = parse_statement(args.statement)
+    result = Executor(db).execute(statement, collect_output=True)
+    for line in result.output[: args.limit]:
+        print(line)
+    suffix = "" if len(result.output) <= args.limit else " (truncated)"
+    print(
+        f"-- {result.rows} rows, {result.docs_examined} documents examined, "
+        f"indexes: {list(result.used_indexes) or 'none'}{suffix}"
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = load_database(args.dbdir)
+    statement = parse_statement(args.statement)
+    optimizer = Optimizer(db)
+    result = optimizer.optimize(statement, OptimizerMode.NORMAL)
+    print(f"estimated cost: {result.estimated_cost:.2f}")
+    print(result.explain())
+    if args.enumerate:
+        enumerated = optimizer.optimize(statement, OptimizerMode.ENUMERATE)
+        print("\ncandidate index patterns (Enumerate Indexes mode):")
+        for candidate in enumerated.candidates:
+            print(f"  {candidate}")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    import json
+
+    db = load_database(args.dbdir)
+    workload = read_workload_file(args.workload)
+    advisor = IndexAdvisor(db, workload)
+    recommendation = advisor.recommend(
+        budget_bytes=args.budget, algorithm=args.algorithm
+    )
+    if args.json:
+        print(json.dumps(recommendation.to_dict(), indent=2))
+    else:
+        print(recommendation.report())
+    if args.create:
+        names = advisor.create_indexes(recommendation)
+        save_database(db, args.dbdir)
+        if not args.json:
+            print(f"\ncreated {len(names)} indexes and saved the database")
+    return 0
+
+
+def cmd_review(args: argparse.Namespace) -> int:
+    from repro.core.review import drop_recommended, review_existing_indexes
+
+    db = load_database(args.dbdir)
+    workload = read_workload_file(args.workload)
+    reviews = review_existing_indexes(db, workload)
+    if not reviews:
+        print("no physical indexes to review")
+        return 0
+    for review in reviews:
+        print(review)
+    if args.drop:
+        dropped = drop_recommended(db, reviews)
+        if dropped:
+            save_database(db, args.dbdir)
+        print(f"dropped {len(dropped)} indexes: {', '.join(dropped) or '-'}")
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.core.candidates import CandidateIndex
+    from repro.core.config import IndexConfiguration
+    from repro.core.whatif import analyze
+    from repro.storage.index import IndexValueType
+    from repro.xpath.patterns import parse_pattern
+
+    db = load_database(args.dbdir)
+    workload = read_workload_file(args.workload)
+    candidates = []
+    for spec in args.patterns:
+        if ":" in spec:
+            pattern_text, type_text = spec.rsplit(":", 1)
+        else:
+            pattern_text, type_text = spec, "string"
+        value_type = (
+            IndexValueType.NUMERIC
+            if type_text.lower() in ("numeric", "numerical", "double")
+            else IndexValueType.STRING
+        )
+        candidates.append(
+            CandidateIndex(parse_pattern(pattern_text), value_type, args.collection)
+        )
+    report = analyze(db, workload, IndexConfiguration(candidates))
+    print(report.summary())
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations, fig2, fig3, fig4, table3, table4
+    from repro.workloads import synthetic, tpox
+
+    db = load_database(args.dbdir)
+    if "SDOC" not in db.collections:
+        print("reproduce requires a TPoX-style database (generate --benchmark tpox)",
+              file=sys.stderr)
+        return 2
+    securities = len(db.collection("SDOC"))
+    workload = tpox.tpox_workload(num_securities=securities, seed=args.seed)
+    mixed = Workload(list(workload.entries))
+    for query in synthetic.random_path_queries(db, "SDOC", 9, seed=5):
+        mixed.add(query)
+
+    runners = {
+        "fig2": lambda: fig2.format_rows(*fig2.run(db, workload)),
+        "fig3": lambda: fig3.format_rows(fig3.run(db, workload)),
+        "table3": lambda: table3.format_rows(table3.run(db)),
+        "table4": lambda: table4.format_rows(table4.run(db, mixed)),
+        "fig4": lambda: fig4.format_rows(*fig4.run(db, mixed)),
+        "ablation-calls": lambda: ablations.format_optimizer_calls(
+            ablations.run_optimizer_calls(db, workload)
+        ),
+        "ablation-beta": lambda: ablations.format_beta_sweep(
+            ablations.run_beta_sweep(db, mixed)
+        ),
+    }
+    selected = args.experiments or sorted(runners)
+    unknown = [name for name in selected if name not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(runners)}",
+              file=sys.stderr)
+        return 2
+    for name in selected:
+        print(runners[name]())
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML Index Advisor reproduction (ICDE 2008) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a benchmark database")
+    p.add_argument("dbdir")
+    p.add_argument("--benchmark", choices=("tpox", "xmark"), default="tpox")
+    p.add_argument("--scale", type=int, default=200)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("load", help="load XML files into a collection")
+    p.add_argument("dbdir")
+    p.add_argument("collection")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser("stats", help="show collection statistics")
+    p.add_argument("dbdir")
+    p.add_argument("collection")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument(
+        "--tree", action="store_true",
+        help="render a DataGuide-style structural summary",
+    )
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "path-stats",
+        help="virtual-index statistics for one pattern",
+    )
+    p.add_argument("dbdir")
+    p.add_argument("collection")
+    p.add_argument("pattern", help="linear XPath pattern, e.g. /Security/Yield")
+    p.add_argument("--probe", help="a literal to estimate selectivities for")
+    p.set_defaults(func=cmd_path_stats)
+
+    p = sub.add_parser("query", help="execute a statement")
+    p.add_argument("dbdir")
+    p.add_argument("statement")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("explain", help="show the optimizer's plan")
+    p.add_argument("dbdir")
+    p.add_argument("statement")
+    p.add_argument(
+        "--enumerate", action="store_true",
+        help="also list candidate patterns (Enumerate Indexes mode)",
+    )
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("recommend", help="recommend an index configuration")
+    p.add_argument("dbdir")
+    p.add_argument("--workload", required=True, help="workload file (';' separated)")
+    p.add_argument("--budget", type=int, required=True, help="disk budget in bytes")
+    p.add_argument(
+        "--algorithm",
+        default="topdown_full",
+        choices=(
+            "greedy",
+            "greedy_heuristics",
+            "topdown_lite",
+            "topdown_full",
+            "dp",
+            "exhaustive",
+        ),
+    )
+    p.add_argument(
+        "--create", action="store_true",
+        help="physically create the recommended indexes and save",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the recommendation as JSON",
+    )
+    p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser(
+        "review", help="keep/drop review of existing physical indexes"
+    )
+    p.add_argument("dbdir")
+    p.add_argument("--workload", required=True)
+    p.add_argument(
+        "--drop", action="store_true",
+        help="actually drop the indexes flagged DROP and save",
+    )
+    p.set_defaults(func=cmd_review)
+
+    p = sub.add_parser(
+        "whatif", help="evaluate hypothetical indexes (nothing is built)"
+    )
+    p.add_argument("dbdir")
+    p.add_argument("collection")
+    p.add_argument("--workload", required=True)
+    p.add_argument(
+        "--patterns", nargs="+", required=True,
+        help="index patterns, e.g. /Security/Yield:numeric /Security/Symbol",
+    )
+    p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser("reproduce", help="regenerate paper tables/figures")
+    p.add_argument("dbdir")
+    p.add_argument("experiments", nargs="*")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

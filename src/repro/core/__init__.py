@@ -1,0 +1,65 @@
+"""The paper's contribution: the XML Index Advisor.
+
+* :mod:`repro.core.candidates` -- basic candidate enumeration via the
+  optimizer's Enumerate Indexes mode (Section IV).
+* :mod:`repro.core.generalization` -- Algorithm 1 / Table II candidate
+  generalization (Section V).
+* :mod:`repro.core.dag` -- the generalization DAG for top down search.
+* :mod:`repro.core.benefit` -- configuration benefit with affected sets,
+  sub-configurations, and caching (Sections III, VI-C).
+* :mod:`repro.core.maintenance` -- the mc(x, s) maintenance charge.
+* :mod:`repro.core.search` -- the five search algorithms (Section VI).
+* :mod:`repro.core.advisor` -- the IndexAdvisor front end (Figure 1).
+"""
+
+from repro.core.advisor import IndexAdvisor, Recommendation
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.compression import compress, compression_ratio
+from repro.core.whatif import StatementImpact, WhatIfReport, analyze
+from repro.core.candidates import (
+    CandidateIndex,
+    CandidateSet,
+    enumerate_basic_candidates,
+)
+from repro.core.config import IndexConfiguration
+from repro.core.dag import CandidateDag
+from repro.core.generalization import generalize_candidates, generalize_pair
+from repro.core.maintenance import MaintenanceConstants, maintenance_cost
+from repro.core.search import (
+    ALGORITHMS,
+    DEFAULT_BETA,
+    SearchResult,
+    dynamic_programming_search,
+    greedy_search,
+    greedy_search_with_heuristics,
+    top_down_full,
+    top_down_lite,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CandidateDag",
+    "StatementImpact",
+    "WhatIfReport",
+    "analyze",
+    "compress",
+    "compression_ratio",
+    "CandidateIndex",
+    "CandidateSet",
+    "ConfigurationEvaluator",
+    "DEFAULT_BETA",
+    "IndexAdvisor",
+    "IndexConfiguration",
+    "MaintenanceConstants",
+    "Recommendation",
+    "SearchResult",
+    "dynamic_programming_search",
+    "enumerate_basic_candidates",
+    "generalize_candidates",
+    "generalize_pair",
+    "greedy_search",
+    "greedy_search_with_heuristics",
+    "maintenance_cost",
+    "top_down_full",
+    "top_down_lite",
+]

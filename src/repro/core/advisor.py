@@ -1,0 +1,242 @@
+"""The XML Index Advisor: the paper's top-level client-side application.
+
+Pipeline (Figure 1): for every workload statement the optimizer enumerates
+basic candidates (Enumerate Indexes mode); the candidates are generalized
+(Section V); and a search algorithm picks the configuration with maximum
+benefit within the disk budget, evaluating configurations through the
+optimizer's Evaluate Indexes mode with sub-configuration caching.
+
+Typical use::
+
+    advisor = IndexAdvisor(database, workload)
+    recommendation = advisor.recommend(budget_bytes=2_000_000,
+                                       algorithm="topdown_full")
+    print(recommendation.report())
+    advisor.create_indexes(recommendation)   # build them for real
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.candidates import (
+    CandidateIndex,
+    CandidateSet,
+    enumerate_basic_candidates,
+)
+from repro.core.config import IndexConfiguration
+from repro.core.generalization import generalize_candidates
+from repro.core.maintenance import MaintenanceConstants
+from repro.core.search import ALGORITHMS, DEFAULT_BETA, SearchResult
+from repro.optimizer.cost import CostConstants
+from repro.optimizer.optimizer import Optimizer
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+
+@dataclass
+class Recommendation:
+    """A recommended index configuration plus provenance."""
+
+    search: SearchResult
+    estimated_speedup: float
+    workload_cost_before: float
+    workload_cost_after: float
+    ddl: List[str] = field(default_factory=list)
+
+    @property
+    def configuration(self) -> IndexConfiguration:
+        return self.search.configuration
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the recommendation (for the CLI's
+        ``--json`` flag and for tooling)."""
+        return {
+            "algorithm": self.search.algorithm,
+            "budget_bytes": self.search.budget_bytes,
+            "size_bytes": self.search.size_bytes,
+            "benefit": self.search.benefit,
+            "estimated_speedup": self.estimated_speedup,
+            "workload_cost_before": self.workload_cost_before,
+            "workload_cost_after": self.workload_cost_after,
+            "optimizer_calls": self.search.optimizer_calls,
+            "elapsed_seconds": self.search.elapsed_seconds,
+            "indexes": [
+                {
+                    "pattern": str(candidate.pattern),
+                    "value_type": candidate.value_type.value,
+                    "collection": candidate.collection,
+                    "general": candidate.general,
+                    "size_bytes": candidate.size_bytes,
+                }
+                for candidate in self.configuration
+            ],
+            "ddl": list(self.ddl),
+        }
+
+    def report(self) -> str:
+        """Human-readable recommendation summary."""
+        lines = [
+            f"Algorithm          : {self.search.algorithm}",
+            f"Disk budget        : {self.search.budget_bytes} bytes",
+            f"Configuration size : {self.search.size_bytes} bytes",
+            f"Indexes            : {len(self.configuration)} "
+            f"(general: {self.search.general_count}, "
+            f"specific: {self.search.specific_count})",
+            f"Workload cost      : {self.workload_cost_before:.2f} -> "
+            f"{self.workload_cost_after:.2f}",
+            f"Estimated speedup  : {self.estimated_speedup:.2f}x",
+            f"Optimizer calls    : {self.search.optimizer_calls}",
+            f"Search time        : {self.search.elapsed_seconds * 1000:.0f} ms",
+            "Recommended indexes:",
+        ]
+        lines.extend(f"  {stmt}" for stmt in self.ddl)
+        return "\n".join(lines)
+
+
+class IndexAdvisor:
+    """Recommends XML index configurations for a database + workload."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        cost_constants: Optional[CostConstants] = None,
+        maintenance_constants: MaintenanceConstants = MaintenanceConstants(),
+        generalize: bool = True,
+        naive_evaluation: bool = False,
+    ) -> None:
+        self.database = database
+        self.workload = workload
+        self.optimizer = Optimizer(database, cost_constants)
+        self.generalize = generalize
+        self.maintenance_constants = maintenance_constants
+        self.naive_evaluation = naive_evaluation
+        self._candidates: Optional[CandidateSet] = None
+        self._evaluator: Optional[ConfigurationEvaluator] = None
+        self._created_index_names: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self) -> CandidateSet:
+        """The expanded candidate set (enumerated + generalized),
+        computed on first access."""
+        if self._candidates is None:
+            candidates = enumerate_basic_candidates(self.optimizer, self.workload)
+            if self.generalize:
+                generalize_candidates(candidates)
+            candidates.compute_sizes(self.database)
+            self._candidates = candidates
+        return self._candidates
+
+    @property
+    def evaluator(self) -> ConfigurationEvaluator:
+        if self._evaluator is None:
+            self._candidates = self.candidates  # ensure enumeration happened
+            self._evaluator = ConfigurationEvaluator(
+                self.database,
+                self.optimizer,
+                self.workload,
+                self.maintenance_constants,
+                naive=self.naive_evaluation,
+            )
+        return self._evaluator
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        budget_bytes: int,
+        algorithm: str = "topdown_full",
+        beta: float = DEFAULT_BETA,
+    ) -> Recommendation:
+        """Search for the best configuration within ``budget_bytes``.
+
+        ``algorithm`` is one of ``greedy``, ``greedy_heuristics``,
+        ``topdown_lite``, ``topdown_full``, ``dp``.
+        """
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        searcher = ALGORITHMS[algorithm]
+        if algorithm == "greedy_heuristics":
+            result = searcher(self.candidates, self.evaluator, budget_bytes, beta)
+        else:
+            result = searcher(self.candidates, self.evaluator, budget_bytes)
+        return self._package(result)
+
+    def _package(self, result: SearchResult) -> Recommendation:
+        evaluator = self.evaluator
+        before = evaluator.total_base_cost()
+        after = evaluator.workload_cost(result.configuration)
+        speedup = evaluator.estimated_speedup(result.configuration)
+        ddl = [
+            candidate.definition(
+                self.database.catalog.fresh_name("xmlidx"), virtual=False
+            ).ddl()
+            for candidate in result.configuration
+        ]
+        return Recommendation(
+            search=result,
+            estimated_speedup=speedup,
+            workload_cost_before=before,
+            workload_cost_after=after,
+            ddl=ddl,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference configurations
+    # ------------------------------------------------------------------
+    def all_index_configuration(self) -> IndexConfiguration:
+        """The 'All Index' configuration of Section VII: an index on every
+        indexable XPath expression in the workload (all basic candidates)."""
+        return IndexConfiguration(self.candidates.basics())
+
+    def evaluate_configuration(self, config: IndexConfiguration) -> float:
+        """Estimated speedup of an arbitrary configuration (the paper's
+        evaluation metric)."""
+        return self.evaluator.estimated_speedup(config)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def create_indexes(
+        self, recommendation: Recommendation, prefix: str = "reco"
+    ) -> List[str]:
+        """Physically create the recommended indexes.  Returns their
+        names (also remembered for :meth:`drop_created_indexes`)."""
+        names = []
+        for candidate in recommendation.configuration:
+            name = self.database.catalog.fresh_name(prefix)
+            self.database.create_index(candidate.definition(name, virtual=False))
+            names.append(name)
+        self._created_index_names.extend(names)
+        return names
+
+    def create_configuration(
+        self, config: IndexConfiguration, prefix: str = "conf"
+    ) -> List[str]:
+        """Physically create an arbitrary configuration's indexes."""
+        names = []
+        for candidate in config:
+            name = self.database.catalog.fresh_name(prefix)
+            self.database.create_index(candidate.definition(name, virtual=False))
+            names.append(name)
+        self._created_index_names.extend(names)
+        return names
+
+    def drop_created_indexes(self) -> None:
+        """Drop every index this advisor created."""
+        for name in self._created_index_names:
+            try:
+                self.database.drop_index(name)
+            except KeyError:
+                pass
+        self._created_index_names = []

@@ -1,0 +1,69 @@
+"""Workload compression: merge duplicate statements before tuning.
+
+Production workloads repeat the same statements many times; the paper's
+benefit formula already anticipates this by weighting each *unique*
+statement with its frequency of occurrence (Section III).  This module
+folds a raw statement stream into that form, and can additionally merge
+*template* duplicates -- statements identical up to their literal values,
+e.g. thousands of ``Symbol = "..."`` point lookups -- which exercise the
+same candidate indexes and would otherwise inflate every optimizer loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.optimizer.rewriter import extract_path_requests
+from repro.query.model import Query, Statement
+from repro.query.workload import Workload, WorkloadEntry
+
+
+def _exact_key(statement: Statement) -> str:
+    return statement.describe()
+
+
+def _template_key(statement: Statement) -> Tuple:
+    """Statements with the same indexable shape (same collection, same
+    request patterns/operators, literals ignored) share a template."""
+    requests = tuple(
+        (str(request.pattern), request.op, request.value_type)
+        for request in extract_path_requests(statement)
+    )
+    collection = getattr(statement, "collection", "")
+    kind = statement.kind
+    binding = ""
+    if isinstance(statement, Query):
+        binding = str(statement.binding_path.without_predicates())
+    return (kind, collection, binding, requests)
+
+
+def compress(workload: Workload, by_template: bool = False) -> Workload:
+    """Fold duplicate statements into single entries with summed
+    frequencies.
+
+    With ``by_template=True``, statements that differ only in literal
+    values are merged too (the first occurrence represents the group --
+    sound for candidate enumeration, approximate for benefit when the
+    literals have very different selectivities).
+    """
+    keyer = _template_key if by_template else _exact_key
+    order: List = []
+    merged: Dict = {}
+    for entry in workload:
+        key = keyer(entry.statement)
+        if key in merged:
+            kept = merged[key]
+            merged[key] = WorkloadEntry(
+                kept.statement, kept.frequency + entry.frequency
+            )
+        else:
+            merged[key] = entry
+            order.append(key)
+    return Workload(merged[key] for key in order)
+
+
+def compression_ratio(original: Workload, compressed: Workload) -> float:
+    """Fraction of entries removed (0 = nothing merged)."""
+    if len(original) == 0:
+        return 0.0
+    return 1.0 - len(compressed) / len(original)

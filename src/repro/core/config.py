@@ -1,0 +1,83 @@
+"""Index configurations: immutable sets of candidate indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.core.candidates import CandidateIndex, CandidateKey
+
+
+class IndexConfiguration:
+    """An immutable set of candidate indexes with size accounting.
+
+    Hashable (by candidate keys) so benefit caches can key on it.
+    """
+
+    __slots__ = ("_candidates", "_keys")
+
+    def __init__(self, candidates: Iterable[CandidateIndex] = ()) -> None:
+        by_key: Dict[CandidateKey, CandidateIndex] = {}
+        for candidate in candidates:
+            by_key[candidate.key] = candidate
+        object.__setattr__(self, "_candidates", tuple(by_key.values()))
+        object.__setattr__(self, "_keys", frozenset(by_key))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("IndexConfiguration is immutable")
+
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self) -> Tuple[CandidateIndex, ...]:
+        return self._candidates
+
+    @property
+    def keys(self) -> FrozenSet[CandidateKey]:
+        return self._keys
+
+    def size_bytes(self) -> int:
+        return sum(c.size_bytes for c in self._candidates)
+
+    def affected_statements(self) -> FrozenSet[int]:
+        affected = set()
+        for candidate in self._candidates:
+            affected |= candidate.affected
+        return frozenset(affected)
+
+    # ------------------------------------------------------------------
+    def with_candidate(self, candidate: CandidateIndex) -> "IndexConfiguration":
+        return IndexConfiguration(self._candidates + (candidate,))
+
+    def with_candidates(
+        self, candidates: Iterable[CandidateIndex]
+    ) -> "IndexConfiguration":
+        return IndexConfiguration(self._candidates + tuple(candidates))
+
+    def without(self, candidate: CandidateIndex) -> "IndexConfiguration":
+        return IndexConfiguration(
+            c for c in self._candidates if c.key != candidate.key
+        )
+
+    def __contains__(self, candidate: CandidateIndex) -> bool:
+        return candidate.key in self._keys
+
+    def __iter__(self) -> Iterator[CandidateIndex]:
+        return iter(self._candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IndexConfiguration) and self._keys == other._keys
+
+    def __hash__(self) -> int:
+        return hash(self._keys)
+
+    def general_count(self) -> int:
+        return sum(1 for c in self._candidates if c.general)
+
+    def specific_count(self) -> int:
+        return sum(1 for c in self._candidates if not c.general)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(str(c.pattern) for c in self._candidates)
+        return f"IndexConfiguration({{{names}}})"

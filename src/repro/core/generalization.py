@@ -1,0 +1,230 @@
+"""Candidate generalization (Section V, Algorithm 1 and Table II).
+
+Pairs of candidate index patterns are merged into more general patterns
+that cover both, e.g. ``/Security/Symbol`` + ``/Security/SecInfo/*/Sector``
+-> ``/Security//*``.  The pair generalization is the paper's two mutually
+recursive functions:
+
+* ``generalizeStep(genXPath, pi, pj)`` -- generalize the steps under the
+  two cursors (same name test kept, otherwise ``*``; descendant axis wins)
+  and append to the pattern being built, unless exactly one cursor is at
+  its last step (then control passes straight to ``advanceStep``).
+* ``advanceStep`` -- cursor movement per Table II:
+
+  1. both cursors at their last steps: emit ``genXPath``;
+  2./3. one cursor at its last step: append ``/*`` (standing for the other
+     expression's skipped middle steps) and advance the other cursor to
+     *its* last step;
+  4. both in the middle: (a) advance both cursors; (b)/(c) look for the
+     re-occurrence of one side's next name later in the other side,
+     appending ``/*`` for the skipped steps (handles repeated node names,
+     e.g. ``/a/b/d`` + ``/a/d/b/d`` -> ``/a//d`` and ``/a//b/d``).
+
+  Rule 0 (final rewrite): runs of middle ``/*`` steps collapse into a
+  descendant axis on the following step (``/a/*/*/b`` -> ``/a//b``).
+
+The published pseudo-code has two ambiguities that the paper's own worked
+examples resolve, and we follow the examples:
+
+* Rule 2/3 pass the *current* last-step cursor on (the table's ``pi.next``
+  would run off the list; the Section V trace passes ``/Symbol`` again).
+* Rule 4's ``/*`` append applies to the re-occurrence cases (b)/(c) only
+  -- the trace for case (a) shows ``generalizeStep(/Security, /Symbol,
+  /SecInfo/*/Sector)`` with no ``/*`` appended.
+
+Pairs of different value types are never generalized (Section V:
+"Candidate C3 cannot be generalized with either C1 or C2 because it is of
+a different data type").
+
+:func:`generalize_candidates` applies pair generalization iteratively --
+including to newly generated patterns -- until no new pattern appears.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.candidates import CandidateIndex, CandidateSet
+from repro.xpath.ast import Axis
+from repro.xpath.patterns import PathPattern, PatternStep
+
+#: Hard cap on generalization fixed-point rounds (defensive; the candidate
+#: space is finite so the loop terminates, but cheaply bounding it keeps
+#: adversarial inputs polite).
+MAX_ROUNDS = 16
+
+
+def _gen_axis(a: Axis, b: Axis) -> Axis:
+    """The paper's genAxis: descendant wins."""
+    if a is Axis.DESCENDANT or b is Axis.DESCENDANT:
+        return Axis.DESCENDANT
+    return Axis.CHILD
+
+
+def _is_last(steps: Sequence[PatternStep], position: int) -> bool:
+    return position == len(steps) - 1
+
+
+_WILDCARD_STEP = PatternStep(Axis.CHILD, "*")
+
+
+def generalize_pair(p: PathPattern, q: PathPattern) -> Set[PathPattern]:
+    """All generalizations of a pattern pair (Rule 0 already applied).
+
+    The inputs themselves and ungeneralizable pairs yield an empty set.
+    """
+    if p == q:
+        return set()
+    if p.last_step.is_attribute != q.last_step.is_attribute:
+        return set()
+    raw: Set[Tuple[PatternStep, ...]] = set()
+    _generalize_step((), (p.steps, 0), (q.steps, 0), raw)
+    results: Set[PathPattern] = set()
+    for steps in raw:
+        if not steps:
+            continue
+        pattern = PathPattern(steps).collapse_wildcards()
+        if pattern in (p, q):
+            continue
+        # Defensive soundness check: a generalization must cover both.
+        if pattern.covers(p) and pattern.covers(q):
+            results.add(pattern)
+    return results
+
+
+def _generalize_step(
+    gen: Tuple[PatternStep, ...],
+    pi: Tuple[Sequence[PatternStep], int],
+    pj: Tuple[Sequence[PatternStep], int],
+    out: Set[Tuple[PatternStep, ...]],
+) -> None:
+    """Algorithm 1: generalize the steps under both cursors, then advance."""
+    pi_steps, pi_pos = pi
+    pj_steps, pj_pos = pj
+    pi_last = _is_last(pi_steps, pi_pos)
+    pj_last = _is_last(pj_steps, pj_pos)
+    if pi_last != pj_last:
+        # Lines 1-3: a last step may only generalize with a last step.
+        _advance_step(gen, pi, pj, out)
+        return
+    step_i = pi_steps[pi_pos]
+    step_j = pj_steps[pj_pos]
+    if step_i.name == step_j.name:
+        name = step_i.name
+    elif step_i.is_attribute or step_j.is_attribute:
+        if step_i.is_attribute and step_j.is_attribute:
+            name = "@*"
+        else:
+            return  # element and attribute tests do not generalize
+    else:
+        name = "*"
+    new_step = PatternStep(_gen_axis(step_i.axis, step_j.axis), name)
+    _advance_step(gen + (new_step,), pi, pj, out)
+
+
+def _advance_step(
+    gen: Tuple[PatternStep, ...],
+    pi: Tuple[Sequence[PatternStep], int],
+    pj: Tuple[Sequence[PatternStep], int],
+    out: Set[Tuple[PatternStep, ...]],
+) -> None:
+    """Table II cursor-advancement rules."""
+    pi_steps, pi_pos = pi
+    pj_steps, pj_pos = pj
+    pi_last = _is_last(pi_steps, pi_pos)
+    pj_last = _is_last(pj_steps, pj_pos)
+
+    if pi_last and pj_last:  # Rule 1
+        out.add(gen)
+        return
+    if pi_last and not pj_last:  # Rule 2
+        _generalize_step(
+            gen + (_WILDCARD_STEP,),
+            (pi_steps, pi_pos),
+            (pj_steps, len(pj_steps) - 1),
+            out,
+        )
+        return
+    if not pi_last and pj_last:  # Rule 3
+        _generalize_step(
+            gen + (_WILDCARD_STEP,),
+            (pi_steps, len(pi_steps) - 1),
+            (pj_steps, pj_pos),
+            out,
+        )
+        return
+
+    # Rule 4: both cursors in the middle.
+    # (a) advance both cursors one step.
+    _generalize_step(gen, (pi_steps, pi_pos + 1), (pj_steps, pj_pos + 1), out)
+    # (b) find pj's next name later in pi (a re-occurrence); the skipped
+    # steps of pi are stood in for by /*.
+    pj_next_name = pj_steps[pj_pos + 1].name
+    occurrence = _find_name(pi_steps, pi_pos + 2, pj_next_name)
+    if occurrence is not None:
+        _generalize_step(
+            gen + (_WILDCARD_STEP,),
+            (pi_steps, occurrence),
+            (pj_steps, pj_pos + 1),
+            out,
+        )
+    # (c) symmetric: find pi's next name later in pj.
+    pi_next_name = pi_steps[pi_pos + 1].name
+    occurrence = _find_name(pj_steps, pj_pos + 2, pi_next_name)
+    if occurrence is not None:
+        _generalize_step(
+            gen + (_WILDCARD_STEP,),
+            (pi_steps, pi_pos + 1),
+            (pj_steps, occurrence),
+            out,
+        )
+
+
+def _find_name(
+    steps: Sequence[PatternStep], start: int, name: str
+) -> "int | None":
+    """First position >= start whose step has this name test, or None.
+    Searching from ``current + 2`` keeps case (b)/(c) disjoint from case
+    (a), which already advances to ``current + 1``."""
+    for position in range(start, len(steps)):
+        if steps[position].name == name:
+            return position
+    return None
+
+
+def generalize_candidates(candidates: CandidateSet) -> int:
+    """Expand ``candidates`` with generalized patterns to a fixed point.
+
+    Every pair of same-type candidates (basic and previously generated
+    general ones) is generalized; new patterns join the set and take part
+    in later rounds.  Returns the number of general candidates added.
+    """
+    added = 0
+    for _ in range(MAX_ROUNDS):
+        current = list(candidates)
+        new_patterns: List[Tuple[PathPattern, CandidateIndex, CandidateIndex]] = []
+        for i, left in enumerate(current):
+            for right in current[i + 1 :]:
+                if left.value_type is not right.value_type:
+                    continue
+                if left.collection != right.collection:
+                    continue
+                for pattern in generalize_pair(left.pattern, right.pattern):
+                    if (str(pattern), left.value_type) not in candidates:
+                        new_patterns.append((pattern, left, right))
+        if not new_patterns:
+            break
+        for pattern, left, right in new_patterns:
+            key = (str(pattern), left.value_type)
+            existing = candidates.get(key)
+            if existing is None:
+                candidate = candidates.get_or_add(
+                    pattern, left.value_type, left.collection, general=True
+                )
+                added += 1
+            else:
+                candidate = existing
+            candidate.sources.add(left.key)
+            candidate.sources.add(right.key)
+    candidates.propagate_affected_sets()
+    return added

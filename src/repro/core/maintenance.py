@@ -1,0 +1,75 @@
+"""Index maintenance cost mc(x, s) (Section III).
+
+DB2's optimizer cost estimates for update/delete/insert statements do not
+include the cost of updating indexes, so the advisor subtracts an explicit
+maintenance charge from the benefit:
+
+    Benefit(x1..xn; W) = sum_s [ freq_s * (s_old - s_new)
+                                 - sum_i mc(x_i, s) ]
+
+``mc`` is zero for queries.  For an insert it charges the expected number
+of index entries the new document contributes (per-entry insertion into a
+B+-tree of the index's height); for a delete it charges removing the
+victims' entries.  Expected entries per document come from the derived
+virtual-index statistics, so virtual and real indexes are charged alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import CandidateIndex
+from repro.optimizer.cost import CostModel
+from repro.query.model import (
+    DeleteStatement,
+    InsertStatement,
+    JoinQuery,
+    Query,
+    Statement,
+)
+from repro.storage.statistics import DataStatistics
+
+
+@dataclass(frozen=True)
+class MaintenanceConstants:
+    """Charge per index-entry insertion/removal (includes the B+-tree
+    descent amortized in)."""
+
+    entry_update: float = 0.05
+
+
+def maintenance_cost(
+    candidate: CandidateIndex,
+    statement: Statement,
+    statistics: DataStatistics,
+    constants: MaintenanceConstants = MaintenanceConstants(),
+) -> float:
+    """mc(x, s): expected maintenance cost of index ``candidate`` for one
+    execution of ``statement``.  Zero for queries and for statements on
+    other collections."""
+    if isinstance(statement, (Query, JoinQuery)):
+        return 0.0
+    if statement.collection != candidate.collection:
+        return 0.0
+    index_stats = statistics.derive_index_statistics(
+        candidate.pattern, candidate.value_type
+    )
+    doc_count = max(1, statistics.doc_count)
+    entries_per_doc = index_stats.entry_count / doc_count
+    per_doc_charge = entries_per_doc * constants.entry_update * index_stats.levels
+    if isinstance(statement, InsertStatement):
+        return per_doc_charge
+    if isinstance(statement, DeleteStatement):
+        victim_docs = _expected_victims(statement, statistics)
+        return victim_docs * per_doc_charge
+    raise TypeError(f"unknown statement type {type(statement)!r}")
+
+
+def _expected_victims(
+    statement: DeleteStatement, statistics: DataStatistics
+) -> float:
+    from repro.xpath.patterns import pattern_from_path
+
+    pattern = pattern_from_path(statement.selector_path)
+    card = statistics.cardinality(pattern, statement.op, statement.literal)
+    return min(float(max(1, statistics.doc_count)), card)

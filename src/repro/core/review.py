@@ -1,0 +1,120 @@
+"""Review of *existing* physical indexes: keep / drop recommendations.
+
+Commercial design advisors (DB2 Design Advisor [16], SQL Server DTA [15])
+do not only add indexes -- they also flag existing ones whose maintenance
+cost outweighs their benefit or that no plan uses.  The same tight
+coupling used for index *selection* answers this: re-evaluate each
+existing index's marginal benefit through the optimizer, against the
+workload's maintenance charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.candidates import CandidateIndex
+from repro.core.config import IndexConfiguration
+from repro.core.maintenance import MaintenanceConstants
+from repro.optimizer.optimizer import Optimizer
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+
+@dataclass
+class IndexReview:
+    """Verdict for one existing index."""
+
+    index_name: str
+    pattern: str
+    marginal_benefit: float
+    maintenance_cost: float
+    keep: bool
+
+    @property
+    def net_benefit(self) -> float:
+        return self.marginal_benefit - self.maintenance_cost
+
+    def __str__(self) -> str:
+        verdict = "KEEP" if self.keep else "DROP"
+        return (
+            f"{verdict} {self.index_name} ({self.pattern}): "
+            f"benefit {self.marginal_benefit:.2f}, "
+            f"maintenance {self.maintenance_cost:.2f}"
+        )
+
+
+def review_existing_indexes(
+    database: Database,
+    workload: Workload,
+    maintenance_constants: MaintenanceConstants = MaintenanceConstants(),
+    keep_threshold: float = 0.0,
+) -> List[IndexReview]:
+    """Evaluate every built index's *marginal* contribution to the
+    workload (benefit of all existing indexes minus benefit without this
+    one), net of maintenance.  ``keep`` is True when the net marginal
+    benefit exceeds ``keep_threshold``.
+
+    Existing real indexes are modeled as virtual candidates so the
+    evaluation never needs to actually drop anything.
+    """
+    built = [
+        definition
+        for definition in database.catalog.all_definitions()
+        if not definition.virtual and definition.name in database.indexes
+    ]
+    if not built:
+        return []
+    candidates = {}
+    for definition in built:
+        candidate = CandidateIndex(
+            definition.pattern, definition.value_type, definition.collection
+        )
+        stats = database.runstats(definition.collection)
+        candidate.size_bytes = stats.derive_index_statistics(
+            definition.pattern, definition.value_type
+        ).size_bytes
+        candidates[definition.name] = candidate
+
+    # Hide the built indexes while measuring, so base costs reflect a
+    # no-index world and the candidates (their virtual twins) carry the
+    # whole benefit -- otherwise the benefit would be double-counted.
+    hidden = {name: database.indexes.pop(name) for name in candidates}
+    try:
+        optimizer = Optimizer(database)
+        evaluator = ConfigurationEvaluator(
+            database, optimizer, workload, maintenance_constants
+        )
+        full = IndexConfiguration(candidates.values())
+        full_benefit = evaluator.raw_benefit(full)
+        reviews: List[IndexReview] = []
+        for definition in built:
+            candidate = candidates[definition.name]
+            without = full.without(candidate)
+            marginal = full_benefit - evaluator.raw_benefit(without)
+            maintenance = evaluator._candidate_maintenance(candidate)
+            reviews.append(
+                IndexReview(
+                    index_name=definition.name,
+                    pattern=str(definition.pattern),
+                    marginal_benefit=marginal,
+                    maintenance_cost=maintenance,
+                    keep=(marginal - maintenance) > keep_threshold,
+                )
+            )
+        return reviews
+    finally:
+        database.indexes.update(hidden)
+
+
+def drop_recommended(
+    database: Database, reviews: List[IndexReview]
+) -> List[str]:
+    """Drop every index a review marked DROP; returns the dropped names."""
+    dropped = []
+    for review in reviews:
+        if not review.keep:
+            database.drop_index(review.index_name)
+            dropped.append(review.index_name)
+    return dropped

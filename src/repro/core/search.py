@@ -1,0 +1,416 @@
+"""Configuration search algorithms (Section VI).
+
+Five searchers over the 0/1-knapsack-with-interactions problem, all with
+the same signature and a common :class:`SearchResult`:
+
+* :func:`greedy_search` -- the classic density greedy on standalone
+  benefits; ignores index interaction (the paper's strawman that wastes
+  budget on redundant indexes).
+* :func:`greedy_search_with_heuristics` -- Section VI-A: full-configuration
+  benefit evaluation plus two heuristics: a coverage bitmap that blocks
+  indexes replicating patterns already covered, and the IB/size
+  (beta-bounded) test before admitting a *general* index.
+* :func:`top_down_lite` / :func:`top_down_full` -- Section VI-B: start
+  from the generalization DAG's roots and repeatedly replace the general
+  index with the smallest dB/dC by its children until the configuration
+  fits the budget (lite sums standalone benefits for dB; full evaluates
+  whole configurations, capturing interaction).
+* :func:`dynamic_programming_search` -- exact 0/1 knapsack on standalone
+  benefits (optimal modulo interactions; expensive).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.candidates import CandidateIndex, CandidateSet
+from repro.core.config import IndexConfiguration
+from repro.core.dag import CandidateDag
+
+#: Allowed size expansion when a general index replaces the indexes it
+#: generalizes (Section VI-A; "we have found beta = 10% to work well").
+DEFAULT_BETA = 0.10
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one configuration search."""
+
+    algorithm: str
+    configuration: IndexConfiguration
+    benefit: float
+    size_bytes: int
+    budget_bytes: int
+    elapsed_seconds: float
+    optimizer_calls: int
+    evaluations: int
+
+    @property
+    def general_count(self) -> int:
+        return self.configuration.general_count()
+
+    @property
+    def specific_count(self) -> int:
+        return self.configuration.specific_count()
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {len(self.configuration)} indexes "
+            f"(G: {self.general_count}, S: {self.specific_count}), "
+            f"size {self.size_bytes}/{self.budget_bytes} B, "
+            f"benefit {self.benefit:.2f}, "
+            f"{self.optimizer_calls} optimizer calls, "
+            f"{self.elapsed_seconds * 1000:.0f} ms"
+        )
+
+
+def _finish(
+    algorithm: str,
+    config: IndexConfiguration,
+    evaluator: ConfigurationEvaluator,
+    budget: int,
+    started: float,
+    calls_before: int,
+    evals_before: int,
+) -> SearchResult:
+    return SearchResult(
+        algorithm=algorithm,
+        configuration=config,
+        benefit=evaluator.benefit(config),
+        size_bytes=config.size_bytes(),
+        budget_bytes=budget,
+        elapsed_seconds=time.perf_counter() - started,
+        optimizer_calls=evaluator.optimizer.calls - calls_before,
+        evaluations=evaluator.evaluations - evals_before,
+    )
+
+
+def _positive_candidates(
+    candidates: CandidateSet, evaluator: ConfigurationEvaluator
+) -> List[CandidateIndex]:
+    """Candidates with positive standalone benefit, densest first."""
+    scored = [
+        (evaluator.standalone_benefit(c), c)
+        for c in candidates
+    ]
+    positive = [
+        (benefit, c) for benefit, c in scored if benefit > 0 and c.size_bytes > 0
+    ]
+    positive.sort(key=lambda pair: pair[0] / pair[1].size_bytes, reverse=True)
+    return [c for _, c in positive]
+
+
+# ---------------------------------------------------------------------------
+# Greedy (no heuristics)
+# ---------------------------------------------------------------------------
+
+def greedy_search(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+) -> SearchResult:
+    """Density greedy on standalone benefits; ignores interaction, so it
+    happily picks redundant indexes that the optimizer will never combine."""
+    started = time.perf_counter()
+    calls_before = evaluator.optimizer.calls
+    evals_before = evaluator.evaluations
+    config = IndexConfiguration()
+    remaining = budget_bytes
+    for candidate in _positive_candidates(candidates, evaluator):
+        if candidate.size_bytes <= remaining:
+            config = config.with_candidate(candidate)
+            remaining -= candidate.size_bytes
+    return _finish(
+        "greedy", config, evaluator, budget_bytes, started, calls_before, evals_before
+    )
+
+
+# ---------------------------------------------------------------------------
+# Greedy with heuristics (Section VI-A)
+# ---------------------------------------------------------------------------
+
+def greedy_search_with_heuristics(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+    beta: float = DEFAULT_BETA,
+) -> SearchResult:
+    """Greedy search with the paper's redundancy/generality heuristics.
+
+    The primary objective stays workload benefit; the added objective is
+    maximizing the number of workload patterns actually served by chosen
+    indexes.  A bitmap of covered basic patterns blocks replicated
+    coverage, and a general index must beat the specific indexes it
+    generalizes (IB test) without exceeding their total size by more than
+    ``beta``.
+    """
+    started = time.perf_counter()
+    calls_before = evaluator.optimizer.calls
+    evals_before = evaluator.evaluations
+    dag = CandidateDag(candidates)
+    basics = candidates.basics()
+    covered: Dict[Tuple, bool] = {b.key: False for b in basics}
+    config = IndexConfiguration()
+    current_benefit = 0.0
+    remaining = budget_bytes
+
+    for candidate in _positive_candidates(candidates, evaluator):
+        if candidate.size_bytes > remaining:
+            continue
+        covered_basics = [b for b in basics if candidate.covers(b) or b.key == candidate.key]
+        if covered_basics and all(covered[b.key] for b in covered_basics):
+            continue  # pure replication of already-served patterns
+        if candidate.general:
+            children = [c for c in dag.children(candidate)]
+            if children:
+                ib_general = evaluator.improved_benefit(config, [candidate])
+                ib_children = evaluator.improved_benefit(config, children)
+                children_size = sum(c.size_bytes for c in children)
+                if ib_general < ib_children:
+                    continue
+                if candidate.size_bytes > (1.0 + beta) * children_size:
+                    continue
+        new_benefit = evaluator.improved_benefit(config, [candidate])
+        if new_benefit <= current_benefit:
+            continue
+        config = config.with_candidate(candidate)
+        current_benefit = new_benefit
+        remaining = budget_bytes - config.size_bytes()
+        for basic in covered_basics:
+            covered[basic.key] = True
+    return _finish(
+        "greedy_heuristics",
+        config,
+        evaluator,
+        budget_bytes,
+        started,
+        calls_before,
+        evals_before,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Top down search (Section VI-B)
+# ---------------------------------------------------------------------------
+
+def _top_down(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+    full: bool,
+) -> SearchResult:
+    algorithm = "topdown_full" if full else "topdown_lite"
+    started = time.perf_counter()
+    calls_before = evaluator.optimizer.calls
+    evals_before = evaluator.evaluations
+
+    # Preprocessing: drop candidates with zero/negative benefit (high
+    # maintenance cost, or never used in optimizer plans).
+    surviving = CandidateSet()
+    for candidate in candidates:
+        if evaluator.standalone_benefit(candidate) > 0:
+            survivor = surviving.get_or_add(
+                candidate.pattern,
+                candidate.value_type,
+                candidate.collection,
+                general=candidate.general,
+            )
+            survivor.affected = set(candidate.affected)
+            survivor.size_bytes = candidate.size_bytes
+            survivor.sources = set(candidate.sources)
+    dag = CandidateDag(surviving)
+    config = IndexConfiguration(dag.roots())
+
+    while config.size_bytes() > budget_bytes:
+        replaceable = [
+            c for c in config if dag.children(c)
+        ]
+        if not replaceable:
+            break
+        best: Optional[CandidateIndex] = None
+        best_ratio = float("inf")
+        best_delta_c = float("-inf")
+        for general in replaceable:
+            children = [c for c in dag.children(general) if c not in config]
+            delta_c = general.size_bytes - sum(c.size_bytes for c in children)
+            if delta_c <= 0:
+                continue  # replacing would not shrink the configuration
+            if full:
+                base = config.without(general)
+                ib_general = evaluator.benefit(base.with_candidate(general))
+                ib_children = evaluator.benefit(base.with_candidates(children))
+                delta_b = ib_general - ib_children
+            else:
+                delta_b = evaluator.standalone_benefit(general) - sum(
+                    evaluator.standalone_benefit(c) for c in children
+                )
+            ratio = delta_b / delta_c
+            if ratio < best_ratio or (
+                ratio == best_ratio and delta_c > best_delta_c
+            ):
+                best = general
+                best_ratio = ratio
+                best_delta_c = delta_c
+        if best is None:
+            break
+        children = [c for c in dag.children(best) if c not in config]
+        config = config.without(best).with_candidates(children)
+
+    if config.size_bytes() > budget_bytes:
+        # Out of general candidates to replace: plain greedy over what is
+        # left (no heuristics needed -- Section VI-B).
+        scored = sorted(
+            config,
+            key=lambda c: (
+                evaluator.standalone_benefit(c) / c.size_bytes
+                if c.size_bytes
+                else 0.0
+            ),
+            reverse=True,
+        )
+        trimmed = IndexConfiguration()
+        remaining = budget_bytes
+        for candidate in scored:
+            if candidate.size_bytes <= remaining:
+                trimmed = trimmed.with_candidate(candidate)
+                remaining -= candidate.size_bytes
+        config = trimmed
+    return _finish(
+        algorithm, config, evaluator, budget_bytes, started, calls_before, evals_before
+    )
+
+
+def top_down_lite(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+) -> SearchResult:
+    """Top down search with interaction-free dB (sum of standalone
+    benefits)."""
+    return _top_down(candidates, evaluator, budget_bytes, full=False)
+
+
+def top_down_full(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+) -> SearchResult:
+    """Top down search evaluating every configuration's benefit through
+    the optimizer (captures index interaction)."""
+    return _top_down(candidates, evaluator, budget_bytes, full=True)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic programming knapsack
+# ---------------------------------------------------------------------------
+
+#: Size-resolution buckets of the DP table (sizes are scaled down to this
+#: many units to keep the table tractable).
+DP_UNITS = 2048
+
+
+def dynamic_programming_search(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+) -> SearchResult:
+    """Exact 0/1 knapsack on standalone benefits (ignores interaction --
+    "optimal modulo index interactions" as the paper puts it).  Sizes are
+    quantized to :data:`DP_UNITS` buckets."""
+    started = time.perf_counter()
+    calls_before = evaluator.optimizer.calls
+    evals_before = evaluator.evaluations
+    items = [
+        (evaluator.standalone_benefit(c), c)
+        for c in candidates
+    ]
+    items = [(b, c) for b, c in items if b > 0 and c.size_bytes > 0]
+    unit = max(1, budget_bytes // DP_UNITS)
+    capacity = budget_bytes // unit
+    # dp[w] = (best benefit, chosen candidate keys) at weight w
+    best_benefit = [0.0] * (capacity + 1)
+    chosen: List[Tuple] = [() for _ in range(capacity + 1)]
+    for benefit, candidate in items:
+        weight = -(-candidate.size_bytes // unit)  # ceil division
+        if weight > capacity:
+            continue
+        for w in range(capacity, weight - 1, -1):
+            trial = best_benefit[w - weight] + benefit
+            if trial > best_benefit[w]:
+                best_benefit[w] = trial
+                chosen[w] = chosen[w - weight] + (candidate,)
+    top = max(range(capacity + 1), key=lambda w: best_benefit[w])
+    config = IndexConfiguration(chosen[top])
+    return _finish(
+        "dp", config, evaluator, budget_bytes, started, calls_before, evals_before
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive search (oracle)
+# ---------------------------------------------------------------------------
+
+#: Refuse exhaustive search beyond this many candidates (2^n configurations).
+EXHAUSTIVE_LIMIT = 16
+
+
+def exhaustive_search(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+) -> SearchResult:
+    """Try *every* configuration within the budget and return the best by
+    true (interaction-aware) benefit.
+
+    The related work [21] offers exhaustive search as the accurate-but-slow
+    alternative to greedy; here it doubles as a testing oracle for the
+    other algorithms.  Only feasible for small candidate sets
+    (:data:`EXHAUSTIVE_LIMIT`); the sub-configuration cache keeps the
+    optimizer-call count from exploding with the configuration count.
+    """
+    started = time.perf_counter()
+    calls_before = evaluator.optimizer.calls
+    evals_before = evaluator.evaluations
+    pool = [c for c in candidates if 0 < c.size_bytes <= budget_bytes]
+    if len(pool) > EXHAUSTIVE_LIMIT:
+        raise ValueError(
+            f"exhaustive search over {len(pool)} candidates is infeasible "
+            f"(limit {EXHAUSTIVE_LIMIT})"
+        )
+    best_config = IndexConfiguration()
+    best_benefit = 0.0
+    for mask in range(1, 1 << len(pool)):
+        chosen = [pool[i] for i in range(len(pool)) if mask & (1 << i)]
+        if sum(c.size_bytes for c in chosen) > budget_bytes:
+            continue
+        config = IndexConfiguration(chosen)
+        benefit = evaluator.benefit(config)
+        if benefit > best_benefit or (
+            benefit == best_benefit
+            and config.size_bytes() < best_config.size_bytes()
+        ):
+            best_config = config
+            best_benefit = benefit
+    return _finish(
+        "exhaustive",
+        best_config,
+        evaluator,
+        budget_bytes,
+        started,
+        calls_before,
+        evals_before,
+    )
+
+
+#: Registry used by the advisor front end.
+ALGORITHMS: Dict[str, Callable] = {
+    "greedy": greedy_search,
+    "greedy_heuristics": greedy_search_with_heuristics,
+    "topdown_lite": top_down_lite,
+    "topdown_full": top_down_full,
+    "dp": dynamic_programming_search,
+    "exhaustive": exhaustive_search,
+}

@@ -1,0 +1,112 @@
+"""What-if analysis: per-statement impact report of a configuration.
+
+Relational design advisors expose a "what-if" interface on top of virtual
+indexes [8, 9]; the paper's Evaluate Indexes mode is exactly that for XML.
+:func:`analyze` packages it for users: for every workload statement it
+reports the cost without the configuration, the cost with it (virtual),
+which indexes the plan would use, and the plan itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import IndexConfiguration
+from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.query.workload import Workload
+
+
+@dataclass
+class StatementImpact:
+    """What-if result for one workload statement."""
+
+    statement_text: str
+    frequency: float
+    cost_before: float
+    cost_after: float
+    used_indexes: Tuple[str, ...]
+    plan_before: str
+    plan_after: str
+
+    @property
+    def benefit(self) -> float:
+        return self.frequency * (self.cost_before - self.cost_after)
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+
+@dataclass
+class WhatIfReport:
+    """What-if results for a whole workload."""
+
+    impacts: List[StatementImpact]
+    index_names: List[str]
+
+    @property
+    def total_benefit(self) -> float:
+        return sum(impact.benefit for impact in self.impacts)
+
+    def unused_indexes(self) -> List[str]:
+        """Indexes in the configuration no statement's plan uses -- dead
+        weight the advisor's heuristics try to avoid."""
+        used = set()
+        for impact in self.impacts:
+            used.update(impact.used_indexes)
+        return [name for name in self.index_names if name not in used]
+
+    def summary(self) -> str:
+        lines = [
+            f"{'freq':>6} {'before':>10} {'after':>10} {'speedup':>8}  indexes used"
+        ]
+        for impact in self.impacts:
+            indexes = ", ".join(impact.used_indexes) or "-"
+            lines.append(
+                f"{impact.frequency:>6.1f} {impact.cost_before:>10.2f} "
+                f"{impact.cost_after:>10.2f} {impact.speedup:>8.2f}  {indexes}"
+            )
+        lines.append(f"total benefit: {self.total_benefit:.2f}")
+        unused = self.unused_indexes()
+        if unused:
+            lines.append(f"unused indexes: {', '.join(unused)}")
+        return "\n".join(lines)
+
+
+def analyze(
+    database,
+    workload: Workload,
+    configuration: IndexConfiguration,
+    optimizer: Optional[Optimizer] = None,
+    name_prefix: str = "whatif",
+) -> WhatIfReport:
+    """Evaluate ``configuration`` statement by statement as virtual
+    indexes; nothing is built."""
+    optimizer = optimizer or Optimizer(database)
+    definitions = [
+        candidate.definition(f"{name_prefix}_{i}", virtual=True)
+        for i, candidate in enumerate(configuration)
+    ]
+    impacts: List[StatementImpact] = []
+    for entry in workload:
+        before = optimizer.optimize(entry.statement, OptimizerMode.EVALUATE, ())
+        after = optimizer.optimize(
+            entry.statement, OptimizerMode.EVALUATE, definitions
+        )
+        impacts.append(
+            StatementImpact(
+                statement_text=entry.statement.describe(),
+                frequency=entry.frequency,
+                cost_before=before.estimated_cost,
+                cost_after=after.estimated_cost,
+                used_indexes=after.used_indexes,
+                plan_before=before.explain(),
+                plan_after=after.explain(),
+            )
+        )
+    return WhatIfReport(
+        impacts=impacts, index_names=[d.name for d in definitions]
+    )

@@ -1,0 +1,40 @@
+"""Experiment drivers for every table and figure of the paper (Section VII).
+
+Each module exposes ``run(...)`` returning plain-dict rows and
+``format_rows(...)`` producing the text table; the benchmark harness under
+``benchmarks/`` calls these and asserts the paper's shape claims, and the
+example scripts print them.
+
+* :mod:`repro.experiments.fig2`   -- estimated speedup vs disk budget.
+* :mod:`repro.experiments.fig3`   -- advisor run time vs disk budget.
+* :mod:`repro.experiments.table3` -- candidate counts before/after
+  generalization on random workloads.
+* :mod:`repro.experiments.table4` -- general vs specific index counts.
+* :mod:`repro.experiments.fig4`   -- generalization to unseen queries
+  (estimated speedup).
+* :mod:`repro.experiments.fig5`   -- the same sweep, actually executed.
+* :mod:`repro.experiments.ablations` -- optimizer-call savings, beta
+  sensitivity, and update-frequency sweeps.
+"""
+
+from repro.experiments import (
+    ablations,
+    accuracy,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ablations",
+    "accuracy",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,145 @@
+"""Ablation drivers: optimizer-call savings, beta sensitivity, update churn."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.advisor import IndexAdvisor
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+OPTIMIZER_CALL_ALGORITHMS = ("greedy_heuristics", "topdown_full")
+DEFAULT_BETAS = (0.0, 0.1, 0.5, 2.0, 10.0)
+DEFAULT_UPDATE_FREQUENCIES = (0.0, 5.0, 50.0, 500.0, 5000.0)
+
+
+def run_optimizer_calls(
+    db: Database,
+    workload: Workload,
+    budget_fraction: float = 0.6,
+    algorithms: Sequence[str] = OPTIMIZER_CALL_ALGORITHMS,
+) -> List[Dict]:
+    """Section VI-C ablation: optimizer calls with the efficient benefit
+    evaluation (affected sets + sub-configurations + cache) vs a naive
+    evaluator that re-optimizes the whole workload every time."""
+    all_size = IndexAdvisor(db, workload).all_index_configuration().size_bytes()
+    budget = int(all_size * budget_fraction)
+    rows: List[Dict] = []
+    for algorithm in algorithms:
+        efficient = IndexAdvisor(db, workload, naive_evaluation=False)
+        efficient.recommend(budget_bytes=budget, algorithm=algorithm)
+        naive = IndexAdvisor(db, workload, naive_evaluation=True)
+        naive.recommend(budget_bytes=budget, algorithm=algorithm)
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "efficient_calls": efficient.optimizer.calls,
+                "naive_calls": naive.optimizer.calls,
+            }
+        )
+    return rows
+
+
+def format_optimizer_calls(rows: List[Dict]) -> str:
+    lines = [
+        "=== Ablation: optimizer calls (efficient vs naive evaluation) ==="
+    ]
+    lines.append(f"{'algorithm':>20} {'efficient':>10} {'naive':>10} {'saving':>8}")
+    for row in rows:
+        saving = 1 - row["efficient_calls"] / row["naive_calls"]
+        lines.append(
+            f"{row['algorithm']:>20} {row['efficient_calls']:>10} "
+            f"{row['naive_calls']:>10} {saving * 100:>7.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def run_beta_sweep(
+    db: Database,
+    workload: Workload,
+    betas: Sequence[float] = DEFAULT_BETAS,
+    budget_factor: float = 3.0,
+) -> List[Dict]:
+    """Section VI-A ablation: sensitivity of greedy-with-heuristics to the
+    beta size-expansion threshold."""
+    all_size = IndexAdvisor(db, workload).all_index_configuration().size_bytes()
+    rows: List[Dict] = []
+    for beta in betas:
+        advisor = IndexAdvisor(db, workload)
+        recommendation = advisor.recommend(
+            budget_bytes=int(budget_factor * all_size),
+            algorithm="greedy_heuristics",
+            beta=beta,
+        )
+        rows.append(
+            {
+                "beta": beta,
+                "generals": recommendation.search.general_count,
+                "specifics": recommendation.search.specific_count,
+                "size": recommendation.search.size_bytes,
+                "speedup": recommendation.estimated_speedup,
+            }
+        )
+    return rows
+
+
+def format_beta_sweep(rows: List[Dict]) -> str:
+    lines = ["=== Ablation: beta sensitivity (greedy with heuristics) ==="]
+    lines.append(f"{'beta':>6} {'G':>3} {'S':>3} {'size':>9} {'speedup':>8}")
+    for row in rows:
+        lines.append(
+            f"{row['beta']:>6.1f} {row['generals']:>3} {row['specifics']:>3} "
+            f"{row['size']:>9} {row['speedup']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def run_update_sweep(
+    db: Database,
+    workload_factory,
+    frequencies: Sequence[float] = DEFAULT_UPDATE_FREQUENCIES,
+    churn_collection: str = "SDOC",
+    budget_factor: float = 2.0,
+) -> List[Dict]:
+    """Section III ablation: maintenance-cost awareness.
+
+    ``workload_factory(frequency)`` must return the workload with update
+    statements at that frequency (0 -> read-only).
+    """
+    base = workload_factory(0.0)
+    all_size = IndexAdvisor(db, base).all_index_configuration().size_bytes()
+    rows: List[Dict] = []
+    for frequency in frequencies:
+        workload = workload_factory(frequency)
+        advisor = IndexAdvisor(db, workload)
+        recommendation = advisor.recommend(
+            budget_bytes=int(budget_factor * all_size),
+            algorithm="greedy_heuristics",
+        )
+        config = recommendation.configuration
+        rows.append(
+            {
+                "frequency": frequency,
+                "indexes": len(config),
+                "churn_collection_indexes": sum(
+                    1 for c in config if c.collection == churn_collection
+                ),
+                "size": recommendation.search.size_bytes,
+                "benefit": recommendation.search.benefit,
+            }
+        )
+    return rows
+
+
+def format_update_sweep(rows: List[Dict]) -> str:
+    lines = ["=== Ablation: update frequency vs recommended configuration ==="]
+    lines.append(
+        f"{'upd freq':>9} {'indexes':>8} {'on churn':>9} {'size':>9} {'benefit':>12}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['frequency']:>9.0f} {row['indexes']:>8} "
+            f"{row['churn_collection_indexes']:>9} {row['size']:>9} "
+            f"{row['benefit']:>12.2f}"
+        )
+    return "\n".join(lines)

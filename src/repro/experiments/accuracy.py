@@ -1,0 +1,135 @@
+"""Cost-estimation accuracy: virtual-index estimates vs real execution.
+
+The paper's tech report [24] validates that costs estimated with *virtual*
+indexes track reality.  We reproduce the check: for each workload query
+and several configurations (none / recommended / All-Index), compare
+
+* the Evaluate-Indexes-mode estimated cost (virtual indexes only), with
+* the really-measured work when the same configuration is physically
+  built (documents examined -- deterministic -- and wall-clock time).
+
+The metric is the Spearman rank correlation across all (query, config)
+pairs: a cost model only needs to *rank* plans correctly for the advisor
+to make good choices.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.advisor import IndexAdvisor
+from repro.optimizer.executor import Executor
+from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+
+def run(db: Database, workload: Workload) -> List[Dict]:
+    """Return one row per (configuration, query): estimated cost and
+    measured docs/time.  Creates and drops real indexes on ``db``."""
+    advisor = IndexAdvisor(db, workload)
+    all_size = advisor.all_index_configuration().size_bytes()
+    configurations = [
+        ("none", None),
+        (
+            "recommended",
+            advisor.recommend(
+                budget_bytes=all_size // 2, algorithm="greedy_heuristics"
+            ).configuration,
+        ),
+        ("all_index", advisor.all_index_configuration()),
+    ]
+    rows: List[Dict] = []
+    for label, configuration in configurations:
+        optimizer = Optimizer(db)
+        created: List[str] = []
+        if configuration is not None:
+            created = advisor.create_configuration(configuration, prefix=label)
+        executor = Executor(db, Optimizer(db))
+        for position, entry in enumerate(workload.queries()):
+            estimate = optimizer.optimize(
+                entry.statement, OptimizerMode.NORMAL
+            ).estimated_cost
+            started = time.perf_counter()
+            result = executor.execute(entry.statement)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "config": label,
+                    "query": position,
+                    "estimated_cost": estimate,
+                    "docs_examined": result.docs_examined,
+                    "seconds": elapsed,
+                }
+            )
+        for name in created:
+            db.drop_index(name)
+        advisor._created_index_names = []
+    return rows
+
+
+def spearman(xs: List[float], ys: List[float]) -> float:
+    """Spearman rank correlation (scipy if available, else by hand)."""
+    try:
+        from scipy import stats
+
+        rho, _ = stats.spearmanr(xs, ys)
+        return float(rho)
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        ranks_x = _ranks(xs)
+        ranks_y = _ranks(ys)
+        n = len(xs)
+        mean = (n + 1) / 2
+        cov = sum((a - mean) * (b - mean) for a, b in zip(ranks_x, ranks_y))
+        var_x = sum((a - mean) ** 2 for a in ranks_x)
+        var_y = sum((b - mean) ** 2 for b in ranks_y)
+        if var_x == 0 or var_y == 0:
+            return 0.0
+        return cov / (var_x * var_y) ** 0.5
+
+
+def _ranks(values: List[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = rank
+        i = j + 1
+    return ranks
+
+
+def correlations(rows: List[Dict]) -> Dict[str, float]:
+    estimated = [row["estimated_cost"] for row in rows]
+    docs = [float(row["docs_examined"]) for row in rows]
+    seconds = [row["seconds"] for row in rows]
+    return {
+        "estimated_vs_docs": spearman(estimated, docs),
+        "estimated_vs_seconds": spearman(estimated, seconds),
+    }
+
+
+def format_rows(rows: List[Dict]) -> str:
+    stats = correlations(rows)
+    lines = ["=== Cost-estimation accuracy (virtual indexes vs reality) ==="]
+    lines.append(
+        f"{'config':>12} {'query':>5} {'est.cost':>10} {'docs':>6} {'ms':>8}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['config']:>12} {row['query']:>5} "
+            f"{row['estimated_cost']:>10.2f} {row['docs_examined']:>6} "
+            f"{row['seconds'] * 1000:>8.2f}"
+        )
+    lines.append(
+        f"Spearman(estimated, docs examined) = {stats['estimated_vs_docs']:.3f}"
+    )
+    lines.append(
+        f"Spearman(estimated, wall clock)    = {stats['estimated_vs_seconds']:.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Figure 3 driver: advisor run time vs disk space budget per algorithm."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.core.advisor import IndexAdvisor
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+ALGORITHMS = ("greedy", "greedy_heuristics", "topdown_lite", "topdown_full")
+DEFAULT_FRACTIONS = (0.3, 0.6, 1.0, 1.5, 3.0)
+
+
+def run(
+    db: Database,
+    workload: Workload,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> List[Dict]:
+    """Measure end-to-end advisor time and optimizer calls per algorithm
+    and budget (cold advisor per cell)."""
+    reference = IndexAdvisor(db, workload)
+    all_size = reference.all_index_configuration().size_bytes()
+    rows: List[Dict] = []
+    for fraction in fractions:
+        budget = int(all_size * fraction)
+        row: Dict = {"budget": budget, "fraction": fraction}
+        for algorithm in algorithms:
+            advisor = IndexAdvisor(db, workload)
+            started = time.perf_counter()
+            recommendation = advisor.recommend(
+                budget_bytes=budget, algorithm=algorithm
+            )
+            elapsed = time.perf_counter() - started
+            row[algorithm] = {
+                "seconds": elapsed,
+                "optimizer_calls": advisor.optimizer.calls,
+                "search_calls": recommendation.search.optimizer_calls,
+            }
+        rows.append(row)
+    return rows
+
+
+def format_rows(rows: List[Dict], algorithms: Sequence[str] = ALGORITHMS) -> str:
+    lines = ["=== Figure 3: Advisor run time vs disk budget ==="]
+    lines.append(
+        f"{'budget':>9} {'frac':>5} "
+        + " ".join(f"{a + ' ms/calls':>26}" for a in algorithms)
+    )
+    for row in rows:
+        cells = " ".join(
+            f"{row[a]['seconds'] * 1000:>16.1f}/{row[a]['optimizer_calls']:<8}"
+            for a in algorithms
+        )
+        lines.append(f"{row['budget']:>9} {row['fraction']:>5.2f} {cells}")
+    return "\n".join(lines)

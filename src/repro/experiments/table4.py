@@ -1,0 +1,50 @@
+"""Table IV driver: general (G) and specific (S) index counts recommended."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.advisor import IndexAdvisor
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+ALGORITHMS = ("topdown_lite", "topdown_full", "greedy_heuristics")
+DEFAULT_FRACTIONS = (0.25, 0.75, 1.5, 4.0)
+
+
+def run(
+    db: Database,
+    workload: Workload,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> List[Dict]:
+    reference = IndexAdvisor(db, workload)
+    all_size = reference.all_index_configuration().size_bytes()
+    rows: List[Dict] = []
+    for fraction in fractions:
+        budget = int(all_size * fraction)
+        row: Dict = {"budget": budget, "fraction": fraction}
+        for algorithm in algorithms:
+            advisor = IndexAdvisor(db, workload)
+            recommendation = advisor.recommend(
+                budget_bytes=budget, algorithm=algorithm
+            )
+            row[algorithm] = (
+                recommendation.search.general_count,
+                recommendation.search.specific_count,
+            )
+        rows.append(row)
+    return rows
+
+
+def format_rows(rows: List[Dict], algorithms: Sequence[str] = ALGORITHMS) -> str:
+    lines = [
+        "=== Table IV: General (G) and specific (S) indexes recommended ==="
+    ]
+    lines.append(
+        f"{'budget':>9} {'frac':>5} " + " ".join(f"{a:>22}" for a in algorithms)
+    )
+    for row in rows:
+        cells = " ".join(f"{'G: %d, S: %d' % row[a]:>22}" for a in algorithms)
+        lines.append(f"{row['budget']:>9} {row['fraction']:>5.2f} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Cost-based XML query optimizer with advisor coupling modes.
+
+This package is the reproduction's stand-in for the DB2 pureXML optimizer
+the paper modifies.  It provides:
+
+* :mod:`repro.optimizer.rewriter` -- rewrite phase exposing indexable path
+  requests (predicates at any step, where clauses).
+* :func:`index_matches_request` -- the index-matching test (type
+  compatibility + XPath pattern containment).
+* :class:`Optimizer` with three modes (:class:`OptimizerMode`): NORMAL
+  planning, the paper's ENUMERATE (virtual ``//*`` universal index) and
+  EVALUATE (virtual configuration costing) extensions.
+* :class:`CostModel` -- statistics-driven cost estimation.
+* :class:`Executor` -- real plan execution for actual-speedup experiments.
+"""
+
+from repro.optimizer.cost import CostConstants, CostModel, IndexAccessEstimate
+from repro.optimizer.executor import ExecutionResult, Executor
+from repro.optimizer.optimizer import (
+    EnumeratedCandidate,
+    OptimizationResult,
+    Optimizer,
+    OptimizerMode,
+    index_matches_request,
+)
+from repro.optimizer.plans import (
+    CollectionScan,
+    Fetch,
+    IndexAnding,
+    IndexOring,
+    IndexScan,
+    PlanNode,
+    used_index_names,
+)
+from repro.optimizer.rewriter import (
+    DisjunctiveRequest,
+    PathRequest,
+    extract_all_requests,
+    extract_disjunctive_requests,
+    extract_path_requests,
+)
+
+__all__ = [
+    "CollectionScan",
+    "CostConstants",
+    "CostModel",
+    "EnumeratedCandidate",
+    "ExecutionResult",
+    "Executor",
+    "Fetch",
+    "IndexAccessEstimate",
+    "DisjunctiveRequest",
+    "IndexAnding",
+    "IndexOring",
+    "IndexScan",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerMode",
+    "PathRequest",
+    "PlanNode",
+    "extract_all_requests",
+    "extract_disjunctive_requests",
+    "extract_path_requests",
+    "index_matches_request",
+    "used_index_names",
+]

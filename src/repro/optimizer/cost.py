@@ -1,0 +1,198 @@
+"""The optimizer's cost model.
+
+The paper defers DB2's XML cost model to [23]; what the advisor needs from
+it is (a) costs that are *sensitive to the index configuration* and (b)
+monotone behaviour (more selective index access -> cheaper plan).  This
+model provides that with explicit, documented constants:
+
+* A collection scan pays a per-document overhead plus a per-node navigation
+  charge -- the no-index baseline.
+* An index scan pays per-level page reads, a per-touched-entry charge, and
+  a per-fetched-document charge for the residual evaluation.  The *index's
+  own* statistics determine how many entries a key condition touches, so a
+  broad (general) index is costlier to probe than a specific one for the
+  same request -- which is exactly the redundancy/interaction behaviour the
+  paper's search heuristics react to.
+* Inserts pay parsing/storage only: like DB2 (Section III), optimizer
+  estimates do NOT include index maintenance; the advisor charges that
+  separately via :mod:`repro.core.maintenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.optimizer.rewriter import PathRequest, RangeRequest
+from repro.storage.catalog import IndexDefinition
+from repro.storage.index import IndexValueType
+from repro.storage.statistics import DataStatistics
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Tunable constants of the cost model (arbitrary time units)."""
+
+    io_page: float = 1.0          # one index page read
+    cpu_node: float = 0.002       # visiting one node during navigation
+    cpu_entry: float = 0.004      # scanning one index entry
+    doc_overhead: float = 0.4     # locating + pinning one document
+    doc_fetch: float = 0.6        # fetching one candidate document
+    residual_factor: float = 0.5  # fraction of a doc navigated post-fetch
+    output_row: float = 0.01      # producing one result row
+    delete_doc: float = 1.5       # unlinking one document
+    insert_doc: float = 1.0       # storing one document
+
+
+@dataclass(frozen=True)
+class IndexAccessEstimate:
+    """Cost pieces for answering one request through one index."""
+
+    definition: IndexDefinition
+    request: PathRequest
+    scan_cost: float          # levels + entry scanning (no fetch)
+    candidate_docs: float     # docs the scan leaves to fetch
+    touched_entries: float
+
+    @property
+    def doc_selectivity(self) -> float:
+        return self.candidate_docs
+
+
+class CostModel:
+    """Cost estimation against one collection's statistics."""
+
+    def __init__(
+        self, statistics: DataStatistics, constants: Optional[CostConstants] = None
+    ) -> None:
+        self.stats = statistics
+        self.constants = constants or CostConstants()
+
+    # ------------------------------------------------------------------
+    # Base quantities
+    # ------------------------------------------------------------------
+    @property
+    def doc_count(self) -> int:
+        return max(1, self.stats.doc_count)
+
+    @property
+    def avg_nodes_per_doc(self) -> float:
+        return self.stats.total_nodes / self.doc_count
+
+    # ------------------------------------------------------------------
+    # Operator costs
+    # ------------------------------------------------------------------
+    def collection_scan_cost(self) -> float:
+        """Full scan: every document opened and fully navigated."""
+        c = self.constants
+        return self.doc_count * (c.doc_overhead + self.avg_nodes_per_doc * c.cpu_node)
+
+    def index_access(
+        self, definition: IndexDefinition, request: PathRequest
+    ) -> IndexAccessEstimate:
+        """Estimate probing ``definition`` for ``request``.
+
+        Touched entries are estimated against the *index's* pattern: a key
+        condition on a broad index touches matching keys from every path
+        the index covers, not only the request's path.  Entries from other
+        paths are filtered *inside* the index (DB2 XML index keys carry a
+        path id), so they cost entry CPU but do not inflate the documents
+        left to fetch -- those follow the request's own cardinality.
+        """
+        c = self.constants
+        index_stats = self.stats.derive_index_statistics(
+            definition.pattern, definition.value_type
+        )
+        if isinstance(request, RangeRequest):
+            selectivity = self.interval_selectivity(
+                definition.pattern, request, definition.value_type
+            )
+            touched = index_stats.entry_count * selectivity
+            matching_docs = min(
+                self.stats.document_frequency(request.pattern),
+                self.stats.cardinality(request.pattern, None, None)
+                * self.interval_selectivity(request.pattern, request),
+            )
+        elif request.is_comparison:
+            selectivity = self.stats.selectivity(
+                definition.pattern,
+                request.op,
+                request.literal,
+                definition.value_type,
+            )
+            touched = index_stats.entry_count * selectivity
+            matching_docs = self.stats.document_frequency(
+                request.pattern, request.op, request.literal
+            )
+        else:
+            # Structural/existence use: the whole index is scanned.
+            touched = float(index_stats.entry_count)
+            matching_docs = self.stats.document_frequency(request.pattern)
+        candidate_docs = min(float(self.doc_count), touched, matching_docs)
+        scan_cost = index_stats.levels * c.io_page + touched * c.cpu_entry
+        return IndexAccessEstimate(
+            definition=definition,
+            request=request,
+            scan_cost=scan_cost,
+            candidate_docs=candidate_docs,
+            touched_entries=touched,
+        )
+
+    def fetch_cost(self, docs: float) -> float:
+        """Fetching ``docs`` candidate documents and finishing the query on
+        each (residual predicates + result construction)."""
+        c = self.constants
+        per_doc = c.doc_fetch + self.avg_nodes_per_doc * c.cpu_node * c.residual_factor
+        return docs * per_doc
+
+    def anded_docs(self, candidate_doc_counts: list) -> float:
+        """Expected docs surviving an intersection of index-scan outputs,
+        assuming independence of the conditions."""
+        docs = float(self.doc_count)
+        fraction = 1.0
+        for count in candidate_doc_counts:
+            fraction *= min(1.0, count / docs)
+        return docs * fraction
+
+    def output_cost(self, rows: float) -> float:
+        return rows * self.constants.output_row
+
+    def insert_cost(self, node_count: float) -> float:
+        """Parsing + storing a document; indexes NOT included (DB2
+        behaviour per Section III -- the advisor charges mc separately)."""
+        c = self.constants
+        return c.insert_doc + node_count * c.cpu_node
+
+    def delete_docs_cost(self, docs: float) -> float:
+        return docs * self.constants.delete_doc
+
+    # ------------------------------------------------------------------
+    # Cardinalities
+    # ------------------------------------------------------------------
+    def interval_selectivity(
+        self,
+        pattern,
+        interval: RangeRequest,
+        value_type: Optional[IndexValueType] = None,
+    ) -> float:
+        """Fraction of a pattern's entries inside a two-sided interval,
+        composed from the one-sided selectivities."""
+        hi_op = "<=" if interval.high_inclusive else "<"
+        lo_op = "<" if interval.low_inclusive else "<="
+        sel_hi = self.stats.selectivity(pattern, hi_op, interval.high, value_type)
+        sel_lo = self.stats.selectivity(pattern, lo_op, interval.low, value_type)
+        return max(0.0, sel_hi - sel_lo)
+
+    def request_result_docs(self, request) -> float:
+        """Expected documents containing a node satisfying the request."""
+        if isinstance(request, RangeRequest):
+            card = min(
+                self.stats.document_frequency(request.pattern),
+                self.stats.cardinality(request.pattern, None, None)
+                * self.interval_selectivity(request.pattern, request),
+            )
+        else:
+            card = self.stats.document_frequency(
+                request.pattern, request.op, request.literal
+            )
+        return min(float(self.doc_count), card)

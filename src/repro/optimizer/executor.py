@@ -1,0 +1,393 @@
+"""Plan execution against the real database.
+
+Used for the paper's *actual speedup* measurements (Figure 5): the advisor
+recommends a configuration, the indexes are physically created, and the
+workload is executed and timed both ways.  Virtual indexes are invisible
+here -- execution only ever touches built indexes (Section III: "the
+virtual indexes cannot be used for query execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptimizerMode
+from repro.optimizer.plans import (
+    CollectionScan,
+    Fetch,
+    IndexAnding,
+    IndexOring,
+    IndexScan,
+    PlanNode,
+)
+from repro.query.model import (
+    DeleteStatement,
+    InsertStatement,
+    JoinQuery,
+    Query,
+    Statement,
+    WhereClause,
+)
+from repro.xmlmodel.nodes import XmlDocument, XmlNode
+from repro.xpath.ast import Literal
+from repro.xpath.evaluator import compare_value, evaluate_path
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one statement.
+
+    ``index_entries_scanned`` counts the index entries the plan's scans
+    touched -- together with ``docs_examined`` it is the deterministic
+    "work" metric the accuracy experiments correlate against estimates.
+    """
+
+    statement: Statement
+    rows: int
+    docs_examined: int
+    used_indexes: Tuple[str, ...] = ()
+    index_entries_scanned: int = 0
+    output: List[str] = field(default_factory=list)
+
+
+class Executor:
+    """Executes statements using the plans the optimizer picks."""
+
+    def __init__(self, database, optimizer: Optional[Optimizer] = None) -> None:
+        self.database = database
+        self.optimizer = optimizer or Optimizer(database)
+        self._entries_scanned = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, statement: Statement, collect_output: bool = False) -> ExecutionResult:
+        """Optimize and run one statement."""
+        self._entries_scanned = 0
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        result = self.optimizer.optimize(statement, OptimizerMode.NORMAL)
+        if isinstance(statement, JoinQuery):
+            return self._execute_join(statement, result, collect_output)
+        if isinstance(statement, Query):
+            return self._execute_query(statement, result, collect_output)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement, result)
+        raise TypeError(f"unknown statement type {type(statement)!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _execute_query(
+        self, query: Query, optimized: OptimizationResult, collect_output: bool
+    ) -> ExecutionResult:
+        doc_ids = self._candidate_doc_ids(optimized.plan, query.collection)
+        collection = self.database.collection(query.collection)
+        rows = 0
+        docs_examined = 0
+        output: List[str] = []
+        if doc_ids is None:
+            documents = list(collection)
+        else:
+            documents = []
+            for doc_id in sorted(doc_ids):
+                try:
+                    documents.append(collection.get(doc_id))
+                except KeyError:
+                    continue
+        for document in documents:
+            docs_examined += 1
+            for node in _binding_nodes(document, query):
+                rows += 1
+                if collect_output:
+                    output.append(_render_result(node, query))
+                else:
+                    # Materialize return paths for realistic work.
+                    for path in query.return_paths:
+                        for target in evaluate_path(node, path):
+                            target.string_value()
+        return ExecutionResult(
+            statement=query,
+            rows=rows,
+            docs_examined=docs_examined,
+            used_indexes=optimized.used_indexes,
+            index_entries_scanned=self._entries_scanned,
+            output=output,
+        )
+
+    def _candidate_doc_ids(
+        self, plan: Optional[PlanNode], collection: str
+    ) -> Optional[Set[int]]:
+        """Doc ids surviving the index legs, or ``None`` for a full scan."""
+        if plan is None:
+            return None
+        source = plan.source if isinstance(plan, Fetch) else plan
+        if isinstance(source, CollectionScan):
+            return None
+        if isinstance(source, (IndexScan, IndexOring)):
+            return self._leg_doc_ids(source)
+        if isinstance(source, IndexAnding):
+            doc_ids: Optional[Set[int]] = None
+            for leg in source.scans:
+                ids = self._leg_doc_ids(leg)
+                doc_ids = ids if doc_ids is None else (doc_ids & ids)
+                if not doc_ids:
+                    return set()
+            return doc_ids if doc_ids is not None else set()
+        return None
+
+    def _leg_doc_ids(self, leg: PlanNode) -> Set[int]:
+        if isinstance(leg, IndexScan):
+            return self._scan_doc_ids(leg)
+        if isinstance(leg, IndexOring):
+            union: Set[int] = set()
+            for scan in leg.scans:
+                union |= self._scan_doc_ids(scan)
+            return union
+        raise TypeError(f"unexpected plan leg {type(leg)!r}")
+
+    def _scan_doc_ids(self, scan: IndexScan) -> Set[int]:
+        index = self.database.index(scan.definition.name)
+        request = scan.request
+        entries = index.request_on_pattern(request, request.pattern)
+        self._entries_scanned += len(entries)
+        return {doc_id for doc_id, _ in entries}
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _execute_join(
+        self,
+        statement: JoinQuery,
+        optimized: OptimizationResult,
+        collect_output: bool,
+    ) -> ExecutionResult:
+        """Run the oriented join plan: materialize the outer side's rows
+        and their key sets, resolve the inner side via index probes or a
+        one-pass hash build, and pair rows on non-empty key intersection."""
+        from repro.optimizer.plans import NestedLoopJoin
+
+        plan = optimized.plan
+        if not isinstance(plan, NestedLoopJoin):  # pragma: no cover - defensive
+            raise TypeError("join statement produced a non-join plan")
+        variant = plan.join_query
+        outer_query, inner_query = variant.left, variant.right
+
+        docs_examined = 0
+        outer_rows = []  # (node, frozenset of key strings)
+        outer_doc_ids = self._candidate_doc_ids(plan.outer, outer_query.collection)
+        outer_collection = self.database.collection(outer_query.collection)
+        if outer_doc_ids is None:
+            outer_documents = list(outer_collection)
+        else:
+            outer_documents = []
+            for doc_id in sorted(outer_doc_ids):
+                try:
+                    outer_documents.append(outer_collection.get(doc_id))
+                except KeyError:
+                    continue
+        for document in outer_documents:
+            docs_examined += 1
+            for node in _binding_nodes(document, outer_query):
+                keys = _join_keys(node, variant.left_join_path)
+                if keys:
+                    outer_rows.append((node, keys))
+
+        inner_collection = self.database.collection(inner_query.collection)
+        pairs = []  # (outer node, inner node)
+        use_index = (
+            plan.inner_index is not None
+            and plan.inner_index.definition.name in self.database.indexes
+        )
+        if use_index:
+            index = self.database.index(plan.inner_index.definition.name)
+            request = plan.inner_index.request
+            probed_docs: dict = {}
+            for outer_node, keys in outer_rows:
+                matches = []
+                for key in keys:
+                    hits = index.lookup_op_on_pattern(
+                        "=", Literal(key), request.pattern
+                    )
+                    self._entries_scanned += len(hits)
+                    for doc_id, __ in hits:
+                        if doc_id not in probed_docs:
+                            try:
+                                document = inner_collection.get(doc_id)
+                            except KeyError:
+                                probed_docs[doc_id] = []
+                                continue
+                            docs_examined += 1
+                            probed_docs[doc_id] = [
+                                (n, _join_keys(n, variant.right_join_path))
+                                for n in _binding_nodes(document, inner_query)
+                            ]
+                        matches.extend(probed_docs[doc_id])
+                seen = set()
+                for inner_node, inner_keys in matches:
+                    if id(inner_node) in seen:
+                        continue
+                    if keys & inner_keys:
+                        seen.add(id(inner_node))
+                        pairs.append((outer_node, inner_node))
+        else:
+            by_key: dict = {}
+            for document in inner_collection:
+                docs_examined += 1
+                for node in _binding_nodes(document, inner_query):
+                    node_keys = _join_keys(node, variant.right_join_path)
+                    for key in node_keys:
+                        by_key.setdefault(key, []).append((node, node_keys))
+            for outer_node, keys in outer_rows:
+                seen = set()
+                for key in keys:
+                    for inner_node, inner_keys in by_key.get(key, ()):  # noqa: B020
+                        if id(inner_node) not in seen:
+                            seen.add(id(inner_node))
+                            pairs.append((outer_node, inner_node))
+
+        output: List[str] = []
+        if collect_output:
+            # render in the ORIGINAL statement's side order, regardless of
+            # which orientation the optimizer chose to drive
+            swapped = variant.left is not statement.left
+            for outer_node, inner_node in pairs:
+                outer_bits = _render_result(outer_node, outer_query)
+                inner_bits = _render_result(inner_node, inner_query)
+                if swapped:
+                    output.append(f"{inner_bits} | {outer_bits}")
+                else:
+                    output.append(f"{outer_bits} | {inner_bits}")
+        return ExecutionResult(
+            statement=statement,
+            rows=len(pairs),
+            docs_examined=docs_examined,
+            used_indexes=optimized.used_indexes,
+            index_entries_scanned=self._entries_scanned,
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def _execute_insert(self, statement: InsertStatement) -> ExecutionResult:
+        if not statement.document_text:
+            raise ValueError("insert statement has no document to insert")
+        self.database.insert_document(statement.collection, statement.document_text)
+        return ExecutionResult(statement=statement, rows=1, docs_examined=0)
+
+    def _execute_delete(
+        self, statement: DeleteStatement, optimized: OptimizationResult
+    ) -> ExecutionResult:
+        doc_ids = self._candidate_doc_ids(optimized.plan, statement.collection)
+        collection = self.database.collection(statement.collection)
+        if doc_ids is None:
+            candidates = [d.doc_id for d in collection]
+        else:
+            candidates = sorted(doc_ids)
+        victims: List[int] = []
+        docs_examined = 0
+        for doc_id in candidates:
+            try:
+                document = collection.get(doc_id)
+            except KeyError:
+                continue
+            docs_examined += 1
+            if _delete_matches(document, statement):
+                victims.append(doc_id)
+        for doc_id in victims:
+            self.database.delete_document(statement.collection, doc_id)
+        return ExecutionResult(
+            statement=statement,
+            rows=len(victims),
+            docs_examined=docs_examined,
+            used_indexes=optimized.used_indexes,
+            index_entries_scanned=self._entries_scanned,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-document statement evaluation
+# ---------------------------------------------------------------------------
+
+def _join_keys(node: XmlNode, join_path) -> frozenset:
+    """The string values a binding node exposes under the join path."""
+    return frozenset(
+        target.string_value() for target in evaluate_path(node, join_path)
+    )
+
+
+def _binding_nodes(document: XmlDocument, query: Query) -> List[XmlNode]:
+    """Binding-variable nodes of ``query`` in ``document`` that satisfy all
+    where clauses."""
+    nodes = evaluate_path(document, query.binding_path)
+    if not query.where:
+        return nodes
+    return [
+        node
+        for node in nodes
+        if all(_clause_holds(node, clause) for clause in query.where)
+    ]
+
+
+def _clause_holds(node: XmlNode, clause: WhereClause) -> bool:
+    if clause.path.steps:
+        targets = evaluate_path(node, clause.path)
+    else:
+        targets = [node]
+    if not clause.is_comparison:
+        return bool(targets)
+    return any(
+        compare_value(t.typed_value(), clause.op, clause.literal) for t in targets
+    )
+
+
+def _delete_matches(document: XmlDocument, statement: DeleteStatement) -> bool:
+    targets = evaluate_path(document, statement.selector_path)
+    if statement.op is None:
+        return bool(targets)
+    return any(
+        compare_value(t.typed_value(), statement.op, statement.literal)
+        for t in targets
+    )
+
+
+def _render_result(node: XmlNode, query: Query) -> str:
+    pieces = []
+    for aggregate in query.aggregates:
+        pieces.append(_format_number(_evaluate_aggregate(node, aggregate)))
+    for path in query.return_paths:
+        for target in evaluate_path(node, path):
+            pieces.append(target.string_value())
+    if not pieces and not query.return_paths and not query.aggregates:
+        return node.string_value()
+    return " | ".join(pieces)
+
+
+def _evaluate_aggregate(node: XmlNode, aggregate) -> float:
+    """Compute one aggregate over the nodes the path reaches from the
+    binding node.  Non-numeric values are skipped for sum/min/max/avg."""
+    targets = (
+        evaluate_path(node, aggregate.path) if aggregate.path.steps else [node]
+    )
+    if aggregate.function == "count":
+        return float(len(targets))
+    values = []
+    for target in targets:
+        typed = target.typed_value()
+        if isinstance(typed, float):
+            values.append(typed)
+    if not values:
+        return 0.0
+    if aggregate.function == "sum":
+        return sum(values)
+    if aggregate.function == "min":
+        return min(values)
+    if aggregate.function == "max":
+        return max(values)
+    return sum(values) / len(values)  # avg
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"

@@ -1,0 +1,155 @@
+"""Physical plan operators.
+
+Plans are small trees assembled by the optimizer:
+
+* ``CollectionScan`` -- navigate every document of the collection.
+* ``IndexScan`` -- probe one path index with a key condition (or scan it
+  fully for a structural/existence request).
+* ``IndexAnding`` -- intersect the document-id sets of several index scans
+  (DB2-style index ANDing).
+* ``Fetch`` -- fetch the surviving documents and evaluate the full
+  statement on each (residual predicates, return expressions).
+
+Every node carries its estimated cost pieces so EXPLAIN output can show
+where the optimizer thinks time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.optimizer.rewriter import PathRequest
+from repro.storage.catalog import IndexDefinition
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan operators."""
+
+    estimated_cost: float = field(default=0.0, init=False)
+    estimated_docs: float = field(default=0.0, init=False)
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def label(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        """Readable EXPLAIN rendering of the plan subtree."""
+        pad = "  " * depth
+        line = (
+            f"{pad}{self.label()}"
+            f"  [cost={self.estimated_cost:.2f} docs={self.estimated_docs:.1f}]"
+        )
+        return "\n".join([line] + [c.explain(depth + 1) for c in self.children()])
+
+
+@dataclass
+class CollectionScan(PlanNode):
+    """Navigate every document in the collection."""
+
+    collection: str
+
+    def label(self) -> str:
+        return f"COLLECTION SCAN {self.collection}"
+
+
+@dataclass
+class IndexScan(PlanNode):
+    """Probe one index for a path request."""
+
+    definition: IndexDefinition
+    request: PathRequest
+
+    def label(self) -> str:
+        return f"INDEX SCAN {self.definition.name} ({self.request})"
+
+
+@dataclass
+class IndexAnding(PlanNode):
+    """Intersect doc-id sets produced by several index legs (each leg an
+    :class:`IndexScan` or an :class:`IndexOring`)."""
+
+    scans: List[PlanNode]
+
+    def children(self) -> List[PlanNode]:
+        return list(self.scans)
+
+    def label(self) -> str:
+        return f"IXAND ({len(self.scans)} legs)"
+
+
+@dataclass
+class IndexOring(PlanNode):
+    """Union doc-id sets of several index scans -- serves a disjunctive
+    predicate (``[a=1 or b=2]``) when every alternative has an index."""
+
+    scans: List[IndexScan]
+
+    def children(self) -> List[PlanNode]:
+        return list(self.scans)
+
+    def label(self) -> str:
+        return f"IXOR ({len(self.scans)} branches)"
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """A two-collection join: drive the outer side's plan, then resolve
+    the inner side either by probing a join-key index per outer row
+    (``strategy == "index-nlj"``) or by scanning the inner collection once
+    and hashing it (``strategy == "hash"``).
+
+    ``join_query`` is the *oriented* :class:`repro.query.model.JoinQuery`
+    (its ``left`` is this plan's outer side).
+    """
+
+    outer: PlanNode
+    inner_collection: str
+    strategy: str  # "index-nlj" | "hash"
+    join_query: object
+    inner_index: Optional[IndexScan] = None
+
+    def children(self) -> List[PlanNode]:
+        nodes: List[PlanNode] = [self.outer]
+        if self.inner_index is not None:
+            nodes.append(self.inner_index)
+        return nodes
+
+    def label(self) -> str:
+        how = (
+            f"probe {self.inner_index.definition.name}"
+            if self.inner_index is not None
+            else "hash"
+        )
+        return f"NLJOIN {self.inner_collection} ({self.strategy}: {how})"
+
+
+@dataclass
+class Fetch(PlanNode):
+    """Fetch candidate documents and finish the statement on each."""
+
+    source: PlanNode
+    collection: str
+
+    def children(self) -> List[PlanNode]:
+        return [self.source]
+
+    def label(self) -> str:
+        return f"FETCH {self.collection}"
+
+
+def used_index_names(plan: PlanNode) -> Tuple[str, ...]:
+    """Names of all indexes referenced anywhere in the plan."""
+    names: List[str] = []
+
+    def visit(node: PlanNode) -> None:
+        if isinstance(node, IndexScan):
+            names.append(node.definition.name)
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return tuple(names)

@@ -1,0 +1,37 @@
+"""Query layer: statement model, mini-XQuery parser, and workloads.
+
+The paper's workloads are XQuery statements (FLWOR expressions over
+collections, e.g. the TPoX queries Q1/Q2 in Section III) plus
+update/insert/delete statements whose index-maintenance cost the advisor
+must charge.  This package models them:
+
+* :class:`Query` -- a FLWOR query: a collection, an absolute binding path
+  (predicates allowed), conjunctive where clauses, and return paths.
+* :class:`InsertStatement` / :class:`DeleteStatement` -- data modification.
+* :func:`parse_statement` -- text front end for all of the above.
+* :class:`Workload` -- statements with frequencies.
+"""
+
+from repro.query.model import (
+    DeleteStatement,
+    InsertStatement,
+    Query,
+    Statement,
+    StatementKind,
+    WhereClause,
+)
+from repro.query.parser import QuerySyntaxError, parse_statement
+from repro.query.workload import Workload, WorkloadEntry
+
+__all__ = [
+    "DeleteStatement",
+    "InsertStatement",
+    "Query",
+    "QuerySyntaxError",
+    "Statement",
+    "StatementKind",
+    "WhereClause",
+    "Workload",
+    "WorkloadEntry",
+    "parse_statement",
+]

@@ -1,0 +1,96 @@
+"""Workloads: statements with frequencies.
+
+The paper's benefit formula weights each unique statement by its frequency
+of occurrence in the workload (Section III):
+
+    Benefit(x1..xn; W) = sum_s freq_s * (s_old - s_new) - sum_i mc(x_i, s)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.query.model import Statement
+from repro.query.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One unique statement and its frequency."""
+
+    statement: Statement
+    frequency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+
+class Workload:
+    """An ordered set of workload entries."""
+
+    def __init__(self, entries: Iterable[WorkloadEntry] = ()) -> None:
+        self.entries: List[WorkloadEntry] = list(entries)
+
+    @classmethod
+    def from_statements(
+        cls,
+        statements: Sequence[Union[str, Statement]],
+        frequencies: Sequence[float] = (),
+    ) -> "Workload":
+        """Build a workload from statement texts or objects.
+
+        ``frequencies`` (if given) must parallel ``statements``.
+        """
+        if frequencies and len(frequencies) != len(statements):
+            raise ValueError("frequencies must parallel statements")
+        entries = []
+        for position, statement in enumerate(statements):
+            if isinstance(statement, str):
+                statement = parse_statement(statement)
+            freq = frequencies[position] if frequencies else 1.0
+            entries.append(WorkloadEntry(statement, freq))
+        return cls(entries)
+
+    def add(self, statement: Union[str, Statement], frequency: float = 1.0) -> None:
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        self.entries.append(WorkloadEntry(statement, frequency))
+
+    def queries(self) -> List[WorkloadEntry]:
+        """Entries that are read-only queries (including joins)."""
+        from repro.query.model import JoinQuery, Query
+
+        return [
+            e
+            for e in self.entries
+            if isinstance(e.statement, (Query, JoinQuery))
+        ]
+
+    def updates(self) -> List[WorkloadEntry]:
+        """Entries that modify data (insert/delete)."""
+        from repro.query.model import JoinQuery, Query
+
+        return [
+            e
+            for e in self.entries
+            if not isinstance(e.statement, (Query, JoinQuery))
+        ]
+
+    def subset(self, count: int) -> "Workload":
+        """The first ``count`` entries (training-prefix experiments,
+        Figures 4 and 5)."""
+        return Workload(self.entries[:count])
+
+    def __iter__(self) -> Iterator[WorkloadEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __add__(self, other: "Workload") -> "Workload":
+        return Workload(self.entries + other.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {len(self.entries)} entries>"

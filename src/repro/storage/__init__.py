@@ -1,0 +1,38 @@
+"""Storage substrate: document collections, XML path indexes, statistics.
+
+This plays the role of DB2 pureXML's storage layer in the reproduction:
+
+* :class:`Collection` / :class:`Database` -- named collections of XML
+  documents (the analogue of XML-typed columns of tables).
+* :class:`PathIndex` -- a *partial* XML index whose contents are the nodes
+  reachable by a linear XPath index pattern, with typed keys
+  (:class:`IndexValueType`) supporting equality and range lookups.
+* :class:`DataStatistics` -- the RUNSTATS equivalent: per-rooted-path node
+  counts and value summaries, from which statistics for *virtual* indexes
+  are derived without building them (Section III of the paper).
+* :class:`Catalog` -- the database catalog tracking real and virtual index
+  definitions.
+"""
+
+from repro.storage.catalog import Catalog, IndexDefinition
+from repro.storage.database import Collection, Database
+from repro.storage.index import IndexValueType, PathIndex
+from repro.storage.statistics import (
+    DataStatistics,
+    IndexStatistics,
+    PathValueSummary,
+    collect_statistics,
+)
+
+__all__ = [
+    "Catalog",
+    "Collection",
+    "Database",
+    "DataStatistics",
+    "IndexDefinition",
+    "IndexStatistics",
+    "IndexValueType",
+    "PathIndex",
+    "PathValueSummary",
+    "collect_statistics",
+]

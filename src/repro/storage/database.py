@@ -1,0 +1,178 @@
+"""Document collections and the database object.
+
+A :class:`Database` holds named :class:`Collection` objects (the analogue of
+DB2 tables with one XML-typed column), the :class:`~repro.storage.catalog.Catalog`
+of index definitions, built real indexes, and cached data statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.storage.catalog import Catalog, IndexDefinition
+from repro.storage.index import PathIndex
+from repro.storage.statistics import DataStatistics, collect_statistics
+from repro.xmlmodel.nodes import XmlDocument, XmlNode
+from repro.xmlmodel.parser import parse_document
+
+
+class Collection:
+    """A named collection of XML documents.
+
+    Documents receive dense ids on insertion; ``documents[doc_id]`` may be
+    ``None`` after a deletion (ids are never reused, like RIDs).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.documents: List[Optional[XmlDocument]] = []
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, document: XmlDocument) -> int:
+        """Insert a parsed document, assign it an id, and return the id."""
+        doc_id = len(self.documents)
+        document.doc_id = doc_id
+        self.documents.append(document)
+        self._live_count += 1
+        return doc_id
+
+    def insert_xml(self, text: str) -> int:
+        """Parse ``text`` and insert the resulting document."""
+        return self.insert(parse_document(text))
+
+    def insert_tree(self, root: XmlNode) -> int:
+        """Wrap a built node tree in a document and insert it."""
+        return self.insert(XmlDocument(root))
+
+    def delete(self, doc_id: int) -> XmlDocument:
+        """Delete the document with ``doc_id`` and return it."""
+        document = self.get(doc_id)
+        self.documents[doc_id] = None
+        self._live_count -= 1
+        return document
+
+    def get(self, doc_id: int) -> XmlDocument:
+        """Return the live document with ``doc_id``."""
+        if not 0 <= doc_id < len(self.documents):
+            raise KeyError(f"no document {doc_id} in collection {self.name!r}")
+        document = self.documents[doc_id]
+        if document is None:
+            raise KeyError(
+                f"document {doc_id} in collection {self.name!r} was deleted"
+            )
+        return document
+
+    def __iter__(self) -> Iterator[XmlDocument]:
+        """Iterate over live documents."""
+        return (d for d in self.documents if d is not None)
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def total_nodes(self) -> int:
+        return sum(d.node_count() for d in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Collection {self.name!r} docs={len(self)}>"
+
+
+class Database:
+    """An XML database: collections + catalog + indexes + statistics."""
+
+    def __init__(self, name: str = "xmldb") -> None:
+        self.name = name
+        self.collections: Dict[str, Collection] = {}
+        self.catalog = Catalog()
+        self.indexes: Dict[str, PathIndex] = {}
+        self._statistics: Dict[str, DataStatistics] = {}
+
+    # ------------------------------------------------------------------
+    # Collections
+    # ------------------------------------------------------------------
+    def create_collection(self, name: str) -> Collection:
+        """Create and register an empty collection."""
+        if name in self.collections:
+            raise ValueError(f"collection {name!r} already exists")
+        collection = Collection(name)
+        self.collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        if name not in self.collections:
+            raise KeyError(f"unknown collection {name!r}")
+        return self.collections[name]
+
+    def insert_document(self, collection_name: str, text: str) -> int:
+        """Insert XML text into a collection, maintaining real indexes."""
+        collection = self.collection(collection_name)
+        doc_id = collection.insert_xml(text)
+        document = collection.get(doc_id)
+        for index in self._indexes_on(collection_name):
+            index.insert_document(document)
+        self.invalidate_statistics(collection_name)
+        return doc_id
+
+    def delete_document(self, collection_name: str, doc_id: int) -> None:
+        """Delete a document from a collection, maintaining real indexes."""
+        collection = self.collection(collection_name)
+        document = collection.delete(doc_id)
+        for index in self._indexes_on(collection_name):
+            index.remove_document(document)
+        self.invalidate_statistics(collection_name)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, definition: IndexDefinition) -> PathIndex:
+        """Create a *real* index: register it and bulk-build its entries."""
+        self.catalog.add(definition)
+        index = PathIndex(definition)
+        index.bulk_load(self.collection(definition.collection))
+        self.indexes[definition.name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        self.catalog.remove(name)
+        self.indexes.pop(name, None)
+
+    def drop_all_indexes(self) -> None:
+        for name in [d.name for d in self.catalog.all_definitions()]:
+            self.drop_index(name)
+
+    def _indexes_on(self, collection_name: str) -> Iterable[PathIndex]:
+        return (
+            idx
+            for idx in self.indexes.values()
+            if idx.definition.collection == collection_name
+        )
+
+    def index(self, name: str) -> PathIndex:
+        if name not in self.indexes:
+            raise KeyError(f"no built index named {name!r}")
+        return self.indexes[name]
+
+    # ------------------------------------------------------------------
+    # Statistics (RUNSTATS)
+    # ------------------------------------------------------------------
+    def runstats(self, collection_name: str) -> DataStatistics:
+        """Collect (or return cached) data statistics for a collection.
+
+        This mirrors DB2's RUNSTATS command: one pass over the data
+        producing per-path counts and value summaries.  Virtual index
+        statistics are *derived* from these, never from index contents.
+        """
+        if collection_name not in self._statistics:
+            self._statistics[collection_name] = collect_statistics(
+                self.collection(collection_name)
+            )
+        return self._statistics[collection_name]
+
+    def invalidate_statistics(self, collection_name: str) -> None:
+        self._statistics.pop(collection_name, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Database {self.name!r} collections={list(self.collections)} "
+            f"indexes={len(self.indexes)}>"
+        )

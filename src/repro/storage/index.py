@@ -1,0 +1,311 @@
+"""Partial XML path indexes.
+
+A :class:`PathIndex` materializes the set of nodes reachable by a linear
+XPath index pattern.  Each entry is ``(key, doc_id, node_id)`` where ``key``
+is the node's typed value -- so the index doubles as a *value* index
+(equality and range lookups over keys) and a *structural* index (all entries
+for a pattern regardless of key).  Entries are kept sorted, giving
+logarithmic lookups via bisection; this models a B+-tree without paging.
+
+Typed keys mirror DB2 pureXML: a NUMERIC (``AS SQL DOUBLE``) index only
+contains nodes whose value parses as a number; a STRING (``AS SQL VARCHAR``)
+index keys every matched node by its string value.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
+from repro.xpath.ast import Literal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.catalog import IndexDefinition
+
+#: Assumed B+-tree page fanout for level estimation.
+BTREE_FANOUT = 256
+#: Fixed per-entry overhead: doc id + node id + slot bookkeeping.
+ENTRY_OVERHEAD_BYTES = 20
+#: Storage bytes for a numeric key.
+NUMERIC_KEY_BYTES = 8
+#: Page/fill-factor expansion applied to raw entry bytes.
+SIZE_EXPANSION = 1.3
+
+
+class IndexValueType(enum.Enum):
+    """Key type of a value index (DB2 ``AS SQL`` clause)."""
+
+    STRING = "string"
+    NUMERIC = "numerical"
+
+    def compatible_with(self, other: "IndexValueType") -> bool:
+        """Whether two candidates may be generalized together (Section V:
+        'Candidate C3 cannot be generalized with either C1 or C2 because it
+        is of a different data type')."""
+        return self is other
+
+
+class PathIndex:
+    """A built (real) partial XML index.
+
+    Entries are ``(key, doc_id, node_id, tag_path)`` tuples sorted by key,
+    then doc, then node.  Numeric indexes hold ``float`` keys; string
+    indexes hold ``str`` keys.  The rooted tag path is stored with each
+    entry (DB2 XML index keys carry a path id the same way), which lets a
+    scan over a broad index filter out entries from paths the query's
+    pattern does not reach *before* fetching documents.
+    """
+
+    def __init__(self, definition: "IndexDefinition") -> None:
+        self.definition = definition
+        self.entries: List[Tuple[object, int, int, Tuple[str, ...]]] = []
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert_document(self, document: XmlDocument) -> int:
+        """Index all nodes of ``document`` matching the pattern.  Returns
+        the number of entries added."""
+        added = 0
+        for node, tag_path in _walk_with_paths(document):
+            if not self.definition.pattern.matches(tag_path):
+                continue
+            key = self._key_for(node)
+            if key is None:
+                continue
+            bisect.insort(
+                self.entries, (key, document.doc_id, node.node_id, tag_path)
+            )
+            added += 1
+        return added
+
+    def bulk_load(self, documents) -> int:
+        """Build the index over many documents with one final sort
+        (O(n log n) instead of per-entry insertion).  Returns the number
+        of entries added."""
+        added = 0
+        for document in documents:
+            for node, tag_path in _walk_with_paths(document):
+                if not self.definition.pattern.matches(tag_path):
+                    continue
+                key = self._key_for(node)
+                if key is None:
+                    continue
+                self.entries.append(
+                    (key, document.doc_id, node.node_id, tag_path)
+                )
+                added += 1
+        self.entries.sort()
+        return added
+
+    def remove_document(self, document: XmlDocument) -> int:
+        """Remove all entries of ``document``.  Returns entries removed."""
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e[1] != document.doc_id]
+        return before - len(self.entries)
+
+    def _key_for(self, node: XmlNode) -> Optional[object]:
+        text = node.string_value()
+        if self.definition.value_type is IndexValueType.NUMERIC:
+            try:
+                return float(text.strip())
+            except ValueError:
+                return None
+        return text
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup_eq(self, key: object) -> List[Tuple[int, int]]:
+        """All ``(doc_id, node_id)`` with exactly this key."""
+        return [(e[1], e[2]) for e in self._slice_eq(key)]
+
+    def lookup_range(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[Tuple[int, int]]:
+        """All ``(doc_id, node_id)`` with ``low (<|<=) key (<|<=) high``."""
+        return [
+            (e[1], e[2])
+            for e in self._slice_range(low, high, low_inclusive, high_inclusive)
+        ]
+
+    def _slice_eq(self, key: object):
+        key = self._coerce(key)
+        lo = bisect.bisect_left(self.entries, (key,))
+        result = []
+        for entry in self.entries[lo:]:
+            if entry[0] != key:
+                break
+            result.append(entry)
+        return result
+
+    def _slice_range(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        lo_idx = 0
+        if low is not None:
+            low = self._coerce(low)
+            if low_inclusive:
+                lo_idx = bisect.bisect_left(self.entries, (low,))
+            else:
+                lo_idx = bisect.bisect_right(
+                    self.entries, (low, math.inf, math.inf)
+                )
+        hi_idx = len(self.entries)
+        if high is not None:
+            high = self._coerce(high)
+            if high_inclusive:
+                hi_idx = bisect.bisect_right(
+                    self.entries, (high, math.inf, math.inf)
+                )
+            else:
+                hi_idx = bisect.bisect_left(self.entries, (high,))
+        return self.entries[lo_idx:hi_idx]
+
+    def lookup_op(self, op: str, literal: Literal) -> List[Tuple[int, int]]:
+        """Resolve a comparison predicate through the index."""
+        return [(e[1], e[2]) for e in self._entries_for_op(op, literal)]
+
+    def _entries_for_op(self, op: str, literal: Literal):
+        key = literal.value
+        if op == "starts-with":
+            if self.definition.value_type is IndexValueType.NUMERIC:
+                raise ValueError("starts-with needs a string index")
+            prefix = str(key)
+            return self._slice_range(
+                low=prefix, high=prefix + "\uffff", high_inclusive=False
+            )
+        if op == "=":
+            return self._slice_eq(key)
+        if op == "<":
+            return self._slice_range(high=key, high_inclusive=False)
+        if op == "<=":
+            return self._slice_range(high=key, high_inclusive=True)
+        if op == ">":
+            return self._slice_range(low=key, low_inclusive=False)
+        if op == ">=":
+            return self._slice_range(low=key, low_inclusive=True)
+        if op == "!=":
+            coerced = self._coerce(key)
+            return [e for e in self.entries if e[0] != coerced]
+        raise ValueError(f"unsupported operator {op!r}")
+
+    def all_entries(self) -> List[Tuple[int, int]]:
+        """All ``(doc_id, node_id)`` -- structural use of the index."""
+        return [(e[1], e[2]) for e in self.entries]
+
+    def entries_for_request(self, request) -> list:
+        """Raw entries satisfying an optimizer request (duck-typed to
+        avoid importing the rewriter): a two-sided range request exposes
+        ``low``/``high`` bounds, a comparison exposes ``op``/``literal``,
+        anything else is a structural scan."""
+        low = getattr(request, "low", None)
+        if low is not None:
+            return self._slice_range(
+                low=low.value,
+                high=request.high.value,
+                low_inclusive=request.low_inclusive,
+                high_inclusive=request.high_inclusive,
+            )
+        op = getattr(request, "op", None)
+        if op is not None:
+            return self._entries_for_op(op, request.literal)
+        return self.entries
+
+    def request_on_pattern(self, request, pattern) -> List[Tuple[int, int]]:
+        """``(doc_id, node_id)`` pairs satisfying ``request``, path-filtered
+        to ``pattern`` when this index is broader."""
+        entries = self.entries_for_request(request)
+        if pattern.covers(self.definition.pattern):
+            return [(e[1], e[2]) for e in entries]
+        return [(e[1], e[2]) for e in entries if pattern.matches(e[3])]
+
+    # ------------------------------------------------------------------
+    # Path-filtered lookups (used by the executor when this index is
+    # broader than the query's pattern)
+    # ------------------------------------------------------------------
+    def lookup_op_on_pattern(
+        self, op: str, literal: Literal, pattern
+    ) -> List[Tuple[int, int]]:
+        """Like :meth:`lookup_op`, keeping only entries whose stored tag
+        path is matched by ``pattern`` (a :class:`PathPattern`) -- the
+        in-index path filtering a broad index needs to serve a narrower
+        request without false-positive fetches."""
+        entries = self._entries_for_op(op, literal)
+        if pattern.covers(self.definition.pattern):
+            return [(e[1], e[2]) for e in entries]
+        return [(e[1], e[2]) for e in entries if pattern.matches(e[3])]
+
+    def structural_entries_on_pattern(self, pattern) -> List[Tuple[int, int]]:
+        """All entries whose tag path is matched by ``pattern``."""
+        if pattern.covers(self.definition.pattern):
+            return self.all_entries()
+        return [(e[1], e[2]) for e in self.entries if pattern.matches(e[3])]
+
+    def _coerce(self, key: object) -> object:
+        if self.definition.value_type is IndexValueType.NUMERIC:
+            return float(key)  # type: ignore[arg-type]
+        if isinstance(key, float):
+            return str(int(key)) if key.is_integer() else str(key)
+        return str(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+    def distinct_keys(self) -> int:
+        return len({e[0] for e in self.entries})
+
+    def size_bytes(self) -> int:
+        """Estimated on-disk size of the built index."""
+        if not self.entries:
+            return 0
+        if self.definition.value_type is IndexValueType.NUMERIC:
+            key_bytes = NUMERIC_KEY_BYTES * len(self.entries)
+        else:
+            key_bytes = sum(len(str(e[0])) for e in self.entries)
+        raw = key_bytes + ENTRY_OVERHEAD_BYTES * len(self.entries)
+        return int(raw * SIZE_EXPANSION)
+
+    def levels(self) -> int:
+        """Estimated number of B+-tree levels."""
+        return estimate_levels(len(self.entries))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PathIndex {self.definition.name!r} pattern={self.definition.pattern} "
+            f"entries={len(self.entries)}>"
+        )
+
+
+def estimate_levels(entry_count: int) -> int:
+    """B+-tree levels for ``entry_count`` entries at the assumed fanout."""
+    if entry_count <= 1:
+        return 1
+    return max(1, math.ceil(math.log(entry_count, BTREE_FANOUT)))
+
+
+def _walk_with_paths(document: XmlDocument):
+    """Yield ``(node, tag_path)`` for every element and attribute node."""
+    root = document.root
+    stack: List[Tuple[XmlNode, Tuple[str, ...]]] = [(root, (root.name or "",))]
+    while stack:
+        node, tag_path = stack.pop()
+        yield node, tag_path
+        for attr in node.attributes:
+            yield attr, tag_path + ("@" + (attr.name or ""),)
+        for child in reversed(list(node.child_elements())):
+            stack.append((child, tag_path + (child.name or "",)))

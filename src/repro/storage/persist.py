@@ -1,0 +1,104 @@
+"""Persistence: save/load a :class:`Database` to/from a directory.
+
+Layout::
+
+    <root>/
+      database.json                  # name + collection list
+      catalog.json                   # index definitions (real only)
+      collections/<name>/doc_<n>.xml # one file per live document
+
+Virtual index definitions are advisor-session state and are not
+persisted.  Real indexes are rebuilt from their definitions at load time
+(an index is derived state; rebuilding keeps the format trivial and
+always consistent).  Document ids are re-assigned densely on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.storage.catalog import IndexDefinition
+from repro.storage.database import Database
+from repro.storage.index import IndexValueType
+from repro.xmlmodel.serializer import serialize
+from repro.xpath.patterns import parse_pattern
+
+_FORMAT_VERSION = 1
+
+
+def save_database(db: Database, root: str) -> None:
+    """Write ``db`` under directory ``root`` (created if missing)."""
+    os.makedirs(root, exist_ok=True)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "name": db.name,
+        "collections": sorted(db.collections),
+    }
+    with open(os.path.join(root, "database.json"), "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+    catalog: List[Dict] = [
+        {
+            "name": definition.name,
+            "collection": definition.collection,
+            "pattern": str(definition.pattern),
+            "value_type": definition.value_type.name,
+        }
+        for definition in db.catalog.all_definitions()
+        if not definition.virtual
+    ]
+    with open(os.path.join(root, "catalog.json"), "w") as handle:
+        json.dump(catalog, handle, indent=2)
+
+    for name, collection in db.collections.items():
+        directory = os.path.join(root, "collections", name)
+        os.makedirs(directory, exist_ok=True)
+        # wipe stale documents from a previous save
+        for stale in os.listdir(directory):
+            if stale.startswith("doc_") and stale.endswith(".xml"):
+                os.unlink(os.path.join(directory, stale))
+        for position, document in enumerate(collection):
+            path = os.path.join(directory, f"doc_{position:08d}.xml")
+            with open(path, "w") as handle:
+                handle.write(serialize(document.root))
+
+
+def load_database(root: str) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    meta_path = os.path.join(root, "database.json")
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(f"no database at {root!r} (missing database.json)")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported database format {meta.get('format_version')!r}"
+        )
+    db = Database(meta.get("name", "xmldb"))
+    for name in meta["collections"]:
+        db.create_collection(name)
+        directory = os.path.join(root, "collections", name)
+        if not os.path.isdir(directory):
+            continue
+        for filename in sorted(os.listdir(directory)):
+            if not (filename.startswith("doc_") and filename.endswith(".xml")):
+                continue
+            with open(os.path.join(directory, filename)) as handle:
+                db.insert_document(name, handle.read())
+
+    catalog_path = os.path.join(root, "catalog.json")
+    if os.path.exists(catalog_path):
+        with open(catalog_path) as handle:
+            for item in json.load(handle):
+                db.create_index(
+                    IndexDefinition(
+                        name=item["name"],
+                        collection=item["collection"],
+                        pattern=parse_pattern(item["pattern"]),
+                        value_type=IndexValueType[item["value_type"]],
+                        virtual=False,
+                    )
+                )
+    return db

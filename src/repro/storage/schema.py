@@ -1,0 +1,93 @@
+"""DataGuide-style structural summary of a collection.
+
+Several XML indexing schemes the paper cites build on structural
+summaries (APEX [11], D(k)-index [14]).  A *strong DataGuide* collapses
+every rooted tag path to one node, giving a compact tree of the
+collection's structure.  We derive it directly from
+:class:`~repro.storage.statistics.DataStatistics` -- it is also the
+easiest way for a user (or the CLI) to see what is indexable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.statistics import DataStatistics
+
+
+@dataclass
+class SchemaNode:
+    """One node of the structural summary: a distinct rooted tag path."""
+
+    tag: str
+    count: int = 0
+    children: Dict[str, "SchemaNode"] = field(default_factory=dict)
+    has_text_values: bool = False
+    has_numeric_values: bool = False
+
+    def child(self, tag: str) -> "SchemaNode":
+        if tag not in self.children:
+            self.children[tag] = SchemaNode(tag)
+        return self.children[tag]
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+    def node_count(self) -> int:
+        """Number of summary nodes (distinct paths) in this subtree."""
+        return 1 + sum(c.node_count() for c in self.children.values())
+
+
+def build_dataguide(stats: DataStatistics) -> SchemaNode:
+    """Build the structural summary from collected statistics."""
+    root = SchemaNode(tag="")
+    for tag_path, count in sorted(stats.path_counts.items()):
+        node = root
+        for tag in tag_path:
+            node = node.child(tag)
+        node.count = count
+        summary = stats.summaries.get(tag_path)
+        if summary is not None:
+            node.has_numeric_values = summary.numeric_count > 0
+            node.has_text_values = summary.numeric_count < summary.count
+    return root
+
+
+def format_dataguide(root: SchemaNode, max_depth: Optional[int] = None) -> str:
+    """Render the summary as an indented tree with counts and value kinds."""
+    lines: List[str] = []
+
+    def visit(node: SchemaNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        if node.tag:
+            kinds = []
+            if node.has_numeric_values:
+                kinds.append("num")
+            if node.has_text_values:
+                kinds.append("str")
+            kind_text = f" [{','.join(kinds)}]" if kinds else ""
+            lines.append(f"{'  ' * (depth - 1)}{node.tag} ({node.count}){kind_text}")
+        for tag in sorted(node.children):
+            visit(node.children[tag], depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def recursive_tags(root: SchemaNode) -> List[str]:
+    """Tags that occur at more than one depth (recursion indicators)."""
+    depths: Dict[str, set] = {}
+
+    def visit(node: SchemaNode, depth: int) -> None:
+        if node.tag:
+            depths.setdefault(node.tag, set()).add(depth)
+        for child in node.children.values():
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return sorted(tag for tag, ds in depths.items() if len(ds) > 1)

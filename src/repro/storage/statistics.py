@@ -1,0 +1,412 @@
+"""Data statistics (the RUNSTATS equivalent) and derived index statistics.
+
+The paper (Section III) relies on the database's statistics-collection
+command to gather *data* statistics, then derives the statistics of
+*virtual* indexes (size, number of levels, cardinality) from them -- virtual
+indexes are never populated.  This module implements both halves:
+
+* :func:`collect_statistics` scans a collection once and produces a
+  :class:`DataStatistics` object: per-rooted-tag-path node counts and
+  per-path :class:`PathValueSummary` value summaries (count, distinct
+  values, numeric min/max, bounded value samples for selectivity).
+* :meth:`DataStatistics.derive_index_statistics` answers, for any linear
+  pattern and key type, the :class:`IndexStatistics` a virtual index on
+  that pattern would have.
+* :meth:`DataStatistics.selectivity` estimates predicate selectivities the
+  optimizer's cost model needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.storage.index import (
+    ENTRY_OVERHEAD_BYTES,
+    NUMERIC_KEY_BYTES,
+    SIZE_EXPANSION,
+    IndexValueType,
+    estimate_levels,
+)
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
+from repro.xpath.ast import Literal
+from repro.xpath.patterns import PathPattern
+
+#: Cap on per-path value samples kept for selectivity estimation.
+MAX_SAMPLE = 4096
+#: Cap on distinct string frequencies tracked per path.
+MAX_STRING_FREQ = 256
+
+
+@dataclass
+class PathValueSummary:
+    """Value statistics for one rooted tag path."""
+
+    count: int = 0
+    numeric_count: int = 0
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+    total_string_bytes: int = 0
+    numeric_sample: List[float] = field(default_factory=list)
+    string_sample: List[str] = field(default_factory=list)
+    string_freq: Counter = field(default_factory=Counter)
+    _distinct: set = field(default_factory=set)
+    _sample_stride_state: int = 0
+
+    def observe(self, text: str) -> None:
+        """Record one node value."""
+        self.count += 1
+        self.total_string_bytes += len(text)
+        if len(self._distinct) < MAX_SAMPLE:
+            self._distinct.add(text)
+        number: Optional[float] = None
+        try:
+            number = float(text.strip())
+        except ValueError:
+            number = None
+        if number is not None:
+            self.numeric_count += 1
+            if self.numeric_min is None or number < self.numeric_min:
+                self.numeric_min = number
+            if self.numeric_max is None or number > self.numeric_max:
+                self.numeric_max = number
+            self._sample(self.numeric_sample, number)
+        else:
+            self._sample(self.string_sample, text)
+        if len(self.string_freq) < MAX_STRING_FREQ or text in self.string_freq:
+            self.string_freq[text] += 1
+
+    def _sample(self, sample: List[object], value: object) -> None:
+        """Deterministic systematic sampling once the cap is reached."""
+        if len(sample) < MAX_SAMPLE:
+            sample.append(value)
+            return
+        self._sample_stride_state += 1
+        slot = self._sample_stride_state % MAX_SAMPLE
+        if self._sample_stride_state % 2 == 0:
+            sample[slot] = value
+
+    def finalize(self) -> None:
+        """Sort samples so selectivity lookups can bisect."""
+        self.numeric_sample.sort()
+        self.string_sample.sort()
+
+    @property
+    def distinct(self) -> int:
+        return max(1, len(self._distinct))
+
+    @property
+    def avg_string_bytes(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_string_bytes / self.count
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Statistics of a (possibly virtual) index, derived from data stats."""
+
+    entry_count: int
+    distinct_keys: int
+    size_bytes: int
+    levels: int
+    avg_key_bytes: float
+
+    @property
+    def density(self) -> float:
+        """Average entries per distinct key."""
+        if self.distinct_keys == 0:
+            return 0.0
+        return self.entry_count / self.distinct_keys
+
+
+class DataStatistics:
+    """Statistics for one collection, produced by :func:`collect_statistics`."""
+
+    def __init__(self, collection_name: str) -> None:
+        self.collection_name = collection_name
+        self.doc_count = 0
+        self.total_nodes = 0
+        self.total_elements = 0
+        self.path_counts: Dict[Tuple[str, ...], int] = {}
+        #: distinct documents containing each path at least once
+        self.path_doc_counts: Dict[Tuple[str, ...], int] = {}
+        self.summaries: Dict[Tuple[str, ...], PathValueSummary] = {}
+        self._matching_cache: Dict[str, List[Tuple[Tuple[str, ...], int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Collection-side (used by collect_statistics)
+    # ------------------------------------------------------------------
+    def _observe_node(self, tag_path: Tuple[str, ...], text: str) -> None:
+        self.path_counts[tag_path] = self.path_counts.get(tag_path, 0) + 1
+        summary = self.summaries.get(tag_path)
+        if summary is None:
+            summary = PathValueSummary()
+            self.summaries[tag_path] = summary
+        summary.observe(text)
+
+    def _finalize(self) -> None:
+        for summary in self.summaries.values():
+            summary.finalize()
+
+    # ------------------------------------------------------------------
+    # Pattern-level aggregation
+    # ------------------------------------------------------------------
+    def matching_paths(
+        self, pattern: PathPattern
+    ) -> List[Tuple[Tuple[str, ...], int]]:
+        """All distinct rooted tag paths in the data matched by ``pattern``,
+        with their node counts.  Memoized per pattern (the optimizer probes
+        the same patterns over and over during a search)."""
+        key = str(pattern)
+        cached = self._matching_cache.get(key)
+        if cached is None:
+            cached = [
+                (path, count)
+                for path, count in self.path_counts.items()
+                if pattern.matches(path)
+            ]
+            self._matching_cache[key] = cached
+        return cached
+
+    def document_frequency(
+        self,
+        pattern: PathPattern,
+        op: Optional[str] = None,
+        literal: Optional[Literal] = None,
+    ) -> float:
+        """Estimated number of *documents* containing a node that the
+        pattern reaches and that satisfies the optional predicate.
+
+        Per matching path, the satisfying-node count is capped by the
+        number of documents that contain the path at all (a document with
+        five matching nodes is still one document); the per-path results
+        are summed and capped by the collection size.
+        """
+        total = 0.0
+        for path, count in self.matching_paths(pattern):
+            docs_with_path = self.path_doc_counts.get(path, self.doc_count)
+            if op is None or literal is None:
+                satisfying = float(count)
+            else:
+                summary = self.summaries[path]
+                satisfying = count * _summary_selectivity(summary, op, literal)
+            total += min(float(docs_with_path), satisfying)
+        return min(float(max(1, self.doc_count)), total)
+
+    def entry_count(self, pattern: PathPattern, value_type: IndexValueType) -> int:
+        """Number of entries a (virtual) index on ``pattern`` would hold."""
+        total = 0
+        for path, count in self.matching_paths(pattern):
+            summary = self.summaries[path]
+            if value_type is IndexValueType.NUMERIC:
+                # Scale the path count by the fraction of numeric values.
+                if summary.count:
+                    total += round(count * summary.numeric_count / summary.count)
+            else:
+                total += count
+        return total
+
+    def derive_index_statistics(
+        self, pattern: PathPattern, value_type: IndexValueType
+    ) -> IndexStatistics:
+        """Virtual-index statistics for ``pattern`` (Section III: 'we derive
+        the required index statistics ... from these data statistics')."""
+        entries = 0
+        distinct = 0
+        key_bytes = 0.0
+        for path, count in self.matching_paths(pattern):
+            summary = self.summaries[path]
+            if value_type is IndexValueType.NUMERIC:
+                if summary.count == 0:
+                    continue
+                numeric = round(count * summary.numeric_count / summary.count)
+                entries += numeric
+                distinct += min(numeric, summary.distinct)
+                key_bytes += numeric * NUMERIC_KEY_BYTES
+            else:
+                entries += count
+                distinct += min(count, summary.distinct)
+                key_bytes += count * summary.avg_string_bytes
+        size = int((key_bytes + ENTRY_OVERHEAD_BYTES * entries) * SIZE_EXPANSION)
+        avg_key = key_bytes / entries if entries else 0.0
+        return IndexStatistics(
+            entry_count=entries,
+            distinct_keys=max(1, distinct) if entries else 0,
+            size_bytes=size,
+            levels=estimate_levels(entries),
+            avg_key_bytes=avg_key,
+        )
+
+    # ------------------------------------------------------------------
+    # Selectivity
+    # ------------------------------------------------------------------
+    def selectivity(
+        self,
+        pattern: PathPattern,
+        op: str,
+        literal: Literal,
+        value_type: Optional[IndexValueType] = None,
+    ) -> float:
+        """Estimated fraction of the pattern's entries satisfying
+        ``op literal``.  Uses per-path value samples (numeric) and string
+        frequencies; existential averaging over the matching paths.
+
+        ``value_type`` chooses the entry population being conditioned on:
+        a NUMERIC index only *contains* numeric entries, so its selectivity
+        must be relative to those, not to every node under the pattern.
+        """
+        total = 0.0
+        satisfying = 0.0
+        for path, count in self.matching_paths(pattern):
+            summary = self.summaries[path]
+            if value_type is IndexValueType.NUMERIC:
+                if summary.count:
+                    total += count * summary.numeric_count / summary.count
+                else:
+                    total += 0.0
+            else:
+                total += count
+            satisfying += count * _summary_selectivity(summary, op, literal)
+        if total == 0:
+            return 0.0
+        return min(1.0, max(0.0, satisfying / total))
+
+    def cardinality(
+        self, pattern: PathPattern, op: Optional[str], literal: Optional[Literal]
+    ) -> float:
+        """Estimated number of nodes matched by ``pattern`` that satisfy the
+        (optional) predicate."""
+        base = sum(count for _, count in self.matching_paths(pattern))
+        if op is None or literal is None:
+            return float(base)
+        return base * self.selectivity(pattern, op, literal)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DataStatistics {self.collection_name!r} docs={self.doc_count} "
+            f"paths={len(self.path_counts)} nodes={self.total_nodes}>"
+        )
+
+
+def _summary_selectivity(
+    summary: PathValueSummary, op: str, literal: Literal
+) -> float:
+    if summary.count == 0:
+        return 0.0
+    if literal.is_number:
+        return _numeric_selectivity(summary, op, float(literal.value))
+    return _string_selectivity(summary, op, str(literal.value))
+
+
+def _numeric_selectivity(
+    summary: PathValueSummary, op: str, value: float
+) -> float:
+    sample = summary.numeric_sample
+    numeric_fraction = summary.numeric_count / summary.count
+    if not sample or numeric_fraction == 0.0:
+        return 0.0
+    n = len(sample)
+    lo = bisect.bisect_left(sample, value)
+    hi = bisect.bisect_right(sample, value)
+    if op == "=":
+        frac = (hi - lo) / n if hi > lo else 1.0 / max(n, summary.distinct)
+    elif op == "!=":
+        frac = 1.0 - (hi - lo) / n
+    elif op == "<":
+        frac = lo / n
+    elif op == "<=":
+        frac = hi / n
+    elif op == ">":
+        frac = (n - hi) / n
+    elif op == ">=":
+        frac = (n - lo) / n
+    else:
+        raise ValueError(f"unsupported operator {op!r}")
+    return frac * numeric_fraction
+
+
+def _string_selectivity(
+    summary: PathValueSummary, op: str, value: str
+) -> float:
+    if op == "starts-with":
+        sample = summary.string_sample
+        if not sample:
+            return 0.0
+        string_fraction = (summary.count - summary.numeric_count) / summary.count
+        lo = bisect.bisect_left(sample, value)
+        hi = bisect.bisect_left(sample, value + "\uffff")
+        return (hi - lo) / len(sample) * string_fraction
+    if op == "contains":
+        # No order statistics help with substrings; count the (bounded)
+        # sample directly.
+        sample = summary.string_sample
+        if not sample:
+            return 0.0
+        string_fraction = (summary.count - summary.numeric_count) / summary.count
+        hits = sum(1 for text in sample if value in text)
+        return hits / len(sample) * string_fraction
+    if op in ("=", "!="):
+        freq = summary.string_freq.get(value)
+        if freq is not None:
+            eq = freq / summary.count
+        else:
+            eq = 1.0 / summary.distinct
+        return eq if op == "=" else 1.0 - eq
+    # Ordered string comparison: bisect the string sample.
+    sample = summary.string_sample
+    if not sample:
+        return 0.0
+    n = len(sample)
+    string_fraction = (summary.count - summary.numeric_count) / summary.count
+    lo = bisect.bisect_left(sample, value)
+    hi = bisect.bisect_right(sample, value)
+    if op == "<":
+        frac = lo / n
+    elif op == "<=":
+        frac = hi / n
+    elif op == ">":
+        frac = (n - hi) / n
+    elif op == ">=":
+        frac = (n - lo) / n
+    else:
+        raise ValueError(f"unsupported operator {op!r}")
+    return frac * string_fraction
+
+
+def collect_statistics(collection) -> DataStatistics:
+    """One pass over a collection producing :class:`DataStatistics`.
+
+    ``collection`` is a :class:`repro.storage.database.Collection`; typed as
+    ``object`` here to avoid an import cycle.
+    """
+    stats = DataStatistics(collection.name)
+    for document in collection:
+        stats.doc_count += 1
+        stats.total_nodes += document.node_count()
+        _scan_document(document, stats)
+    stats._finalize()
+    return stats
+
+
+def _scan_document(document: XmlDocument, stats: DataStatistics) -> None:
+    root = document.root
+    stack: List[Tuple[XmlNode, Tuple[str, ...]]] = [(root, (root.name or "",))]
+    seen_paths = set()
+    while stack:
+        node, tag_path = stack.pop()
+        stats.total_elements += 1
+        stats._observe_node(tag_path, node.string_value())
+        seen_paths.add(tag_path)
+        for attr in node.attributes:
+            attr_path = tag_path + ("@" + (attr.name or ""),)
+            stats._observe_node(attr_path, attr.value or "")
+            seen_paths.add(attr_path)
+        for child in reversed(list(node.child_elements())):
+            stack.append((child, tag_path + (child.name or "",)))
+    for tag_path in seen_paths:
+        stats.path_doc_counts[tag_path] = (
+            stats.path_doc_counts.get(tag_path, 0) + 1
+        )

@@ -1,0 +1,34 @@
+"""Benchmark workloads: TPoX-like, XMark-like, and synthetic generators.
+
+All generators are seeded and deterministic, producing laptop-scale
+databases with the same vocabulary and query shapes as the paper's
+evaluation (Section VII).
+"""
+
+from repro.workloads import drift, recursive, synthetic, tpox, xmark
+from repro.workloads.drift import drift_workload
+from repro.workloads.recursive import recursive_workload
+from repro.workloads.synthetic import random_path_queries, synthetic_workload
+from repro.workloads.tpox import build_database as build_tpox_database
+from repro.workloads.tpox import tpox_queries, tpox_updates, tpox_workload
+from repro.workloads.xmark import build_database as build_xmark_database
+from repro.workloads.xmark import xmark_queries, xmark_workload
+
+__all__ = [
+    "build_tpox_database",
+    "build_xmark_database",
+    "drift",
+    "drift_workload",
+    "random_path_queries",
+    "recursive",
+    "recursive_workload",
+    "synthetic",
+    "synthetic_workload",
+    "tpox",
+    "tpox_queries",
+    "tpox_updates",
+    "tpox_workload",
+    "xmark",
+    "xmark_queries",
+    "xmark_workload",
+]

@@ -1,0 +1,156 @@
+"""Workload drift: generate variations of a training workload.
+
+Section VI-B motivates top down search with exactly this scenario: "the
+DBA has assembled a representative training workload, but the actual
+workload may be a variation on this training workload ... the rich
+structure of XML allows users to pose queries that retrieve elements from
+the data that are reachable by different paths with slight variations."
+
+:func:`drift_workload` produces such variations deterministically:
+
+* **literal drift** -- a comparison keeps its path but compares against a
+  different value drawn from the data;
+* **sibling drift** -- a where-clause path is redirected to a *sibling*
+  element (same parent path, different final tag), e.g.
+  ``SecInfo/*/Sector`` -> ``SecInfo/*/Industry``.  Specific indexes on the
+  original path are useless for the drifted query; general indexes
+  (``/Security//*``) still apply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.query.model import Query, WhereClause
+from repro.query.workload import Workload, WorkloadEntry
+from repro.storage.database import Database
+from repro.xpath.ast import Literal, LocationPath, Step
+from repro.xpath.patterns import pattern_from_path
+
+
+def drift_workload(
+    database: Database,
+    workload: Workload,
+    seed: int = 0,
+    literal_probability: float = 0.5,
+    sibling_probability: float = 0.5,
+) -> Workload:
+    """Return a drifted copy of ``workload`` (non-queries pass through)."""
+    rng = random.Random(seed)
+    entries: List[WorkloadEntry] = []
+    for entry in workload:
+        statement = entry.statement
+        if isinstance(statement, Query):
+            statement = _drift_query(
+                database, statement, rng, literal_probability, sibling_probability
+            )
+        entries.append(WorkloadEntry(statement, entry.frequency))
+    return Workload(entries)
+
+
+def _drift_query(
+    database: Database,
+    query: Query,
+    rng: random.Random,
+    literal_probability: float,
+    sibling_probability: float,
+) -> Query:
+    if query.collection not in database.collections:
+        return query
+    stats = database.runstats(query.collection)
+    skeleton = query.binding_path.without_predicates()
+    new_where: List[WhereClause] = []
+    changed = False
+    for clause in query.where:
+        drifted = clause
+        if clause.is_comparison and rng.random() < sibling_probability:
+            sibling = _sibling_clause(stats, skeleton, clause, rng)
+            if sibling is not None:
+                drifted = sibling
+                changed = True
+        if (
+            drifted is clause
+            and clause.is_comparison
+            and rng.random() < literal_probability
+        ):
+            fresh = _fresh_literal(stats, skeleton, clause, rng)
+            if fresh is not None:
+                drifted = WhereClause(clause.path, clause.op, fresh)
+                changed = True
+        new_where.append(drifted)
+    if not changed:
+        return query
+    return Query(
+        collection=query.collection,
+        binding_path=query.binding_path,
+        where=tuple(new_where),
+        return_paths=query.return_paths,
+        text=f"drifted:{query.describe()}",
+    )
+
+
+def _full_pattern(skeleton: LocationPath, clause: WhereClause):
+    full = skeleton.concat(clause.path) if clause.path.steps else skeleton
+    return pattern_from_path(full)
+
+
+def _sibling_clause(
+    stats, skeleton: LocationPath, clause: WhereClause, rng: random.Random
+) -> Optional[WhereClause]:
+    """Redirect the clause to a sibling leaf (same parent tag path)."""
+    if not clause.path.steps:
+        return None
+    pattern = _full_pattern(skeleton, clause)
+    matches = [path for path, __ in stats.matching_paths(pattern)]
+    if not matches:
+        return None
+    original = matches[rng.randrange(len(matches))]
+    parent = original[:-1]
+    siblings = sorted(
+        path[-1]
+        for path in stats.path_counts
+        if len(path) == len(original)
+        and path[:-1] == parent
+        and path[-1] != original[-1]
+        and not path[-1].startswith("@")
+    )
+    if not siblings:
+        return None
+    new_tag = siblings[rng.randrange(len(siblings))]
+    last = clause.path.steps[-1]
+    if last.name_test.startswith("@"):
+        return None
+    new_steps = clause.path.steps[:-1] + (Step(last.axis, new_tag),)
+    new_path = LocationPath(new_steps, absolute=False)
+    # draw a value for the new target so the query still selects something
+    new_pattern = _full_pattern(skeleton, WhereClause(new_path))
+    literal = _draw_value(stats, new_pattern, clause.op or "=", rng)
+    if literal is None:
+        return None
+    op = clause.op if clause.op is not None else "="
+    return WhereClause(new_path, op, literal)
+
+
+def _fresh_literal(
+    stats, skeleton: LocationPath, clause: WhereClause, rng: random.Random
+) -> Optional[Literal]:
+    pattern = _full_pattern(skeleton, clause)
+    return _draw_value(stats, pattern, clause.op or "=", rng)
+
+
+def _draw_value(stats, pattern, op: str, rng: random.Random) -> Optional[Literal]:
+    matches = stats.matching_paths(pattern)
+    if not matches:
+        return None
+    path, __ = matches[rng.randrange(len(matches))]
+    summary = stats.summaries.get(path)
+    if summary is None:
+        return None
+    numeric_ops = op in ("<", "<=", ">", ">=")
+    if summary.numeric_sample and (numeric_ops or not summary.string_sample):
+        value = summary.numeric_sample[rng.randrange(len(summary.numeric_sample))]
+        return Literal(float(value))
+    if summary.string_sample and not numeric_ops:
+        return Literal(summary.string_sample[rng.randrange(len(summary.string_sample))])
+    return None

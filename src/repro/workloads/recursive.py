@@ -1,0 +1,85 @@
+"""Recursive-document benchmark: a bill-of-materials collection.
+
+The paper calls out that "XML elements can be recursive" as one of the
+challenges XML index recommendation faces (Section I): with recursion, a
+tag can occur at many depths, descendant-axis patterns match unboundedly
+many rooted paths, and specific/general index trade-offs get sharper.
+
+This generator produces ``<Part>`` documents whose ``<SubParts>`` nest
+further ``<Part>`` elements to a random depth, plus queries that navigate
+with ``//``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+PART_COLLECTION = "PARTS"
+
+MATERIALS = ("steel", "aluminium", "copper", "plastic", "carbon")
+
+
+def _part(i: int, depth: int, rng: random.Random) -> str:
+    material = MATERIALS[rng.randrange(len(MATERIALS))]
+    weight = round(rng.uniform(0.1, 50.0), 2)
+    children = ""
+    if depth > 0:
+        subparts = "".join(
+            _part(i * 10 + k, depth - 1, rng)
+            for k in range(rng.randrange(0, 3))
+        )
+        if subparts:
+            children = f"<SubParts>{subparts}</SubParts>"
+    return (
+        f'<Part id="p{i}_{depth}">'
+        f"<Material>{material}</Material>"
+        f"<Weight>{weight}</Weight>"
+        f"{children}"
+        f"</Part>"
+    )
+
+
+def build_database(
+    num_parts: int = 150,
+    max_depth: int = 4,
+    seed: int = 23,
+    database: Optional[Database] = None,
+) -> Database:
+    """Generate a bill-of-materials database with recursive Part nesting."""
+    rng = random.Random(seed)
+    db = database or Database("bom")
+    db.create_collection(PART_COLLECTION)
+    for i in range(num_parts):
+        depth = rng.randrange(1, max_depth + 1)
+        db.insert_document(PART_COLLECTION, _part(i, depth, rng))
+    return db
+
+
+def recursive_queries(seed: int = 23) -> List[str]:
+    """Queries exercising descendant navigation over the recursion."""
+    rng = random.Random(seed + 1)
+    material = MATERIALS[rng.randrange(len(MATERIALS))]
+    return [
+        # material at ANY nesting depth
+        f"""for $p in PARTS('PARTS')/Part
+            where $p//Material = "{material}"
+            return $p""",
+        # heavy sub-parts, at least one level down
+        """for $p in PARTS('PARTS')/Part
+           where $p/SubParts//Weight > 45 return $p""",
+        # top-level material only (contrast with the descendant query)
+        f"""for $p in PARTS('PARTS')/Part
+            where $p/Material = "{material}"
+            return $p""",
+        # deep id lookup
+        """for $p in PARTS('PARTS')/Part
+           where $p//Part/@id = "p70_1" return $p""",
+    ]
+
+
+def recursive_workload(seed: int = 23) -> Workload:
+    return Workload.from_statements(recursive_queries(seed))

@@ -1,0 +1,118 @@
+"""Synthetic workloads of random XPath path expressions (Section VII-C).
+
+The paper studies candidate generalization on "synthetic workloads
+consisting of random XPath path expressions that occur in the data"
+(Table III) and uses 9 synthetic queries to diversify the 20-query
+train/test workload of Figures 4 and 5.
+
+:func:`random_path_queries` samples rooted tag paths that actually occur
+in a collection, truncates/wildcards them randomly, and attaches a
+predicate whose comparison value is drawn from the data (so the queries
+are selective and the paths indexable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.query.model import Query, WhereClause
+from repro.query.workload import Workload
+from repro.storage.database import Database
+from repro.xpath.ast import Axis, Literal, LocationPath, Step
+
+
+def _data_paths(database: Database, collection: str) -> List[Tuple[Tuple[str, ...], int]]:
+    stats = database.runstats(collection)
+    return sorted(stats.path_counts.items())
+
+
+def _path_to_location(
+    tag_path: Sequence[str], wildcard_at: Optional[int], descendant_at: Optional[int]
+) -> LocationPath:
+    steps = []
+    for position, name in enumerate(tag_path):
+        axis = Axis.DESCENDANT if position == descendant_at else Axis.CHILD
+        if position == wildcard_at and not name.startswith("@"):
+            name = "*"
+        steps.append(Step(axis, name))
+    return LocationPath(tuple(steps), absolute=True)
+
+
+def random_path_queries(
+    database: Database,
+    collection: str,
+    count: int,
+    seed: int = 0,
+    wildcard_probability: float = 0.25,
+    descendant_probability: float = 0.2,
+) -> List[Query]:
+    """``count`` random single-predicate queries over paths occurring in
+    the data.  Deterministic for a given seed."""
+    rng = random.Random(seed)
+    paths = [
+        (path, count_)
+        for path, count_ in _data_paths(database, collection)
+        if len(path) >= 2 and not path[-1].startswith("@")
+    ]
+    if not paths:
+        raise ValueError(f"collection {collection!r} has no indexable paths")
+    stats = database.runstats(collection)
+    queries: List[Query] = []
+    for _ in range(count):
+        tag_path, __ = paths[rng.randrange(len(paths))]
+        # Only leaf-ish paths make useful value predicates; re-draw a few
+        # times to find one with values.
+        for __retry in range(5):
+            summary = stats.summaries.get(tag_path)
+            if summary is not None and (summary.numeric_sample or summary.string_sample):
+                break
+            tag_path, __ = paths[rng.randrange(len(paths))]
+        wildcard_at = None
+        if len(tag_path) > 2 and rng.random() < wildcard_probability:
+            wildcard_at = rng.randrange(1, len(tag_path) - 1)
+        descendant_at = None
+        if len(tag_path) > 2 and rng.random() < descendant_probability:
+            descendant_at = rng.randrange(1, len(tag_path))
+        # Split into binding prefix (first step) + relative predicate path.
+        location = _path_to_location(tag_path, wildcard_at, descendant_at)
+        binding = LocationPath(location.steps[:1], absolute=True)
+        relative = LocationPath(location.steps[1:], absolute=False)
+        literal, op = _draw_predicate(stats, tag_path, rng)
+        clause = WhereClause(relative, op, literal) if relative.steps else None
+        where = (clause,) if clause else ()
+        queries.append(
+            Query(
+                collection=collection,
+                binding_path=binding,
+                where=where,
+                return_paths=(),
+                text=f"synthetic:{location}{op}{literal}",
+            )
+        )
+    return queries
+
+
+def _draw_predicate(stats, tag_path, rng: random.Random) -> Tuple[Literal, str]:
+    summary = stats.summaries.get(tag_path)
+    if summary is not None and summary.numeric_sample and (
+        not summary.string_sample or rng.random() < 0.5
+    ):
+        value = summary.numeric_sample[rng.randrange(len(summary.numeric_sample))]
+        op = rng.choice(("=", ">", "<", ">=", "<="))
+        return Literal(float(value)), op
+    if summary is not None and summary.string_sample:
+        value = summary.string_sample[rng.randrange(len(summary.string_sample))]
+        return Literal(value), "="
+    return Literal("missing-value"), "="
+
+
+def synthetic_workload(
+    database: Database,
+    collection: str,
+    count: int,
+    seed: int = 0,
+) -> Workload:
+    """A workload of ``count`` random path queries."""
+    queries = random_path_queries(database, collection, count, seed)
+    return Workload.from_statements(queries)

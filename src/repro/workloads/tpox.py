@@ -1,0 +1,316 @@
+"""TPoX-like benchmark: data generator and query set.
+
+The paper evaluates on the TPoX benchmark [10] (financial transaction
+processing over XML): *Security* documents (the ``SDOC`` collection, used
+by the paper's running examples), FIXML *Order* documents (``ODOC``), and
+customer/account documents (``CDOC``).  We generate seeded, laptop-scale
+documents with the same vocabulary as the paper's examples
+(``Symbol``, ``Yield``, ``SecInfo/*/Sector``, ...) and model the 11-query
+workload of the TPoX specification within the reproduction's mini-XQuery
+subset.
+
+The ``SecInfo`` subtree intentionally varies by security type
+(``StockInformation`` / ``FundInformation`` / ``BondInformation``), which is
+what makes wildcard patterns like ``/Security/SecInfo/*/Sector``
+necessary -- exactly the paper's candidate C2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+SECURITY_COLLECTION = "SDOC"
+ORDER_COLLECTION = "ODOC"
+CUSTOMER_COLLECTION = "CDOC"
+
+SECTORS = (
+    "Energy",
+    "Technology",
+    "Finance",
+    "Healthcare",
+    "Utilities",
+    "Materials",
+    "Industrial",
+    "ConsumerGoods",
+)
+INDUSTRIES = (
+    "OilAndGas",
+    "Software",
+    "Banking",
+    "Pharmaceuticals",
+    "Electricity",
+    "Chemicals",
+    "Machinery",
+    "Retail",
+)
+SECURITY_TYPES = ("Stock", "Fund", "Bond")
+CURRENCIES = ("USD", "EUR", "GBP", "JPY", "CAD")
+COUNTRIES = ("US", "DE", "UK", "JP", "CA", "FR", "EG")
+
+
+def symbol_for(i: int) -> str:
+    """Deterministic ticker symbol for security ``i``."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    first = letters[i % 26]
+    second = letters[(i // 26) % 26]
+    return f"{first}{second}{i:04d}"
+
+
+def security_document(i: int, rng: random.Random) -> str:
+    """One TPoX-like Security document."""
+    sector = SECTORS[rng.randrange(len(SECTORS))]
+    industry = INDUSTRIES[rng.randrange(len(INDUSTRIES))]
+    sec_type = SECURITY_TYPES[rng.randrange(len(SECURITY_TYPES))]
+    info_tag = f"{sec_type}Information"
+    yield_value = round(rng.uniform(0.1, 9.9), 2)
+    pe = round(rng.uniform(4.0, 60.0), 1)
+    last = round(rng.uniform(5.0, 500.0), 2)
+    ask = round(last * rng.uniform(1.0, 1.01), 2)
+    bid = round(last * rng.uniform(0.99, 1.0), 2)
+    shares = rng.randrange(100_000, 50_000_000)
+    return f"""<Security id="{i}">
+  <Symbol>{symbol_for(i)}</Symbol>
+  <Name>Company {i}</Name>
+  <SecurityType>{sec_type}</SecurityType>
+  <SecInfo>
+    <{info_tag}>
+      <Sector>{sector}</Sector>
+      <Industry>{industry}</Industry>
+      <OutstandingShares>{shares}</OutstandingShares>
+    </{info_tag}>
+  </SecInfo>
+  <Price>
+    <LastTrade><Rate>{last}</Rate><Date>2007-06-{1 + i % 28:02d}</Date></LastTrade>
+    <Ask>{ask}</Ask>
+    <Bid>{bid}</Bid>
+  </Price>
+  <Yield>{yield_value}</Yield>
+  <PE>{pe}</PE>
+</Security>"""
+
+
+def order_document(i: int, num_securities: int, rng: random.Random) -> str:
+    """One FIXML-like Order document."""
+    sym = symbol_for(rng.randrange(max(1, num_securities)))
+    qty = rng.randrange(10, 5000)
+    px = round(rng.uniform(5.0, 500.0), 2)
+    account = f"ACCT{rng.randrange(max(1, num_securities // 2)):05d}"
+    side = rng.choice(("1", "2"))
+    return f"""<FIXML>
+  <Order ID="{100000 + i}" Acct="{account}">
+    <Instrmt Sym="{sym}" SecTyp="CS"/>
+    <OrdQty Qty="{qty}"/>
+    <Px>{px}</Px>
+    <Side>{side}</Side>
+    <OrdTyp>2</OrdTyp>
+  </Order>
+</FIXML>"""
+
+
+def customer_document(i: int, num_securities: int, rng: random.Random) -> str:
+    """One customer/accounts document."""
+    nationality = COUNTRIES[rng.randrange(len(COUNTRIES))]
+    accounts = []
+    for account_position in range(rng.randrange(1, 4)):
+        balance = round(rng.uniform(100.0, 1_000_000.0), 2)
+        currency = CURRENCIES[rng.randrange(len(CURRENCIES))]
+        positions = []
+        for _ in range(rng.randrange(1, 5)):
+            sym = symbol_for(rng.randrange(max(1, num_securities)))
+            quantity = rng.randrange(1, 2000)
+            positions.append(
+                f"<Position><Symbol>{sym}</Symbol>"
+                f"<Quantity>{quantity}</Quantity></Position>"
+            )
+        accounts.append(f"""
+    <Account id="A{i}_{account_position}">
+      <Balance><OnlineActualBal><Amt>{balance}</Amt></OnlineActualBal></Balance>
+      <Currency>{currency}</Currency>
+      <Holdings>{''.join(positions)}</Holdings>
+    </Account>""")
+    return f"""<Customer id="C{i:06d}">
+  <Name><First>First{i}</First><Last>Last{i}</Last></Name>
+  <Nationality>{nationality}</Nationality>
+  <CountryOfResidence>{nationality}</CountryOfResidence>
+  <Accounts>{''.join(accounts)}
+  </Accounts>
+</Customer>"""
+
+
+def build_database(
+    num_securities: int = 300,
+    num_orders: int = 300,
+    num_customers: int = 150,
+    seed: int = 42,
+    database: Optional[Database] = None,
+) -> Database:
+    """Generate a TPoX-like database (all three collections, seeded)."""
+    rng = random.Random(seed)
+    db = database or Database("tpox")
+    db.create_collection(SECURITY_COLLECTION)
+    db.create_collection(ORDER_COLLECTION)
+    db.create_collection(CUSTOMER_COLLECTION)
+    for i in range(num_securities):
+        db.insert_document(SECURITY_COLLECTION, security_document(i, rng))
+    for i in range(num_orders):
+        db.insert_document(
+            ORDER_COLLECTION, order_document(i, num_securities, rng)
+        )
+    for i in range(num_customers):
+        db.insert_document(
+            CUSTOMER_COLLECTION, customer_document(i, num_securities, rng)
+        )
+    return db
+
+
+def tpox_queries(num_securities: int = 300, seed: int = 42) -> List[str]:
+    """The 11-query TPoX-style workload, parameterized with values that
+    occur in a database generated with the same ``num_securities``/``seed``.
+
+    Q1 and Q4 are the paper's running examples (Section III).
+    """
+    rng = random.Random(seed + 1)
+    sym_a = symbol_for(rng.randrange(num_securities))
+    sym_b = symbol_for(rng.randrange(num_securities))
+    sym_c = symbol_for(rng.randrange(num_securities))
+    account = f"ACCT{rng.randrange(max(1, num_securities // 2)):05d}"
+    customer = f"C{rng.randrange(150):06d}"
+    return [
+        # Q1 get_security (paper Q1)
+        f"""for $sec in SECURITY('SDOC')/Security
+            where $sec/Symbol = "{sym_a}"
+            return $sec""",
+        # Q2 get_security_price
+        f"""for $sec in SECURITY('SDOC')/Security
+            where $sec/Symbol = "{sym_b}"
+            return $sec/Price/LastTrade/Rate""",
+        # Q3 get_security_basics
+        f"""for $sec in SECURITY('SDOC')/Security
+            where $sec/Symbol = "{sym_c}"
+            return <Basics>{{$sec/Name}}{{$sec/SecurityType}}</Basics>""",
+        # Q4 search_securities (paper Q2)
+        """for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+           where $sec/SecInfo/*/Sector = "Energy"
+           return <Security>{$sec/Name}</Security>""",
+        # Q5 security_price_range
+        """for $sec in SECURITY('SDOC')/Security
+           where $sec/Price/Ask >= 100 and $sec/Price/Ask <= 120
+           return $sec/Symbol""",
+        # Q6 high_pe_stocks
+        """for $sec in SECURITY('SDOC')/Security[SecurityType="Stock"]
+           where $sec/PE > 45
+           return <Hit>{$sec/Symbol}{$sec/PE}</Hit>""",
+        # Q7 get_order
+        """for $o in ORDER('ODOC')/FIXML/Order
+           where $o/@ID = "100042"
+           return $o""",
+        # Q8 account_orders
+        f"""for $o in ORDER('ODOC')/FIXML/Order
+            where $o/@Acct = "{account}"
+            return $o/Instrmt""",
+        # Q9 big_orders_for_symbol
+        f"""for $o in ORDER('ODOC')/FIXML/Order
+            where $o/Instrmt/@Sym = "{sym_a}" and $o/OrdQty/@Qty > 1000
+            return $o/Px""",
+        # Q10 get_customer_profile
+        f"""for $c in CUSTACC('CDOC')/Customer
+            where $c/@id = "{customer}"
+            return $c/Name""",
+        # Q11 rich_accounts_by_country
+        """for $c in CUSTACC('CDOC')/Customer
+           where $c/Nationality = "US"
+             and $c/Accounts/Account/Balance/OnlineActualBal/Amt > 900000
+           return $c/Name/Last""",
+    ]
+
+
+def tpox_extended_queries(num_securities: int = 300, seed: int = 42) -> List[str]:
+    """Extra TPoX-style queries using let bindings and aggregates
+    (modeled on the spec's customer_max_order / account_balances shapes).
+    Kept separate from the 11-query set so the paper's experiments stay
+    byte-stable."""
+    rng = random.Random(seed + 3)
+    sym = symbol_for(rng.randrange(num_securities))
+    return [
+        # customer_max_order: largest order quantity for a symbol
+        f"""for $o in ORDER('ODOC')/FIXML/Order
+            let $q := $o/OrdQty/@Qty
+            where $o/Instrmt/@Sym = "{sym}"
+            return max($q)""",
+        # account_balances: balances of a customer's accounts
+        """for $c in CUSTACC('CDOC')/Customer
+           let $amt := $c/Accounts/Account/Balance/OnlineActualBal/Amt
+           where $c/Nationality = "US"
+           return sum($amt)""",
+        # portfolio size: number of positions held
+        """for $c in CUSTACC('CDOC')/Customer
+           where $c/CountryOfResidence = "DE"
+           return count($c/Accounts/Account/Holdings/Position)""",
+        # average ask across a sector
+        """for $s in SECURITY('SDOC')/Security
+           where $s/SecInfo/*/Sector = "Finance"
+           return avg($s/Price/Ask)""",
+    ]
+
+
+def tpox_join_queries(num_securities: int = 300, seed: int = 42) -> List[str]:
+    """Cross-document TPoX-style queries (the spec joins orders and
+    accounts to securities).  Kept separate from the 11-query set so the
+    paper's experiments stay byte-stable."""
+    rng = random.Random(seed + 4)
+    sector = SECTORS[rng.randrange(len(SECTORS))]
+    return [
+        # orders joined to their security's sector
+        f"""for $o in ORDER('ODOC')/FIXML/Order, $s in SECURITY('SDOC')/Security
+            where $o/Instrmt/@Sym = $s/Symbol
+              and $s/SecInfo/*/Sector = "{sector}"
+            return <hit>{{$o/@ID}}{{$s/Name}}</hit>""",
+        # large orders joined to high-yield securities
+        """for $o in ORDER('ODOC')/FIXML/Order, $s in SECURITY('SDOC')/Security
+           where $o/Instrmt/@Sym = $s/Symbol
+             and $o/OrdQty/@Qty > 4000 and $s/Yield > 8
+           return <hit>{$o/@ID}{$s/Symbol}</hit>""",
+        # customer holdings joined to securities
+        """for $c in CUSTACC('CDOC')/Customer, $s in SECURITY('SDOC')/Security
+           where $c/Accounts/Account/Holdings/Position/Symbol = $s/Symbol
+             and $s/PE > 55
+           return <hit>{$c/@id}{$s/Symbol}</hit>""",
+    ]
+
+
+def tpox_updates(
+    count: int = 4, num_securities: int = 300, seed: int = 42
+) -> List[str]:
+    """Insert/delete statements for maintenance-cost experiments."""
+    rng = random.Random(seed + 2)
+    statements: List[str] = []
+    for i in range(count):
+        if i % 2 == 0:
+            doc = security_document(num_securities + 1000 + i, rng)
+            flat = " ".join(doc.split())
+            statements.append(f"insert into {SECURITY_COLLECTION} value '{flat}'")
+        else:
+            sym = symbol_for(rng.randrange(num_securities))
+            statements.append(
+                f'delete from {SECURITY_COLLECTION} where /Security/Symbol = "{sym}"'
+            )
+    return statements
+
+
+def tpox_workload(
+    num_securities: int = 300,
+    seed: int = 42,
+    include_updates: bool = False,
+    update_frequency: float = 1.0,
+) -> Workload:
+    """The standard experimental workload: 11 queries (optionally plus
+    updates with the given frequency)."""
+    workload = Workload.from_statements(tpox_queries(num_securities, seed))
+    if include_updates:
+        for statement in tpox_updates(num_securities=num_securities, seed=seed):
+            workload.add(statement, frequency=update_frequency)
+    return workload

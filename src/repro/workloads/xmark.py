@@ -1,0 +1,165 @@
+"""XMark-like benchmark: auction-site data and queries.
+
+The paper's tech report [24] also evaluates on XMark [28].  XMark models a
+single large auction-site document; we adapt it to the collection-of-
+documents storage model (as DB2 would shred it across rows): ``IDOC``
+holds item documents, ``PDOC`` person documents, and ``ADOC`` open-auction
+documents.  The query set models XMark queries expressible in the
+reproduction's subset (exact-match, range, wildcard and descendant
+navigation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.query.workload import Workload
+from repro.storage.database import Database
+
+ITEM_COLLECTION = "IDOC"
+PERSON_COLLECTION = "PDOC"
+AUCTION_COLLECTION = "ADOC"
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+CITIES = ("Tampa", "Cairo", "Berlin", "Tokyo", "Lima", "Sydney", "Toronto")
+EDUCATIONS = ("HighSchool", "College", "Graduate", "Other")
+
+
+def item_document(i: int, rng: random.Random) -> str:
+    region = REGIONS[rng.randrange(len(REGIONS))]
+    quantity = rng.randrange(1, 10)
+    categories = "".join(
+        f'<incategory category="category{rng.randrange(50)}"/>'
+        for _ in range(rng.randrange(1, 4))
+    )
+    return f"""<item id="item{i}">
+  <location>{region}</location>
+  <quantity>{quantity}</quantity>
+  <name>Item name {i}</name>
+  <payment>Creditcard</payment>
+  <description>
+    <parlist>
+      <listitem><text>lorem ipsum {i} gold</text></listitem>
+    </parlist>
+  </description>
+  {categories}
+  <mailbox>
+    <mail><from>person{rng.randrange(200)}</from><date>2007-0{1 + i % 9}-01</date></mail>
+  </mailbox>
+</item>"""
+
+
+def person_document(i: int, rng: random.Random) -> str:
+    city = CITIES[rng.randrange(len(CITIES))]
+    income = round(rng.uniform(9_000.0, 250_000.0), 2)
+    education = EDUCATIONS[rng.randrange(len(EDUCATIONS))]
+    interests = "".join(
+        f'<interest category="category{rng.randrange(50)}"/>'
+        for _ in range(rng.randrange(0, 4))
+    )
+    return f"""<person id="person{i}">
+  <name>Person {i}</name>
+  <emailaddress>mailto:person{i}@example.com</emailaddress>
+  <address>
+    <street>{rng.randrange(1, 99)} Main St</street>
+    <city>{city}</city>
+    <country>United States</country>
+  </address>
+  <profile income="{income}">
+    {interests}
+    <education>{education}</education>
+    <business>No</business>
+  </profile>
+</person>"""
+
+
+def auction_document(i: int, num_items: int, num_persons: int, rng: random.Random) -> str:
+    initial = round(rng.uniform(1.0, 200.0), 2)
+    bidders = []
+    current = initial
+    for _ in range(rng.randrange(0, 5)):
+        increase = round(rng.uniform(1.0, 25.0), 2)
+        current = round(current + increase, 2)
+        bidders.append(
+            f"<bidder><increase>{increase}</increase>"
+            f"<personref person=\"person{rng.randrange(max(1, num_persons))}\"/></bidder>"
+        )
+    return f"""<open_auction id="auction{i}">
+  <initial>{initial}</initial>
+  {''.join(bidders)}
+  <current>{current}</current>
+  <itemref item="item{rng.randrange(max(1, num_items))}"/>
+  <seller person="person{rng.randrange(max(1, num_persons))}"/>
+  <quantity>{rng.randrange(1, 5)}</quantity>
+</open_auction>"""
+
+
+def build_database(
+    num_items: int = 200,
+    num_persons: int = 200,
+    num_auctions: int = 200,
+    seed: int = 7,
+    database: Optional[Database] = None,
+) -> Database:
+    """Generate an XMark-like database (three collections, seeded)."""
+    rng = random.Random(seed)
+    db = database or Database("xmark")
+    db.create_collection(ITEM_COLLECTION)
+    db.create_collection(PERSON_COLLECTION)
+    db.create_collection(AUCTION_COLLECTION)
+    for i in range(num_items):
+        db.insert_document(ITEM_COLLECTION, item_document(i, rng))
+    for i in range(num_persons):
+        db.insert_document(PERSON_COLLECTION, person_document(i, rng))
+    for i in range(num_auctions):
+        db.insert_document(
+            AUCTION_COLLECTION, auction_document(i, num_items, num_persons, rng)
+        )
+    return db
+
+
+def xmark_queries(seed: int = 7) -> List[str]:
+    """XMark-flavoured queries within the reproduction's subset."""
+    rng = random.Random(seed + 1)
+    person = f"person{rng.randrange(200)}"
+    item = f"item{rng.randrange(200)}"
+    category = f"category{rng.randrange(50)}"
+    return [
+        # XMark Q1: the name of the person with a given id
+        f"""for $p in PERSONS('PDOC')/person
+            where $p/@id = "{person}"
+            return $p/name""",
+        # XMark Q2-ish: initial increases of open auctions
+        """for $a in AUCTIONS('ADOC')/open_auction
+           where $a/bidder/increase > 20
+           return $a/itemref""",
+        # XMark Q5-ish: auctions whose current price exceeds a threshold
+        """for $a in AUCTIONS('ADOC')/open_auction[current >= 100]
+           return $a/seller""",
+        # items of a region
+        """for $i in ITEMS('IDOC')/item
+           where $i/location = "europe"
+           return $i/name""",
+        # category membership via attribute
+        f"""for $i in ITEMS('IDOC')/item
+            where $i/incategory/@category = "{category}"
+            return $i/name""",
+        # wildcard navigation into the profile
+        """for $p in PERSONS('PDOC')/person
+           where $p/profile/@income > 100000 and $p/*/city = "Tampa"
+           return $p/emailaddress""",
+        # descendant navigation: text anywhere under the description
+        """for $i in ITEMS('IDOC')/item
+           where $i/description//text = "lorem ipsum 7 gold"
+           return $i/name""",
+        # auction for a given item
+        f"""for $a in AUCTIONS('ADOC')/open_auction
+            where $a/itemref/@item = "{item}"
+            return $a/current""",
+    ]
+
+
+def xmark_workload(seed: int = 7) -> Workload:
+    """The XMark-style workload."""
+    return Workload.from_statements(xmark_queries(seed))

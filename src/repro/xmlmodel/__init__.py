@@ -1,0 +1,30 @@
+"""XML document model: a from-scratch node tree, parser, and serializer.
+
+This package is the lowest substrate layer of the reproduction.  The paper's
+prototype runs inside IBM DB2 pureXML, whose storage layer parses XML text
+into a native node tree with document-order node identifiers.  Everything
+above (indexes, statistics, the optimizer, and finally the index advisor)
+manipulates these nodes, so we implement the same model here:
+
+* :class:`XmlNode` -- an element, attribute, or text node with a
+  document-order ``node_id``, parent/children links, and typed-value access.
+* :class:`XmlDocument` -- a parsed document with its node table.
+* :func:`parse_document` / :func:`parse_fragment` -- a recursive-descent XML
+  parser (elements, attributes, text, CDATA, comments, processing
+  instructions, and the five predefined entities).
+* :func:`serialize` -- node tree back to XML text.
+"""
+
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
+from repro.xmlmodel.parser import XmlParseError, parse_document, parse_fragment
+from repro.xmlmodel.serializer import serialize
+
+__all__ = [
+    "NodeKind",
+    "XmlDocument",
+    "XmlNode",
+    "XmlParseError",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+]

@@ -1,0 +1,278 @@
+"""A from-scratch recursive-descent XML parser.
+
+Supports the subset of XML 1.0 an XML database ingests in practice:
+elements, attributes (single- or double-quoted), character data, CDATA
+sections, comments, processing instructions, the XML declaration, and the
+five predefined entities plus decimal/hex character references.  DTDs are
+recognized and skipped.  Namespace prefixes are kept as part of the name
+(prefix:local), matching how our index patterns treat names.
+
+The parser reports errors with line/column positions via
+:class:`XmlParseError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+class XmlParseError(ValueError):
+    """Raised when the input is not well-formed XML."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Parser:
+    """Cursor-based parser over the raw XML text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+    def _location(self) -> Tuple[int, int]:
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_nl = self.text.rfind("\n", 0, self.pos)
+        column = self.pos - last_nl
+        return line, column
+
+    def _error(self, message: str) -> XmlParseError:
+        line, column = self._location()
+        return XmlParseError(message, line, column)
+
+    def _peek(self) -> str:
+        if self.pos >= self.length:
+            raise self._error("unexpected end of input")
+        return self.text[self.pos]
+
+    def _at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def _startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._startswith(token):
+            raise self._error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _read_name(self) -> str:
+        if self._at_end() or not _is_name_start(self._peek()):
+            raise self._error("expected a name")
+        start = self.pos
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    # ------------------------------------------------------------------
+    # Entities and text
+    # ------------------------------------------------------------------
+    def _read_reference(self) -> str:
+        self._expect("&")
+        end = self.text.find(";", self.pos)
+        if end == -1:
+            raise self._error("unterminated entity reference")
+        body = self.text[self.pos : end]
+        self.pos = end + 1
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except ValueError:
+                raise self._error(f"bad character reference &{body};") from None
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except ValueError:
+                raise self._error(f"bad character reference &{body};") from None
+        if body in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[body]
+        raise self._error(f"unknown entity &{body};")
+
+    def _read_text(self) -> str:
+        parts: List[str] = []
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch == "<":
+                break
+            if ch == "&":
+                parts.append(self._read_reference())
+            else:
+                parts.append(ch)
+                self.pos += 1
+        return "".join(parts)
+
+    def _read_attribute_value(self) -> str:
+        quote = self._peek()
+        if quote not in "\"'":
+            raise self._error("attribute value must be quoted")
+        self.pos += 1
+        parts: List[str] = []
+        while True:
+            if self._at_end():
+                raise self._error("unterminated attribute value")
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return "".join(parts)
+            if ch == "&":
+                parts.append(self._read_reference())
+            else:
+                parts.append(ch)
+                self.pos += 1
+
+    # ------------------------------------------------------------------
+    # Markup
+    # ------------------------------------------------------------------
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs, and doctype between markup."""
+        while True:
+            self._skip_whitespace()
+            if self._startswith("<!--"):
+                self._skip_comment()
+            elif self._startswith("<?"):
+                self._skip_pi()
+            elif self._startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        self._expect("<!--")
+        end = self.text.find("-->", self.pos)
+        if end == -1:
+            raise self._error("unterminated comment")
+        self.pos = end + 3
+
+    def _skip_pi(self) -> None:
+        self._expect("<?")
+        end = self.text.find("?>", self.pos)
+        if end == -1:
+            raise self._error("unterminated processing instruction")
+        self.pos = end + 2
+
+    def _skip_doctype(self) -> None:
+        self._expect("<!DOCTYPE")
+        depth = 1
+        while depth > 0:
+            if self._at_end():
+                raise self._error("unterminated DOCTYPE")
+            ch = self.text[self.pos]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            self.pos += 1
+
+    def _read_cdata(self) -> str:
+        self._expect("<![CDATA[")
+        end = self.text.find("]]>", self.pos)
+        if end == -1:
+            raise self._error("unterminated CDATA section")
+        data = self.text[self.pos : end]
+        self.pos = end + 3
+        return data
+
+    def parse_element(self) -> XmlNode:
+        """Parse one element (with its subtree) starting at ``<``."""
+        self._expect("<")
+        name = self._read_name()
+        node = XmlNode(NodeKind.ELEMENT, name=name)
+        # Attributes
+        while True:
+            self._skip_whitespace()
+            if self._at_end():
+                raise self._error(f"unterminated start tag <{name}>")
+            ch = self._peek()
+            if ch == ">":
+                self.pos += 1
+                break
+            if self._startswith("/>"):
+                self.pos += 2
+                return node
+            attr_name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            if node.attribute(attr_name) is not None:
+                raise self._error(f"duplicate attribute {attr_name!r}")
+            node.set_attribute(attr_name, self._read_attribute_value())
+        # Content
+        while True:
+            if self._at_end():
+                raise self._error(f"missing end tag </{name}>")
+            if self._startswith("</"):
+                self.pos += 2
+                end_name = self._read_name()
+                if end_name != name:
+                    raise self._error(
+                        f"mismatched end tag </{end_name}> for <{name}>"
+                    )
+                self._skip_whitespace()
+                self._expect(">")
+                return node
+            if self._startswith("<!--"):
+                self._skip_comment()
+            elif self._startswith("<![CDATA["):
+                data = self._read_cdata()
+                if data:
+                    node.append_child(XmlNode(NodeKind.TEXT, value=data))
+            elif self._startswith("<?"):
+                self._skip_pi()
+            elif self._peek() == "<":
+                node.append_child(self.parse_element())
+            else:
+                text = self._read_text()
+                if text.strip():
+                    node.append_child(XmlNode(NodeKind.TEXT, value=text))
+
+    def parse_document_root(self) -> XmlNode:
+        self._skip_misc()
+        if self._at_end() or self._peek() != "<":
+            raise self._error("expected root element")
+        root = self.parse_element()
+        self._skip_misc()
+        if not self._at_end():
+            raise self._error("content after document root")
+        return root
+
+
+def parse_fragment(text: str) -> XmlNode:
+    """Parse ``text`` and return the root :class:`XmlNode` element."""
+    return _Parser(text).parse_document_root()
+
+
+def parse_document(text: str, doc_id: int = -1) -> XmlDocument:
+    """Parse ``text`` into an :class:`XmlDocument` with node ids assigned."""
+    return XmlDocument(parse_fragment(text), doc_id=doc_id)

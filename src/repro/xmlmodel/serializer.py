@@ -1,0 +1,53 @@
+"""Serialize a node tree back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlmodel.nodes import NodeKind, XmlNode
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def serialize(node: XmlNode, indent: int = 0, pretty: bool = False) -> str:
+    """Serialize ``node`` (an element, text, or document node) to XML text.
+
+    With ``pretty=True`` elements are newline-separated and indented by two
+    spaces per level; text content is emitted inline either way.
+    """
+    if node.kind is NodeKind.DOCUMENT:
+        return "".join(serialize(c, indent, pretty) for c in node.children)
+    if node.kind is NodeKind.TEXT:
+        return _escape_text(node.value or "")
+    if node.kind is NodeKind.ATTRIBUTE:
+        return f'{node.name}="{_escape_attribute(node.value or "")}"'
+
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    attrs = "".join(
+        f' {a.name}="{_escape_attribute(a.value or "")}"' for a in node.attributes
+    )
+    if not node.children:
+        return f"{pad}<{node.name}{attrs}/>{newline}"
+
+    has_element_children = any(c.kind is NodeKind.ELEMENT for c in node.children)
+    parts: List[str] = [f"{pad}<{node.name}{attrs}>"]
+    if pretty and has_element_children:
+        parts.append("\n")
+        for child in node.children:
+            if child.kind is NodeKind.ELEMENT:
+                parts.append(serialize(child, indent + 1, pretty))
+            else:
+                parts.append("  " * (indent + 1) + _escape_text(child.value or "") + "\n")
+        parts.append(f"{pad}</{node.name}>{newline}")
+    else:
+        for child in node.children:
+            parts.append(serialize(child, 0, False))
+        parts.append(f"</{node.name}>{newline}")
+    return "".join(parts)

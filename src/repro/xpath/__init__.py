@@ -1,0 +1,41 @@
+"""XPath subsystem: lexer, parser, AST, evaluator, and linear index patterns.
+
+The paper's queries use XPath path expressions with predicates at arbitrary
+locations, while *index patterns* are linear XPath expressions without
+predicates (Section III).  This package provides both:
+
+* :func:`parse_xpath` -- parse a path expression with predicates into a
+  :class:`LocationPath` AST.
+* :func:`evaluate_path` -- evaluate a path over a document node tree.
+* :class:`PathPattern` / :func:`parse_pattern` -- linear, predicate-free
+  patterns with NFA-based ``matches`` (does a rooted tag path belong to the
+  pattern?) and ``covers`` (language containment between two patterns --
+  the core of optimizer index matching).
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    ComparisonPredicate,
+    ExistsPredicate,
+    Literal,
+    LocationPath,
+    Step,
+)
+from repro.xpath.evaluator import evaluate_path, evaluate_predicate
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+from repro.xpath.patterns import PathPattern, parse_pattern
+
+__all__ = [
+    "Axis",
+    "ComparisonPredicate",
+    "ExistsPredicate",
+    "Literal",
+    "LocationPath",
+    "PathPattern",
+    "Step",
+    "XPathSyntaxError",
+    "evaluate_path",
+    "evaluate_predicate",
+    "parse_pattern",
+    "parse_xpath",
+]

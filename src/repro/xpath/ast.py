@@ -1,0 +1,249 @@
+"""AST for the XPath subset used by the reproduction.
+
+The subset covers what the paper's workloads need: absolute and relative
+location paths built from child (``/``) and descendant (``//``) steps, name
+tests (a name, ``*``, or ``@attr``), and step predicates that are either an
+existence test (``[SecInfo]``) or a comparison of a relative path against a
+literal (``[Yield > 4.5]``).  Index *patterns* (see
+:mod:`repro.xpath.patterns`) are the predicate-free linear fragment of these
+paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+
+class Axis(enum.Enum):
+    """Navigation axis of a step."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# Comparison operators supported in predicates and where clauses.
+COMPARISON_OPS = ("=", "!=", "<=", "<", ">=", ">")
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal operand: a string or a number.
+
+    ``value`` holds the Python value (``str`` or ``float``).  The distinction
+    drives the *type* of candidate value indexes: comparisons against numbers
+    produce numerical index candidates, comparisons against strings produce
+    string candidates (Table I in the paper).
+    """
+
+    value: Union[str, float]
+
+    @property
+    def is_number(self) -> bool:
+        return isinstance(self.value, float)
+
+    def __str__(self) -> str:
+        if self.is_number:
+            number = self.value
+            return str(int(number)) if float(number).is_integer() else str(number)
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate:
+    """``[path op literal]`` -- existential comparison semantics: the
+    predicate holds if *some* node reached by ``path`` compares true."""
+
+    path: "LocationPath"
+    op: str
+    literal: Literal
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        path_text = str(self.path)
+        return f"[{path_text or '.'}{self.op}{self.literal}]"
+
+
+@dataclass(frozen=True)
+class ExistsPredicate:
+    """``[path]`` -- holds if ``path`` reaches at least one node."""
+
+    path: "LocationPath"
+
+    def __str__(self) -> str:
+        return f"[{self.path}]"
+
+
+#: String functions usable in predicates.  ``starts-with`` is *indexable*
+#: (a value index answers it with a range scan over the prefix interval);
+#: ``contains`` is not and is always evaluated as a residual.
+PREDICATE_FUNCTIONS = ("starts-with", "contains")
+
+
+@dataclass(frozen=True)
+class FunctionPredicate:
+    """``[starts-with(path, "prefix")]`` or ``[contains(path, "text")]``."""
+
+    function: str
+    path: "LocationPath"
+    literal: Literal
+
+    def __post_init__(self) -> None:
+        if self.function not in PREDICATE_FUNCTIONS:
+            raise ValueError(f"unsupported predicate function {self.function!r}")
+        if self.literal.is_number:
+            raise ValueError(f"{self.function}() needs a string argument")
+
+    def __str__(self) -> str:
+        path_text = str(self.path) or "."
+        return f"[{self.function}({path_text},{self.literal})]"
+
+
+@dataclass(frozen=True)
+class NotPredicate:
+    """``[not(expr)]`` -- holds if the inner predicate does not.
+
+    Never indexable: a value index enumerates satisfying nodes, not
+    documents lacking them.
+    """
+
+    inner: "Predicate"
+
+    def __str__(self) -> str:
+        return f"[not({str(self.inner)[1:-1]})]"
+
+
+@dataclass(frozen=True)
+class AndPredicate:
+    """A conjunction group inside an ``or`` (``[a=1 and b=2 or c=3]``).
+
+    Top-level conjunctions never produce this node -- they are split into
+    multiple step predicates by the parser; AndPredicate only appears as
+    an alternative of :class:`OrPredicate`.
+    """
+
+    conjuncts: Tuple["Predicate", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.conjuncts) < 2:
+            raise ValueError("an and-predicate needs at least two conjuncts")
+
+    def __str__(self) -> str:
+        inner = " and ".join(str(c)[1:-1] for c in self.conjuncts)
+        return f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class OrPredicate:
+    """``[a=1 or b=2]`` -- holds if any alternative holds.
+
+    Alternatives are themselves predicates (comparisons, existence tests,
+    functions, or nested conjunction groups represented as tuples).
+    """
+
+    alternatives: Tuple["Predicate", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 2:
+            raise ValueError("an or-predicate needs at least two alternatives")
+
+    def __str__(self) -> str:
+        inner = " or ".join(str(a)[1:-1] for a in self.alternatives)
+        return f"[{inner}]"
+
+
+Predicate = Union[
+    ComparisonPredicate,
+    ExistsPredicate,
+    FunctionPredicate,
+    NotPredicate,
+    AndPredicate,
+    OrPredicate,
+]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis, a name test, and optional predicates.
+
+    ``name_test`` is an element name, ``*`` for any element, or ``@name`` /
+    ``@*`` for attributes (attribute steps are only valid as the last step).
+    """
+
+    axis: Axis
+    name_test: str
+    predicates: Tuple[Predicate, ...] = field(default_factory=tuple)
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name_test in ("*", "@*")
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.name_test.startswith("@")
+
+    def without_predicates(self) -> "Step":
+        if not self.predicates:
+            return self
+        return Step(self.axis, self.name_test)
+
+    def __str__(self) -> str:
+        preds = "".join(str(p) for p in self.predicates)
+        return f"{self.axis}{self.name_test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A sequence of steps; ``absolute`` paths start at the document node."""
+
+    steps: Tuple[Step, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        for step in self.steps[:-1]:
+            if step.is_attribute:
+                raise ValueError(
+                    "attribute steps are only allowed as the last step: "
+                    f"{self}"
+                )
+
+    @property
+    def last_step(self) -> Step:
+        if not self.steps:
+            raise ValueError("empty path has no last step")
+        return self.steps[-1]
+
+    def without_predicates(self) -> "LocationPath":
+        """The linear skeleton of this path (predicates stripped)."""
+        return LocationPath(
+            tuple(s.without_predicates() for s in self.steps), self.absolute
+        )
+
+    def has_predicates(self) -> bool:
+        return any(step.predicates for step in self.steps)
+
+    def concat(self, other: "LocationPath") -> "LocationPath":
+        """Append a relative path to this path."""
+        if other.absolute:
+            raise ValueError("cannot concatenate an absolute path")
+        return LocationPath(self.steps + other.steps, self.absolute)
+
+    def __str__(self) -> str:
+        text = "".join(str(step) for step in self.steps)
+        if not self.absolute and text.startswith("/"):
+            # Relative paths render without the leading separator of their
+            # first child-axis step; descendant-axis first steps keep '//'.
+            first = self.steps[0]
+            if first.axis is Axis.CHILD:
+                return text[1:]
+        return text
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,184 @@
+"""XPath evaluation over the :mod:`repro.xmlmodel` node tree.
+
+This is the "interpreted" navigation path the database falls back to when no
+index applies (a collection scan navigates every document with this
+evaluator), and it is also used to evaluate residual predicates after an
+index scan.  Semantics follow XPath 1.0 for the supported subset:
+
+* ``/a/b`` -- children named ``b`` of children named ``a`` of the root.
+* ``a//b`` -- descendants named ``b`` at any depth >= 1 below ``a``.
+* ``a/@x`` -- attribute ``x`` of ``a``; ``a//@x`` includes attributes of
+  ``a`` itself and of all its descendants.
+* predicates have existential semantics: ``a[b > 1]`` keeps an ``a`` node if
+  *some* child ``b`` compares true.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
+from repro.xpath.ast import (
+    AndPredicate,
+    Axis,
+    ComparisonPredicate,
+    ExistsPredicate,
+    FunctionPredicate,
+    Literal,
+    LocationPath,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    Step,
+)
+
+
+def _children_named(node: XmlNode, name_test: str) -> Iterable[XmlNode]:
+    if name_test.startswith("@"):
+        attr_name = name_test[1:]
+        for attr in node.attributes:
+            if attr_name == "*" or attr.name == attr_name:
+                yield attr
+        return
+    for child in node.children:
+        if child.kind is NodeKind.ELEMENT and (
+            name_test == "*" or child.name == name_test
+        ):
+            yield child
+
+
+def _descendants_matching(node: XmlNode, name_test: str) -> Iterable[XmlNode]:
+    if name_test.startswith("@"):
+        attr_name = name_test[1:]
+        for descendant in node.descendants_or_self():
+            for attr in descendant.attributes:
+                if attr_name == "*" or attr.name == attr_name:
+                    yield attr
+        return
+    stack = list(reversed([c for c in node.children if c.kind is NodeKind.ELEMENT]))
+    while stack:
+        current = stack.pop()
+        if name_test == "*" or current.name == name_test:
+            yield current
+        stack.extend(
+            reversed([c for c in current.children if c.kind is NodeKind.ELEMENT])
+        )
+
+
+def _apply_step(context_nodes: List[XmlNode], step: Step) -> List[XmlNode]:
+    result: List[XmlNode] = []
+    seen = set()
+    for node in context_nodes:
+        if step.axis is Axis.CHILD:
+            produced = _children_named(node, step.name_test)
+        else:
+            produced = _descendants_matching(node, step.name_test)
+        for candidate in produced:
+            if all(evaluate_predicate(candidate, p) for p in step.predicates):
+                key = id(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    result.append(candidate)
+    # Document order when node ids are assigned; stable otherwise.
+    if result and all(n.node_id >= 0 for n in result):
+        result.sort(key=lambda n: n.node_id)
+    return result
+
+
+def evaluate_path(
+    context: Union[XmlNode, XmlDocument], path: LocationPath
+) -> List[XmlNode]:
+    """Evaluate ``path`` and return matching nodes in document order.
+
+    For absolute paths ``context`` may be an :class:`XmlDocument` or any
+    node of one (evaluation restarts at the document node).  Relative paths
+    are evaluated from ``context`` itself.
+    """
+    if isinstance(context, XmlDocument):
+        node: XmlNode = context.document_node
+        if not path.absolute:
+            raise ValueError("relative path needs a context node")
+    else:
+        node = context
+    if path.absolute:
+        while node.parent is not None:
+            node = node.parent
+    current = [node]
+    for step in path.steps:
+        if not current:
+            return []
+        current = _apply_step(current, step)
+    return current
+
+
+def evaluate_predicate(node: XmlNode, predicate: Predicate) -> bool:
+    """Evaluate one predicate against a candidate node."""
+    if isinstance(predicate, ExistsPredicate):
+        return bool(_relative_nodes(node, predicate.path))
+    if isinstance(predicate, ComparisonPredicate):
+        targets = _relative_nodes(node, predicate.path)
+        return any(
+            compare_value(t.typed_value(), predicate.op, predicate.literal)
+            for t in targets
+        )
+    if isinstance(predicate, FunctionPredicate):
+        needle = str(predicate.literal.value)
+        targets = _relative_nodes(node, predicate.path)
+        if predicate.function == "starts-with":
+            return any(t.string_value().startswith(needle) for t in targets)
+        return any(needle in t.string_value() for t in targets)
+    if isinstance(predicate, NotPredicate):
+        return not evaluate_predicate(node, predicate.inner)
+    if isinstance(predicate, AndPredicate):
+        return all(evaluate_predicate(node, p) for p in predicate.conjuncts)
+    if isinstance(predicate, OrPredicate):
+        return any(evaluate_predicate(node, p) for p in predicate.alternatives)
+    raise TypeError(f"unknown predicate type {type(predicate)!r}")
+
+
+def _relative_nodes(node: XmlNode, path: LocationPath) -> List[XmlNode]:
+    if not path.steps:
+        return [node]
+    return evaluate_path(node, path)
+
+
+def compare_value(value: object, op: str, literal: Literal) -> bool:
+    """Compare a node's typed value against a literal.
+
+    Numeric literals compare numerically (non-numeric node values never
+    match); string literals compare as strings (a numeric node value is
+    formatted back to its text form first).
+    """
+    if literal.is_number:
+        if isinstance(value, float):
+            number = value
+        else:
+            try:
+                number = float(str(value).strip())
+            except ValueError:
+                return False
+        return _apply_op(number, op, float(literal.value))
+    text = _value_as_text(value)
+    return _apply_op(text, op, str(literal.value))
+
+
+def _value_as_text(value: object) -> str:
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else str(value)
+    return str(value)
+
+
+def _apply_op(left, op: str, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unsupported operator {op!r}")

@@ -1,0 +1,136 @@
+"""Tokenizer for XPath expressions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenKind(enum.Enum):
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    STAR = "*"
+    AT = "@"
+    DOT = "."
+    LBRACKET = "["
+    RBRACKET = "]"
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    OP = "op"  # = != <= < >= >
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+
+_NAME_START_EXTRA = "_"
+_NAME_EXTRA = "_.-"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class XPathLexError(ValueError):
+    """Raised on an unrecognized character in an XPath expression."""
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an END token."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "/":
+            if text.startswith("//", pos):
+                tokens.append(Token(TokenKind.DOUBLE_SLASH, "//", pos))
+                pos += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", pos))
+                pos += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenKind.STAR, "*", pos))
+            pos += 1
+            continue
+        if ch == "@":
+            tokens.append(Token(TokenKind.AT, "@", pos))
+            pos += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenKind.LBRACKET, "[", pos))
+            pos += 1
+            continue
+        if ch == "]":
+            tokens.append(Token(TokenKind.RBRACKET, "]", pos))
+            pos += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", pos))
+            pos += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", pos))
+            pos += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", pos))
+            pos += 1
+            continue
+        if ch in "\"'":
+            end = text.find(ch, pos + 1)
+            if end == -1:
+                raise XPathLexError(f"unterminated string literal at {pos}")
+            tokens.append(Token(TokenKind.STRING, text[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if ch in "=<>!":
+            if text.startswith(("<=", ">=", "!=") , pos):
+                tokens.append(Token(TokenKind.OP, text[pos : pos + 2], pos))
+                pos += 2
+            elif ch == "!":
+                raise XPathLexError(f"unexpected '!' at {pos}")
+            else:
+                tokens.append(Token(TokenKind.OP, ch, pos))
+                pos += 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and pos + 1 < length and text[pos + 1].isdigit()
+        ):
+            start = pos
+            pos += 1
+            while pos < length and (text[pos].isdigit() or text[pos] == "."):
+                pos += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:pos], pos))
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenKind.DOT, ".", pos))
+            pos += 1
+            continue
+        if _is_name_start(ch):
+            start = pos
+            pos += 1
+            while pos < length and (_is_name_char(text[pos]) or text[pos] == ":"):
+                pos += 1
+            tokens.append(Token(TokenKind.NAME, text[start:pos], start))
+            continue
+        raise XPathLexError(f"unexpected character {ch!r} at position {pos}")
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

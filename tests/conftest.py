@@ -1,0 +1,52 @@
+"""Shared fixtures: small seeded databases and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, IndexAdvisor, Workload
+from repro.workloads import synthetic, tpox, xmark
+
+
+@pytest.fixture(scope="session")
+def tpox_db() -> Database:
+    """A small TPoX-like database shared across tests (read-only!)."""
+    return tpox.build_database(
+        num_securities=120, num_orders=120, num_customers=60, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def tpox_wl() -> Workload:
+    return tpox.tpox_workload(num_securities=120, seed=42)
+
+
+@pytest.fixture()
+def tpox_advisor(tpox_db, tpox_wl) -> IndexAdvisor:
+    return IndexAdvisor(tpox_db, tpox_wl)
+
+
+@pytest.fixture(scope="session")
+def xmark_db() -> Database:
+    return xmark.build_database(
+        num_items=80, num_persons=80, num_auctions=80, seed=7
+    )
+
+
+@pytest.fixture()
+def security_db() -> Database:
+    """A tiny single-collection database safe to mutate in tests."""
+    db = Database("test")
+    db.create_collection("SDOC")
+    for i in range(30):
+        sector = "Energy" if i % 3 == 0 else "Tech"
+        db.insert_document(
+            "SDOC",
+            f"""<Security id="s{i}">
+                  <Symbol>SYM{i:03d}</Symbol>
+                  <Name>Company {i}</Name>
+                  <Yield>{(i % 10) + 0.5}</Yield>
+                  <SecInfo><Industrial><Sector>{sector}</Sector></Industrial></SecInfo>
+                </Security>""",
+        )
+    return db

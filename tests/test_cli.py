@@ -1,0 +1,219 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main, read_workload_file
+from repro.storage.persist import load_database
+
+QUERY = "for $s in X('SDOC')/Security where $s/Yield > 9 return $s/Symbol"
+
+
+@pytest.fixture()
+def dbdir(tmp_path):
+    path = str(tmp_path / "db")
+    assert main(["generate", path, "--benchmark", "tpox", "--scale", "30",
+                 "--seed", "3"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_tpox(self, tmp_path, capsys):
+        path = str(tmp_path / "fresh")
+        assert main(["generate", path, "--benchmark", "tpox",
+                     "--scale", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "generated tpox database" in out
+        db = load_database(path)
+        assert len(db.collection("SDOC")) == 30
+
+    def test_generate_xmark(self, tmp_path, capsys):
+        path = str(tmp_path / "xm")
+        assert main(["generate", path, "--benchmark", "xmark", "--scale", "10"]) == 0
+        db = load_database(path)
+        assert set(db.collections) == {"IDOC", "PDOC", "ADOC"}
+
+
+class TestQueryAndExplain:
+    def test_query(self, dbdir, capsys):
+        assert main(["query", dbdir, QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+        assert "documents examined" in out
+
+    def test_query_limit(self, dbdir, capsys):
+        assert main(["query", dbdir, "COLLECTION('SDOC')/Security/Symbol",
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(truncated)" in out
+
+    def test_explain(self, dbdir, capsys):
+        assert main(["explain", dbdir, QUERY, "--enumerate"]) == 0
+        out = capsys.readouterr().out
+        assert "COLLECTION SCAN" in out
+        assert "/Security/Yield (numerical)" in out
+
+    def test_stats(self, dbdir, capsys):
+        assert main(["stats", dbdir, "SDOC", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "30 documents" in out
+        assert "/Security" in out
+
+
+class TestLoad:
+    def test_load_new_collection(self, dbdir, tmp_path, capsys):
+        doc = tmp_path / "d.xml"
+        doc.write_text("<Thing><V>1</V></Thing>")
+        assert main(["load", dbdir, "NEW", str(doc)]) == 0
+        db = load_database(dbdir)
+        assert len(db.collection("NEW")) == 1
+
+
+class TestRecommend:
+    def write_workload(self, tmp_path):
+        path = tmp_path / "wl.xq"
+        path.write_text(
+            f"{QUERY}\n;\n"
+            "for $s in X('SDOC')/Security where $s/Symbol = \"AA0001\" return $s\n"
+            "; @ 5\n"
+        )
+        return str(path)
+
+    def test_recommend(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--algorithm", "greedy_heuristics"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE INDEX" in out
+        assert "Estimated speedup" in out
+
+    def test_recommend_create_persists(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--create"]) == 0
+        db = load_database(dbdir)
+        assert db.indexes  # rebuilt from the saved catalog
+
+    def test_workload_file_frequencies(self, tmp_path):
+        path = tmp_path / "wl.xq"
+        path.write_text("COLLECTION('SDOC')/Security\n; @ 7\n")
+        workload = read_workload_file(str(path))
+        assert len(workload) == 1
+        assert workload.entries[0].frequency == 7.0
+
+
+class TestReproduce:
+    def test_reproduce_table3(self, dbdir, capsys):
+        assert main(["reproduce", dbdir, "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_reproduce_unknown(self, dbdir, capsys):
+        assert main(["reproduce", dbdir, "nope"]) == 2
+
+    def test_reproduce_requires_tpox(self, tmp_path, capsys):
+        path = str(tmp_path / "xm")
+        main(["generate", path, "--benchmark", "xmark", "--scale", "5"])
+        assert main(["reproduce", path, "table3"]) == 2
+
+
+class TestErrors:
+    def test_missing_database(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope"), "SDOC"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_collection(self, dbdir, capsys):
+        assert main(["stats", dbdir, "NOPE"]) == 1
+
+
+class TestJsonOutput:
+    def test_recommend_json(self, dbdir, tmp_path, capsys):
+        import json
+
+        workload = tmp_path / "wl.xq"
+        workload.write_text(f"{QUERY}\n;\n")
+        assert main(["recommend", dbdir, "--workload", str(workload),
+                     "--budget", "20000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "topdown_full"
+        assert payload["budget_bytes"] == 20000
+        assert isinstance(payload["indexes"], list)
+        for index in payload["indexes"]:
+            assert set(index) == {
+                "pattern", "value_type", "collection", "general", "size_bytes"
+            }
+        assert payload["estimated_speedup"] >= 1.0
+
+
+class TestPathStats:
+    def test_path_stats(self, dbdir, capsys):
+        assert main(["path-stats", dbdir, "SDOC", "/Security/Yield",
+                     "--probe", "5.0"]) == 0
+        out = capsys.readouterr().out
+        assert "matches 1 distinct rooted paths" in out
+        assert "virtual numerical index" in out
+        assert "selectivity" in out
+
+    def test_path_stats_wildcard(self, dbdir, capsys):
+        assert main(["path-stats", dbdir, "SDOC", "/Security//*"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct rooted paths" in out
+
+    def test_path_stats_bad_pattern(self, dbdir, capsys):
+        assert main(["path-stats", dbdir, "SDOC", "not-absolute"]) == 1
+
+
+class TestReviewCommand:
+    def prepare(self, dbdir, tmp_path):
+        # build two indexes: one the workload uses, one nothing uses
+        from repro.storage import IndexDefinition, IndexValueType
+        from repro.storage.persist import save_database
+        from repro.xpath import parse_pattern
+
+        db = load_database(dbdir)
+        db.create_index(IndexDefinition(
+            "used", "SDOC", parse_pattern("/Security/Yield"),
+            IndexValueType.NUMERIC,
+        ))
+        db.create_index(IndexDefinition(
+            "dead", "SDOC", parse_pattern("/Security/Price/Bid"),
+            IndexValueType.NUMERIC,
+        ))
+        save_database(db, dbdir)
+        workload = tmp_path / "wl.xq"
+        workload.write_text(f"{QUERY}\n;\n")
+        return str(workload)
+
+    def test_review_lists_verdicts(self, dbdir, tmp_path, capsys):
+        workload = self.prepare(dbdir, tmp_path)
+        assert main(["review", dbdir, "--workload", workload]) == 0
+        out = capsys.readouterr().out
+        assert "KEEP used" in out
+        assert "DROP dead" in out
+
+    def test_review_drop_persists(self, dbdir, tmp_path, capsys):
+        workload = self.prepare(dbdir, tmp_path)
+        assert main(["review", dbdir, "--workload", workload, "--drop"]) == 0
+        db = load_database(dbdir)
+        assert "used" in db.indexes
+        assert "dead" not in db.indexes
+
+    def test_review_no_indexes(self, dbdir, tmp_path, capsys):
+        workload = tmp_path / "wl.xq"
+        workload.write_text(f"{QUERY}\n;\n")
+        assert main(["review", dbdir, "--workload", str(workload)]) == 0
+        assert "no physical indexes" in capsys.readouterr().out
+
+
+class TestWhatifCommand:
+    def test_whatif_report(self, dbdir, tmp_path, capsys):
+        workload = tmp_path / "wl.xq"
+        workload.write_text(f"{QUERY}\n;\n")
+        assert main([
+            "whatif", dbdir, "SDOC", "--workload", str(workload),
+            "--patterns", "/Security/Yield:numeric", "/Security/Price/Bid:numeric",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total benefit" in out
+        assert "unused indexes" in out  # the Bid index serves nothing

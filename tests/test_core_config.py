@@ -1,0 +1,90 @@
+"""Unit tests for IndexConfiguration."""
+
+import pytest
+
+from repro.core.candidates import CandidateIndex
+from repro.core.config import IndexConfiguration
+from repro.storage.index import IndexValueType
+from repro.xpath import parse_pattern
+
+
+def candidate(pattern, value_type=IndexValueType.STRING, size=100, general=False):
+    c = CandidateIndex(parse_pattern(pattern), value_type, "C", general=general)
+    c.size_bytes = size
+    return c
+
+
+class TestConstruction:
+    def test_empty(self):
+        config = IndexConfiguration()
+        assert len(config) == 0
+        assert config.size_bytes() == 0
+
+    def test_deduplicates_by_key(self):
+        a = candidate("/a/b")
+        b = candidate("/a/b")
+        config = IndexConfiguration([a, b])
+        assert len(config) == 1
+
+    def test_same_pattern_different_types_kept(self):
+        config = IndexConfiguration(
+            [candidate("/a/b"), candidate("/a/b", IndexValueType.NUMERIC)]
+        )
+        assert len(config) == 2
+
+    def test_immutable(self):
+        config = IndexConfiguration()
+        with pytest.raises(AttributeError):
+            config.candidates = ()
+
+
+class TestSetOperations:
+    def test_with_candidate(self):
+        base = IndexConfiguration([candidate("/a")])
+        bigger = base.with_candidate(candidate("/b"))
+        assert len(base) == 1  # original untouched
+        assert len(bigger) == 2
+
+    def test_without(self):
+        a, b = candidate("/a"), candidate("/b")
+        config = IndexConfiguration([a, b])
+        assert len(config.without(a)) == 1
+        assert a not in config.without(a)
+        assert b in config.without(a)
+
+    def test_contains(self):
+        a = candidate("/a")
+        config = IndexConfiguration([a])
+        assert a in config
+        assert candidate("/a") in config  # by key, not identity
+        assert candidate("/z") not in config
+
+    def test_equality_and_hash_by_keys(self):
+        a1 = IndexConfiguration([candidate("/a"), candidate("/b")])
+        a2 = IndexConfiguration([candidate("/b"), candidate("/a")])
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != IndexConfiguration([candidate("/a")])
+
+
+class TestAccounting:
+    def test_size_bytes_sums(self):
+        config = IndexConfiguration(
+            [candidate("/a", size=100), candidate("/b", size=250)]
+        )
+        assert config.size_bytes() == 350
+
+    def test_general_specific_counts(self):
+        config = IndexConfiguration(
+            [candidate("/a"), candidate("/a/*", general=True)]
+        )
+        assert config.general_count() == 1
+        assert config.specific_count() == 1
+
+    def test_affected_statements_union(self):
+        a = candidate("/a")
+        a.affected = {0, 1}
+        b = candidate("/b")
+        b.affected = {1, 2}
+        config = IndexConfiguration([a, b])
+        assert config.affected_statements() == frozenset({0, 1, 2})

@@ -1,0 +1,171 @@
+"""Tests for candidate generalization (Algorithm 1 / Table II)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateSet
+from repro.core.generalization import generalize_candidates, generalize_pair
+from repro.storage.index import IndexValueType
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Axis
+from repro.xpath.patterns import PathPattern, PatternStep
+
+
+def gen(a, b):
+    return {str(p) for p in generalize_pair(parse_pattern(a), parse_pattern(b))}
+
+
+class TestPaperExamples:
+    def test_section_v_running_example(self):
+        """C1 + C2 -> C4: /Security//* (Table I)."""
+        assert gen("/Security/Symbol", "/Security/SecInfo/*/Sector") == {
+            "/Security//*"
+        }
+
+    def test_rule4_reoccurrence_example(self):
+        """Table II discussion: /a/b/d + /a/d/b/d -> /a//d and /a//b/d."""
+        assert gen("/a/b/d", "/a/d/b/d") == {"/a//d", "/a//b/d"}
+
+    def test_rewrite_rule_applied(self):
+        """/Security/*/* must come out as /Security//* (Rule 0)."""
+        results = gen("/Security/Symbol", "/Security/SecInfo/*/Sector")
+        assert "/Security/*/*" not in results
+
+
+class TestPairGeneralization:
+    def test_siblings_generalize_to_wildcard(self):
+        assert gen("/Security/Yield", "/Security/PE") == {"/Security/*"}
+
+    def test_identical_patterns_nothing_new(self):
+        assert gen("/a/b", "/a/b") == set()
+
+    def test_one_covers_other_nothing_new(self):
+        # //Yield already covers /Security/Yield; the only generalization
+        # is //Yield itself, which is not new.
+        assert gen("//Yield", "/Security/Yield") == set()
+
+    def test_descendant_axis_wins(self):
+        results = gen("/a//b", "/a/b")
+        assert results <= {"/a//b"} or results == set()
+
+    def test_different_lengths(self):
+        assert gen("/a/b/c", "/a/c") == {"/a//c"}
+
+    def test_different_roots(self):
+        results = gen("/a/x", "/b/y")
+        assert results == {"//*"} or results == {"/*/*"}
+
+    def test_attribute_patterns_generalize_together(self):
+        assert gen("/a/@id", "/a/b/@id") == {"/a//@id"}
+
+    def test_attribute_and_element_do_not_mix(self):
+        assert gen("/a/@id", "/a/b") == set()
+
+    def test_results_cover_both_parents(self):
+        for a, b in [
+            ("/Security/Symbol", "/Security/SecInfo/*/Sector"),
+            ("/a/b/d", "/a/d/b/d"),
+            ("/x/y", "/x//z"),
+        ]:
+            pa, pb = parse_pattern(a), parse_pattern(b)
+            for result in generalize_pair(pa, pb):
+                assert result.covers(pa)
+                assert result.covers(pb)
+
+
+class TestFixedPoint:
+    def make_candidates(self, patterns, value_type=IndexValueType.STRING):
+        candidates = CandidateSet()
+        for position, text in enumerate(patterns):
+            candidate = candidates.get_or_add(
+                parse_pattern(text), value_type, "C"
+            )
+            candidate.affected.add(position)
+        return candidates
+
+    def test_expansion_adds_generals(self):
+        candidates = self.make_candidates(
+            ["/Security/Symbol", "/Security/SecInfo/*/Sector"]
+        )
+        added = generalize_candidates(candidates)
+        assert added >= 1
+        assert {str(c.pattern) for c in candidates.generals()} == {"/Security//*"}
+
+    def test_types_never_mix(self):
+        candidates = CandidateSet()
+        candidates.get_or_add(
+            parse_pattern("/S/Yield"), IndexValueType.NUMERIC, "C"
+        )
+        candidates.get_or_add(
+            parse_pattern("/S/Symbol"), IndexValueType.STRING, "C"
+        )
+        added = generalize_candidates(candidates)
+        assert added == 0
+
+    def test_collections_never_mix(self):
+        candidates = CandidateSet()
+        candidates.get_or_add(parse_pattern("/S/a"), IndexValueType.STRING, "C1")
+        candidates.get_or_add(parse_pattern("/S/b"), IndexValueType.STRING, "C2")
+        assert generalize_candidates(candidates) == 0
+
+    def test_generated_candidates_participate(self):
+        """New generals pair with the rest until a fixed point."""
+        candidates = self.make_candidates(["/a/x/k", "/a/y/k", "/b/k"])
+        generalize_candidates(candidates)
+        patterns = {str(c.pattern) for c in candidates}
+        # /a/x/k + /a/y/k -> /a/*/k -> /a//k ; with /b/k -> //k (via /*//k etc.)
+        assert "/a//k" in patterns
+        assert any(p in patterns for p in ("//k", "/*//k", "/*/k"))
+
+    def test_affected_sets_propagated(self):
+        candidates = self.make_candidates(
+            ["/Security/Symbol", "/Security/SecInfo/*/Sector"]
+        )
+        generalize_candidates(candidates)
+        (general,) = candidates.generals()
+        assert general.affected == {0, 1}
+
+    def test_sources_recorded(self):
+        candidates = self.make_candidates(["/S/a", "/S/b"])
+        generalize_candidates(candidates)
+        (general,) = candidates.generals()
+        assert len(general.sources) == 2
+
+    def test_terminates_on_many_patterns(self):
+        patterns = [f"/root/n{i}/leaf" for i in range(8)]
+        candidates = self.make_candidates(patterns)
+        generalize_candidates(candidates)  # must not hang
+        assert len(candidates.generals()) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property-based: soundness of generalization
+# ---------------------------------------------------------------------------
+
+NAMES = st.sampled_from(["a", "b", "c"])
+STEPS = st.lists(
+    st.tuples(st.sampled_from([Axis.CHILD, Axis.DESCENDANT]), NAMES),
+    min_size=1,
+    max_size=4,
+)
+
+
+def to_pattern(steps):
+    return PathPattern([PatternStep(axis, name) for axis, name in steps])
+
+
+@given(a=STEPS, b=STEPS)
+@settings(max_examples=200, deadline=None)
+def test_generalizations_cover_both_inputs(a, b):
+    pa, pb = to_pattern(a), to_pattern(b)
+    for result in generalize_pair(pa, pb):
+        assert result.covers(pa)
+        assert result.covers(pb)
+
+
+@given(a=STEPS, b=STEPS)
+@settings(max_examples=200, deadline=None)
+def test_generalization_is_symmetric(a, b):
+    pa, pb = to_pattern(a), to_pattern(b)
+    assert generalize_pair(pa, pb) == generalize_pair(pb, pa)

@@ -1,0 +1,113 @@
+"""Tests for existing-index review (keep/drop recommendations)."""
+
+import pytest
+
+from repro import Database, IndexAdvisor, IndexDefinition, IndexValueType, Workload
+from repro.core.review import drop_recommended, review_existing_indexes
+from repro.workloads import tpox
+from repro.xpath import parse_pattern
+
+
+@pytest.fixture()
+def tuned_db():
+    """A database with one useful index, one redundant one, and one no
+    query ever touches."""
+    db = tpox.build_database(
+        num_securities=80, num_orders=20, num_customers=10, seed=31
+    )
+    db.create_index(
+        IndexDefinition(
+            "useful", "SDOC", parse_pattern("/Security/Symbol"),
+            IndexValueType.STRING,
+        )
+    )
+    db.create_index(
+        IndexDefinition(
+            "redundant", "SDOC", parse_pattern("/Security/*"),
+            IndexValueType.STRING,
+        )
+    )
+    db.create_index(
+        IndexDefinition(
+            "untouched", "SDOC", parse_pattern("/Security/Price/Bid"),
+            IndexValueType.NUMERIC,
+        )
+    )
+    return db
+
+
+@pytest.fixture()
+def symbol_workload():
+    return Workload.from_statements(
+        [
+            f"""for $s in X('SDOC')/Security
+                where $s/Symbol = "{tpox.symbol_for(3)}"
+                return $s"""
+        ]
+    )
+
+
+class TestReview:
+    def test_verdicts(self, tuned_db, symbol_workload):
+        reviews = {
+            r.index_name: r
+            for r in review_existing_indexes(tuned_db, symbol_workload)
+        }
+        assert reviews["useful"].keep
+        assert reviews["useful"].marginal_benefit > 0
+        # the general index is shadowed by the specific one: no marginal gain
+        assert not reviews["redundant"].keep
+        assert reviews["redundant"].marginal_benefit == pytest.approx(0.0)
+        # never used at all
+        assert not reviews["untouched"].keep
+
+    def test_database_unchanged_by_review(self, tuned_db, symbol_workload):
+        before = set(tuned_db.indexes)
+        review_existing_indexes(tuned_db, symbol_workload)
+        assert set(tuned_db.indexes) == before
+        # indexes still functional
+        assert tuned_db.index("useful").entry_count() > 0
+
+    def test_no_indexes_empty_review(self, symbol_workload):
+        db = tpox.build_database(
+            num_securities=10, num_orders=5, num_customers=5, seed=1
+        )
+        assert review_existing_indexes(db, symbol_workload) == []
+
+    def test_maintenance_included(self, tuned_db):
+        """With heavy churn and no queries, even the 'useful' index should
+        be dropped."""
+        workload = Workload.from_statements(
+            ["insert into SDOC value '<Security><Symbol>N</Symbol></Security>'"],
+            [1000.0],
+        )
+        reviews = review_existing_indexes(tuned_db, workload)
+        assert all(not r.keep for r in reviews)
+        assert all(r.maintenance_cost > 0 for r in reviews)
+
+    def test_str_rendering(self, tuned_db, symbol_workload):
+        reviews = review_existing_indexes(tuned_db, symbol_workload)
+        text = "\n".join(str(r) for r in reviews)
+        assert "KEEP useful" in text
+        assert "DROP" in text
+
+
+class TestDropRecommended:
+    def test_drops_only_flagged(self, tuned_db, symbol_workload):
+        reviews = review_existing_indexes(tuned_db, symbol_workload)
+        dropped = drop_recommended(tuned_db, reviews)
+        assert set(dropped) == {"redundant", "untouched"}
+        assert "useful" in tuned_db.indexes
+        assert "redundant" not in tuned_db.indexes
+
+    def test_workload_unharmed_after_drop(self, tuned_db, symbol_workload):
+        from repro import Executor
+
+        executor = Executor(tuned_db)
+        statement = symbol_workload.entries[0].statement
+        before = executor.execute(statement, collect_output=True)
+        reviews = review_existing_indexes(tuned_db, symbol_workload)
+        drop_recommended(tuned_db, reviews)
+        after = Executor(tuned_db).execute(statement, collect_output=True)
+        assert sorted(before.output) == sorted(after.output)
+        assert after.docs_examined <= before.docs_examined + 1

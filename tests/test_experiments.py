@@ -1,0 +1,174 @@
+"""Smoke tests for the experiment drivers at tiny scale.
+
+The full-scale shape assertions live in benchmarks/; these tests verify
+the drivers run, return well-formed rows, and format cleanly.
+"""
+
+import pytest
+
+from repro import Workload
+from repro.experiments import ablations, fig2, fig3, fig4, fig5, table3, table4
+from repro.workloads import synthetic, tpox
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return tpox.build_database(
+        num_securities=60, num_orders=40, num_customers=20, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return tpox.tpox_workload(num_securities=60, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tiny_mixed(tiny_db, tiny_workload):
+    workload = Workload(list(tiny_workload.entries))
+    for query in synthetic.random_path_queries(tiny_db, "SDOC", 4, seed=2):
+        workload.add(query)
+    return workload
+
+
+class TestFig2:
+    def test_rows_and_format(self, tiny_db, tiny_workload):
+        rows, all_speedup = fig2.run(
+            tiny_db, tiny_workload, fractions=(0.5, 1.0),
+            algorithms=("greedy", "topdown_lite"),
+        )
+        assert len(rows) == 2
+        assert all_speedup >= 1.0
+        for row in rows:
+            assert row["greedy"] >= 1.0
+            assert row["topdown_lite"] >= 1.0
+        text = fig2.format_rows(rows, all_speedup, ("greedy", "topdown_lite"))
+        assert "Figure 2" in text
+        assert str(rows[0]["budget"]) in text
+
+
+class TestFig3:
+    def test_rows_and_format(self, tiny_db, tiny_workload):
+        rows = fig3.run(
+            tiny_db, tiny_workload, fractions=(0.5,),
+            algorithms=("greedy", "topdown_full"),
+        )
+        (row,) = rows
+        assert row["greedy"]["optimizer_calls"] > 0
+        assert row["topdown_full"]["seconds"] >= 0
+        assert "Figure 3" in fig3.format_rows(rows, ("greedy", "topdown_full"))
+
+
+class TestTable3:
+    def test_rows_and_format(self, tiny_db):
+        rows = table3.run(tiny_db, sizes=(5, 10))
+        assert [row["queries"] for row in rows] == [5, 10]
+        for row in rows:
+            assert row["total"] >= row["basic"] > 0
+        assert "Table III" in table3.format_rows(rows)
+
+
+class TestTable4:
+    def test_rows_and_format(self, tiny_db, tiny_mixed):
+        rows = table4.run(
+            tiny_db, tiny_mixed, fractions=(0.5, 2.0),
+            algorithms=("topdown_lite",),
+        )
+        for row in rows:
+            generals, specifics = row["topdown_lite"]
+            assert generals >= 0 and specifics >= 0
+        assert "Table IV" in table4.format_rows(rows, ("topdown_lite",))
+
+
+class TestFig4:
+    def test_rows_and_format(self, tiny_db, tiny_mixed):
+        rows, all_speedup = fig4.run(
+            tiny_db, tiny_mixed, training_sizes=(2, len(tiny_mixed)),
+            algorithms=("topdown_lite",),
+        )
+        assert rows[0]["n"] == 2
+        assert rows[-1]["topdown_lite"] >= rows[0]["topdown_lite"] - 1e-6
+        assert "Figure 4" in fig4.format_rows(rows, all_speedup, ("topdown_lite",))
+
+
+class TestFig5:
+    def test_rows_and_format(self):
+        db = tpox.build_database(
+            num_securities=40, num_orders=20, num_customers=10, seed=13
+        )
+        workload = tpox.tpox_workload(num_securities=40, seed=13)
+        rows, secs, docs = fig5.run(
+            db, workload, training_sizes=(3, len(workload)),
+            algorithms=("greedy_heuristics",),
+        )
+        assert secs > 0 and docs > 0
+        final = rows[-1]["greedy_heuristics"]
+        assert final["speedup_docs"] >= 1.0
+        assert "Figure 5" in fig5.format_rows(rows, secs, docs, ("greedy_heuristics",))
+        # indexes were dropped again
+        assert db.indexes == {}
+
+
+class TestAblations:
+    def test_optimizer_calls(self, tiny_db, tiny_workload):
+        rows = ablations.run_optimizer_calls(
+            tiny_db, tiny_workload, algorithms=("greedy_heuristics",)
+        )
+        (row,) = rows
+        assert row["efficient_calls"] < row["naive_calls"]
+        assert "Ablation" in ablations.format_optimizer_calls(rows)
+
+    def test_beta_sweep(self, tiny_db, tiny_mixed):
+        rows = ablations.run_beta_sweep(tiny_db, tiny_mixed, betas=(0.0, 1.0))
+        generals = [row["generals"] for row in rows]
+        assert generals == sorted(generals)
+        assert "beta" in ablations.format_beta_sweep(rows)
+
+    def test_update_sweep(self, tiny_db):
+        def factory(frequency):
+            return tpox.tpox_workload(
+                num_securities=60, seed=11,
+                include_updates=frequency > 0,
+                update_frequency=max(frequency, 1.0),
+            )
+
+        rows = ablations.run_update_sweep(
+            tiny_db, factory, frequencies=(0.0, 1000.0)
+        )
+        assert rows[-1]["indexes"] <= rows[0]["indexes"]
+        assert "update frequency" in ablations.format_update_sweep(rows)
+
+
+class TestAccuracyHelpers:
+    def test_ranks_simple(self):
+        from repro.experiments.accuracy import _ranks
+
+        assert _ranks([10.0, 30.0, 20.0]) == [1.0, 3.0, 2.0]
+
+    def test_ranks_ties_averaged(self):
+        from repro.experiments.accuracy import _ranks
+
+        assert _ranks([5.0, 5.0, 1.0]) == [2.5, 2.5, 1.0]
+
+    def test_spearman_perfect_and_inverse(self):
+        from repro.experiments.accuracy import spearman
+
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_accuracy_run_smoke(self):
+        from repro.experiments import accuracy
+        from repro.workloads import tpox
+
+        db = tpox.build_database(
+            num_securities=40, num_orders=20, num_customers=10, seed=3
+        )
+        workload = tpox.tpox_workload(num_securities=40, seed=3)
+        rows = accuracy.run(db, workload)
+        assert {row["config"] for row in rows} == {
+            "none", "recommended", "all_index"
+        }
+        stats = accuracy.correlations(rows)
+        assert stats["estimated_vs_docs"] > 0.5
+        assert "Spearman" in accuracy.format_rows(rows)
+        assert db.indexes == {}  # cleaned up

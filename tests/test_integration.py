@@ -1,0 +1,157 @@
+"""Cross-layer integration tests: realistic end-to-end scenarios."""
+
+import pytest
+
+from repro import (
+    Database,
+    Executor,
+    IndexAdvisor,
+    Optimizer,
+    OptimizerMode,
+    Workload,
+)
+from repro.core.whatif import analyze
+from repro.storage.persist import load_database, save_database
+from repro.workloads import tpox, xmark
+
+
+class TestPaperWalkthrough:
+    """The paper's Sections III-V running example, end to end."""
+
+    @pytest.fixture()
+    def db(self):
+        return tpox.build_database(
+            num_securities=100, num_orders=10, num_customers=10, seed=1
+        )
+
+    @pytest.fixture()
+    def workload(self):
+        return Workload.from_statements(
+            [
+                f"""for $sec in SECURITY('SDOC')/Security
+                    where $sec/Symbol = "{tpox.symbol_for(5)}"
+                    return $sec""",
+                """for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+                   where $sec/SecInfo/*/Sector = "Energy"
+                   return <Security>{$sec/Name}</Security>""",
+            ]
+        )
+
+    def test_table1_candidates(self, db, workload):
+        """Table I: basic candidates C1-C3, generalized candidate C4."""
+        advisor = IndexAdvisor(db, workload)
+        patterns = {str(c.pattern): c for c in advisor.candidates}
+        assert "/Security/Symbol" in patterns  # C1
+        assert "/Security/SecInfo/*/Sector" in patterns  # C2
+        assert "/Security/Yield" in patterns  # C3
+        assert "/Security//*" in patterns  # C4
+        assert patterns["/Security//*"].general
+
+    def test_subconfiguration_example(self, db, workload):
+        """Section VI-C: C1 alone, C2+C3 grouped (both from Q2)."""
+        advisor = IndexAdvisor(db, workload)
+        from repro.core.config import IndexConfiguration
+        from repro.storage.index import IndexValueType
+
+        candidates = advisor.candidates
+        c1 = candidates.get(("/Security/Symbol", IndexValueType.STRING))
+        c2 = candidates.get(("/Security/SecInfo/*/Sector", IndexValueType.STRING))
+        c3 = candidates.get(("/Security/Yield", IndexValueType.NUMERIC))
+        groups = advisor.evaluator._sub_configurations(
+            IndexConfiguration([c1, c2, c3])
+        )
+        group_keys = sorted(
+            tuple(sorted(str(c.pattern) for c in group)) for group in groups
+        )
+        assert group_keys == [
+            ("/Security/SecInfo/*/Sector", "/Security/Yield"),
+            ("/Security/Symbol",),
+        ]
+
+    def test_recommendation_round_trip(self, db, workload):
+        advisor = IndexAdvisor(db, workload)
+        recommendation = advisor.recommend(budget_bytes=50_000)
+        advisor.create_indexes(recommendation)
+        executor = Executor(db)
+        for entry in workload:
+            result = executor.execute(entry.statement)
+            assert result.used_indexes  # every query runs on an index
+            assert result.docs_examined < 100
+
+
+class TestPersistedTuningSession:
+    def test_recommend_save_reload_execute(self, tmp_path):
+        db = tpox.build_database(
+            num_securities=80, num_orders=40, num_customers=20, seed=5
+        )
+        workload = tpox.tpox_workload(num_securities=80, seed=5)
+        advisor = IndexAdvisor(db, workload)
+        recommendation = advisor.recommend(budget_bytes=80_000)
+        advisor.create_indexes(recommendation)
+        save_database(db, str(tmp_path / "db"))
+
+        reloaded = load_database(str(tmp_path / "db"))
+        executor = Executor(reloaded)
+        used = set()
+        for entry in workload.queries():
+            used.update(executor.execute(entry.statement).used_indexes)
+        assert used  # rebuilt indexes are picked up by the optimizer
+
+
+class TestXmarkEndToEnd:
+    def test_advise_create_execute(self, xmark_db):
+        workload = xmark.xmark_workload(seed=7)
+        advisor = IndexAdvisor(xmark_db, workload)
+        recommendation = advisor.recommend(budget_bytes=150_000)
+        assert recommendation.estimated_speedup > 1.0
+        report = analyze(xmark_db, workload, recommendation.configuration)
+        assert report.total_benefit > 0
+        # at least half the queries see an indexed plan
+        indexed = sum(1 for impact in report.impacts if impact.used_indexes)
+        assert indexed >= len(workload) / 2
+
+
+class TestMixedCollectionIsolation:
+    def test_indexes_only_match_their_collection(self):
+        db = Database()
+        db.create_collection("A")
+        db.create_collection("B")
+        for i in range(20):
+            db.insert_document("A", f"<r><v>{i}</v></r>")
+            db.insert_document("B", f"<r><v>{i}</v></r>")
+        workload = Workload.from_statements(
+            ["for $x in C('A')/r where $x/v = 7 return $x"]
+        )
+        advisor = IndexAdvisor(db, workload)
+        recommendation = advisor.recommend(budget_bytes=10_000)
+        assert all(c.collection == "A" for c in recommendation.configuration)
+
+    def test_cross_collection_statements_cost_independently(self):
+        db = Database()
+        db.create_collection("A")
+        db.create_collection("B")
+        for i in range(30):
+            db.insert_document("A", f"<r><v>{i}</v></r>")
+        db.insert_document("B", "<r><v>0</v></r>")
+        optimizer = Optimizer(db)
+        from repro.query import parse_statement
+
+        cost_a = optimizer.optimize(
+            parse_statement("for $x in C('A')/r where $x/v = 7 return $x")
+        ).estimated_cost
+        cost_b = optimizer.optimize(
+            parse_statement("for $x in C('B')/r where $x/v = 7 return $x")
+        ).estimated_cost
+        assert cost_a > cost_b  # 30 docs vs 1 doc
+
+
+class TestAdvisorIdempotence:
+    def test_same_inputs_same_recommendation(self, tpox_db, tpox_wl):
+        recs = [
+            IndexAdvisor(tpox_db, tpox_wl).recommend(
+                budget_bytes=40_000, algorithm="topdown_full"
+            )
+            for __ in range(2)
+        ]
+        assert recs[0].configuration.keys == recs[1].configuration.keys
+        assert recs[0].search.benefit == pytest.approx(recs[1].search.benefit)

@@ -1,0 +1,144 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.optimizer.cost import CostConstants, CostModel
+from repro.optimizer.rewriter import PathRequest
+from repro.storage import Database, IndexDefinition, IndexValueType
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
+
+
+@pytest.fixture()
+def model(security_db):
+    return CostModel(security_db.runstats("SDOC"))
+
+
+def definition(pattern, value_type=IndexValueType.STRING, name="d"):
+    return IndexDefinition(name, "SDOC", parse_pattern(pattern), value_type, True)
+
+
+class TestBaseQuantities:
+    def test_doc_count(self, model):
+        assert model.doc_count == 30
+
+    def test_avg_nodes_per_doc(self, model):
+        assert model.avg_nodes_per_doc > 5
+
+
+class TestCollectionScan:
+    def test_scales_with_docs(self, security_db):
+        small = CostModel(security_db.runstats("SDOC"))
+        big_db = Database()
+        big_db.create_collection("SDOC")
+        for i in range(90):
+            big_db.insert_document("SDOC", "<Security><Symbol>X</Symbol></Security>")
+        big = CostModel(big_db.runstats("SDOC"))
+        # 3x the docs, but smaller docs; per-doc overhead still dominates
+        assert big.collection_scan_cost() > small.collection_scan_cost()
+
+    def test_positive(self, model):
+        assert model.collection_scan_cost() > 0
+
+
+class TestIndexAccess:
+    def test_selective_eq_cheap(self, model):
+        request = PathRequest(
+            parse_pattern("/Security/Symbol"), "=", Literal("SYM003")
+        )
+        access = model.index_access(definition("/Security/Symbol"), request)
+        assert access.candidate_docs <= 2
+        assert access.scan_cost < model.collection_scan_cost()
+
+    def test_unselective_range_touches_more(self, model):
+        narrow = model.index_access(
+            definition("/Security/Yield", IndexValueType.NUMERIC),
+            PathRequest(parse_pattern("/Security/Yield"), ">", Literal(9.0)),
+        )
+        wide = model.index_access(
+            definition("/Security/Yield", IndexValueType.NUMERIC),
+            PathRequest(parse_pattern("/Security/Yield"), ">", Literal(0.0)),
+        )
+        assert wide.touched_entries > narrow.touched_entries
+        assert wide.candidate_docs >= narrow.candidate_docs
+
+    def test_general_index_touches_more_but_same_docs(self, model):
+        """The path-filter-inside-the-index behaviour: a broad index pays
+        more entry CPU for the same request but fetches the same docs."""
+        request = PathRequest(
+            parse_pattern("/Security/Symbol"), "=", Literal("SYM003")
+        )
+        specific = model.index_access(definition("/Security/Symbol"), request)
+        general = model.index_access(definition("/Security//*"), request)
+        assert general.touched_entries >= specific.touched_entries
+        assert general.candidate_docs == pytest.approx(
+            specific.candidate_docs, abs=1.0
+        )
+        assert general.scan_cost >= specific.scan_cost
+
+    def test_existence_scans_whole_index(self, model):
+        request = PathRequest(parse_pattern("/Security/SecInfo"))
+        access = model.index_access(definition("/Security/SecInfo"), request)
+        assert access.touched_entries == 30  # one SecInfo per doc
+
+    def test_candidate_docs_never_exceed_doc_count(self, model):
+        request = PathRequest(parse_pattern("/Security//*"))
+        access = model.index_access(definition("/Security//*"), request)
+        assert access.candidate_docs <= model.doc_count
+
+
+class TestComposites:
+    def test_anded_docs_independence(self, model):
+        docs = model.anded_docs([15.0, 10.0])
+        assert docs == pytest.approx(15.0 * 10.0 / 30.0)
+
+    def test_anded_docs_empty_is_all(self, model):
+        assert model.anded_docs([]) == model.doc_count
+
+    def test_fetch_cost_linear(self, model):
+        assert model.fetch_cost(20) == pytest.approx(2 * model.fetch_cost(10))
+
+    def test_request_result_docs_capped(self, model):
+        request = PathRequest(parse_pattern("/Security/Yield"), ">=", Literal(0.0))
+        assert model.request_result_docs(request) <= model.doc_count
+
+    def test_insert_cost_grows_with_nodes(self, model):
+        assert model.insert_cost(100) > model.insert_cost(10)
+
+    def test_custom_constants_respected(self, security_db):
+        cheap = CostModel(
+            security_db.runstats("SDOC"), CostConstants(doc_overhead=0.01)
+        )
+        pricey = CostModel(
+            security_db.runstats("SDOC"), CostConstants(doc_overhead=10.0)
+        )
+        assert pricey.collection_scan_cost() > cheap.collection_scan_cost()
+
+
+class TestPlanNodes:
+    def test_used_index_names(self, security_db):
+        from repro.optimizer.plans import (
+            Fetch,
+            IndexAnding,
+            IndexScan,
+            used_index_names,
+        )
+
+        request = PathRequest(
+            parse_pattern("/Security/Symbol"), "=", Literal("A")
+        )
+        scans = [
+            IndexScan(definition("/Security/Symbol", name="a"), request),
+            IndexScan(definition("/Security/Yield", IndexValueType.NUMERIC, "b"),
+                      PathRequest(parse_pattern("/Security/Yield"), ">", Literal(1.0))),
+        ]
+        plan = Fetch(IndexAnding(scans), "SDOC")
+        assert used_index_names(plan) == ("a", "b")
+
+    def test_explain_indents_children(self, security_db):
+        from repro.optimizer.plans import CollectionScan, Fetch
+
+        plan = Fetch(CollectionScan("SDOC"), "SDOC")
+        lines = plan.explain().splitlines()
+        assert lines[0].startswith("FETCH")
+        assert lines[1].startswith("  COLLECTION SCAN")

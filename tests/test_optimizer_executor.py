@@ -1,0 +1,142 @@
+"""Tests for real plan execution.
+
+The central invariant: query results are identical with and without
+indexes (indexes change the access path, never the answer).
+"""
+
+import pytest
+
+from repro.optimizer import Executor, Optimizer
+from repro.query import parse_statement
+from repro.storage import Database, IndexDefinition, IndexValueType
+from repro.workloads import tpox
+from repro.xpath import parse_pattern
+
+
+def fresh_security_db(n=40):
+    db = Database()
+    db.create_collection("SDOC")
+    for i in range(n):
+        sector = "Energy" if i % 4 == 0 else "Tech"
+        db.insert_document(
+            "SDOC",
+            f"""<Security id="s{i}">
+                  <Symbol>SYM{i:03d}</Symbol>
+                  <Yield>{(i % 10) + 0.5}</Yield>
+                  <SecInfo><Industrial><Sector>{sector}</Sector></Industrial></SecInfo>
+                </Security>""",
+        )
+    return db
+
+
+QUERIES = [
+    """for $s in X('SDOC')/Security where $s/Symbol = "SYM003" return $s""",
+    """for $s in X('SDOC')/Security[Yield>4.5]
+       where $s/SecInfo/*/Sector = "Energy" return $s/Symbol""",
+    """for $s in X('SDOC')/Security where $s/Yield <= 2.0 return $s""",
+    """for $s in X('SDOC')/Security where $s/@id = "s7" return $s""",
+    "COLLECTION('SDOC')/Security/Symbol",
+]
+
+INDEX_DEFS = [
+    ("/Security/Symbol", IndexValueType.STRING),
+    ("/Security/Yield", IndexValueType.NUMERIC),
+    ("/Security/SecInfo/*/Sector", IndexValueType.STRING),
+    ("/Security/@id", IndexValueType.STRING),
+]
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_same_rows_with_and_without_indexes(self, query_text):
+        query = parse_statement(query_text)
+        db = fresh_security_db()
+        executor = Executor(db)
+        without = executor.execute(query, collect_output=True)
+
+        for i, (pattern, vt) in enumerate(INDEX_DEFS):
+            db.create_index(
+                IndexDefinition(f"ix{i}", "SDOC", parse_pattern(pattern), vt)
+            )
+        with_idx = Executor(db).execute(query, collect_output=True)
+        assert sorted(without.output) == sorted(with_idx.output)
+        assert without.rows == with_idx.rows
+
+    def test_index_reduces_docs_examined(self):
+        query = parse_statement(QUERIES[0])
+        db = fresh_security_db()
+        no_idx = Executor(db).execute(query)
+        assert no_idx.docs_examined == 40
+        db.create_index(
+            IndexDefinition(
+                "isym", "SDOC", parse_pattern("/Security/Symbol"),
+                IndexValueType.STRING,
+            )
+        )
+        with_idx = Executor(db).execute(query)
+        assert with_idx.docs_examined == 1
+        assert with_idx.used_indexes == ("isym",)
+
+
+class TestUpdateExecution:
+    def test_insert_adds_document(self):
+        db = fresh_security_db(5)
+        result = Executor(db).execute(
+            parse_statement(
+                "insert into SDOC value '<Security><Symbol>NEW</Symbol></Security>'"
+            )
+        )
+        assert result.rows == 1
+        assert len(db.collection("SDOC")) == 6
+
+    def test_insert_without_document_rejected(self):
+        db = fresh_security_db(2)
+        with pytest.raises(ValueError):
+            Executor(db).execute(parse_statement("insert into SDOC"))
+
+    def test_delete_removes_matching(self):
+        db = fresh_security_db(10)
+        result = Executor(db).execute(
+            parse_statement('delete from SDOC where /Security/Symbol = "SYM003"')
+        )
+        assert result.rows == 1
+        assert len(db.collection("SDOC")) == 9
+
+    def test_delete_uses_index_and_maintains_it(self):
+        db = fresh_security_db(20)
+        index = db.create_index(
+            IndexDefinition(
+                "isym", "SDOC", parse_pattern("/Security/Symbol"),
+                IndexValueType.STRING,
+            )
+        )
+        entries_before = index.entry_count()
+        result = Executor(db).execute(
+            parse_statement('delete from SDOC where /Security/Symbol = "SYM005"')
+        )
+        assert result.rows == 1
+        assert result.used_indexes == ("isym",)
+        assert result.docs_examined == 1
+        assert index.entry_count() == entries_before - 1
+
+    def test_delete_nothing(self):
+        db = fresh_security_db(5)
+        result = Executor(db).execute(
+            parse_statement('delete from SDOC where /Security/Symbol = "NOPE"')
+        )
+        assert result.rows == 0
+        assert len(db.collection("SDOC")) == 5
+
+
+class TestTpoxExecution:
+    def test_all_tpox_queries_execute(self, tpox_db):
+        executor = Executor(tpox_db)
+        for text in tpox.tpox_queries(num_securities=120, seed=42):
+            result = executor.execute(parse_statement(text))
+            assert result.rows >= 0
+            assert result.docs_examined > 0
+
+    def test_selective_queries_find_rows(self, tpox_db):
+        executor = Executor(tpox_db)
+        q1 = parse_statement(tpox.tpox_queries(num_securities=120, seed=42)[0])
+        assert executor.execute(q1).rows == 1

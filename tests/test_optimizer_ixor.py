@@ -1,0 +1,173 @@
+"""Tests for index ORing (disjunctive predicates served by index union)."""
+
+import pytest
+
+from repro import (
+    Database,
+    Executor,
+    IndexAdvisor,
+    IndexDefinition,
+    IndexValueType,
+    Optimizer,
+    OptimizerMode,
+    Workload,
+)
+from repro.optimizer import IndexOring
+from repro.optimizer.rewriter import (
+    DisjunctiveRequest,
+    extract_all_requests,
+    extract_disjunctive_requests,
+    extract_path_requests,
+)
+from repro.query import parse_statement
+from repro.xpath import parse_pattern
+
+OR_QUERY = """for $s in X('SDOC')/Security[Symbol="SYM003" or Symbol="SYM007"]
+              return $s"""
+MIXED_OR = """COLLECTION('SDOC')/Security[Yield>9.4 or SecInfo/*/Sector="Energy"]"""
+
+
+def definition(name, pattern, value_type=IndexValueType.STRING):
+    return IndexDefinition(name, "SDOC", parse_pattern(pattern), value_type, True)
+
+
+class TestRewriter:
+    def test_disjunction_extracted(self):
+        query = parse_statement(OR_QUERY)
+        assert extract_path_requests(query) == []
+        (disjunction,) = extract_disjunctive_requests(query)
+        assert len(disjunction.alternatives) == 2
+        assert {str(a.pattern) for a in disjunction.alternatives} == {
+            "/Security/Symbol"
+        }
+
+    def test_all_requests_flattens_branches(self):
+        query = parse_statement(MIXED_OR)
+        requests = extract_all_requests(query)
+        patterns = {str(r.pattern) for r in requests}
+        assert patterns == {"/Security/Yield", "/Security/SecInfo/*/Sector"}
+
+    def test_uncovered_branch_defeats_disjunction(self):
+        # contains() is not indexable, so the whole OR is residual-only
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[Yield>9 or contains(Name,"x")]"""
+        )
+        assert extract_disjunctive_requests(query) == []
+        assert extract_path_requests(query) == []
+
+    def test_and_branch_contributes_superset_conjunct(self):
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[Symbol="A" or Yield>9 and PE<10]"""
+        )
+        (disjunction,) = extract_disjunctive_requests(query)
+        branch_patterns = [str(a.pattern) for a in disjunction.alternatives]
+        assert "/Security/Symbol" in branch_patterns
+        # the AND branch is represented by one of its conjuncts
+        assert any(
+            p in ("/Security/Yield", "/Security/PE") for p in branch_patterns
+        )
+
+    def test_disjunctive_request_validation(self):
+        from repro.optimizer.rewriter import PathRequest
+
+        with pytest.raises(ValueError):
+            DisjunctiveRequest((PathRequest(parse_pattern("/a")),))
+
+
+class TestPlanning:
+    def test_ixor_plan_chosen(self, security_db):
+        optimizer = Optimizer(security_db)
+        query = parse_statement(OR_QUERY)
+        result = optimizer.optimize(
+            query,
+            OptimizerMode.EVALUATE,
+            [definition("vsym", "/Security/Symbol")],
+        )
+        assert isinstance(result.plan.source, IndexOring)
+        assert result.used_indexes == ("vsym", "vsym")
+        assert "IXOR" in result.explain()
+
+    def test_ixor_cheaper_than_scan(self, security_db):
+        optimizer = Optimizer(security_db)
+        query = parse_statement(OR_QUERY)
+        base = optimizer.optimize(query, OptimizerMode.EVALUATE, ())
+        indexed = optimizer.optimize(
+            query,
+            OptimizerMode.EVALUATE,
+            [definition("vsym", "/Security/Symbol")],
+        )
+        assert indexed.estimated_cost < base.estimated_cost
+
+    def test_branches_may_use_different_indexes(self, security_db):
+        optimizer = Optimizer(security_db)
+        query = parse_statement(MIXED_OR)
+        result = optimizer.optimize(
+            query,
+            OptimizerMode.EVALUATE,
+            [
+                definition("vy", "/Security/Yield", IndexValueType.NUMERIC),
+                definition("vs", "/Security/SecInfo/*/Sector"),
+            ],
+        )
+        assert set(result.used_indexes) == {"vy", "vs"}
+
+    def test_missing_branch_index_no_ixor(self, security_db):
+        optimizer = Optimizer(security_db)
+        query = parse_statement(MIXED_OR)
+        result = optimizer.optimize(
+            query,
+            OptimizerMode.EVALUATE,
+            [definition("vy", "/Security/Yield", IndexValueType.NUMERIC)],
+        )
+        assert result.used_indexes == ()  # falls back to collection scan
+
+
+class TestExecution:
+    def test_results_identical_with_ixor(self, security_db):
+        query = parse_statement(OR_QUERY)
+        baseline = Executor(security_db).execute(query, collect_output=True)
+        assert baseline.rows == 2
+        security_db.create_index(
+            IndexDefinition(
+                "isym_or", "SDOC", parse_pattern("/Security/Symbol"),
+                IndexValueType.STRING,
+            )
+        )
+        try:
+            indexed = Executor(security_db).execute(query, collect_output=True)
+            assert sorted(indexed.output) == sorted(baseline.output)
+            assert indexed.docs_examined == 2
+            assert "isym_or" in indexed.used_indexes
+        finally:
+            security_db.drop_index("isym_or")
+
+    def test_ixor_with_extra_conjunct(self, security_db):
+        query = parse_statement(
+            """for $s in X('SDOC')/Security[Symbol="SYM003" or Symbol="SYM007"]
+               where $s/Yield > 3 return $s"""
+        )
+        baseline = Executor(security_db).execute(query, collect_output=True)
+        for name, pattern, vt in (
+            ("ix1", "/Security/Symbol", IndexValueType.STRING),
+            ("ix2", "/Security/Yield", IndexValueType.NUMERIC),
+        ):
+            security_db.create_index(
+                IndexDefinition(name, "SDOC", parse_pattern(pattern), vt)
+            )
+        try:
+            indexed = Executor(security_db).execute(query, collect_output=True)
+            assert sorted(indexed.output) == sorted(baseline.output)
+        finally:
+            security_db.drop_index("ix1")
+            security_db.drop_index("ix2")
+
+
+class TestAdvisorWithDisjunctions:
+    def test_or_query_drives_recommendation(self, security_db):
+        workload = Workload.from_statements([OR_QUERY])
+        advisor = IndexAdvisor(security_db, workload)
+        patterns = {str(c.pattern) for c in advisor.candidates.basics()}
+        assert "/Security/Symbol" in patterns
+        recommendation = advisor.recommend(budget_bytes=100_000)
+        assert len(recommendation.configuration) == 1
+        assert recommendation.estimated_speedup > 1.5

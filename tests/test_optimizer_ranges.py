@@ -1,0 +1,155 @@
+"""Tests for range-request merging (one range scan for paired bounds)."""
+
+import pytest
+
+from repro import (
+    Executor,
+    IndexDefinition,
+    IndexValueType,
+    Optimizer,
+    OptimizerMode,
+)
+from repro.optimizer import IndexScan
+from repro.optimizer.rewriter import (
+    PathRequest,
+    RangeRequest,
+    extract_path_requests,
+    merge_range_requests,
+)
+from repro.query import parse_statement
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
+
+BETWEEN = """for $s in X('SDOC')/Security
+             where $s/Yield >= 2.5 and $s/Yield <= 4.5 return $s"""
+
+
+class TestMerging:
+    def test_pair_merged(self):
+        requests = extract_path_requests(parse_statement(BETWEEN))
+        merged = merge_range_requests(requests)
+        assert len(merged) == 1
+        (interval,) = merged
+        assert isinstance(interval, RangeRequest)
+        assert interval.low == Literal(2.5)
+        assert interval.high == Literal(4.5)
+        assert interval.low_inclusive and interval.high_inclusive
+
+    def test_exclusive_bounds_preserved(self):
+        requests = extract_path_requests(
+            parse_statement(
+                "for $s in X('SDOC')/Security where $s/Yield > 2 and $s/Yield < 5 return $s"
+            )
+        )
+        (interval,) = merge_range_requests(requests)
+        assert not interval.low_inclusive and not interval.high_inclusive
+        assert ">" in str(interval) and "<" in str(interval)
+
+    def test_single_bound_passes_through(self):
+        requests = extract_path_requests(
+            parse_statement("COLLECTION('SDOC')/Security[Yield>2]")
+        )
+        merged = merge_range_requests(requests)
+        assert merged == requests
+
+    def test_different_patterns_not_merged(self):
+        requests = extract_path_requests(
+            parse_statement(
+                "for $s in X('SDOC')/Security where $s/Yield > 2 and $s/PE < 5 return $s"
+            )
+        )
+        merged = merge_range_requests(requests)
+        assert all(isinstance(r, PathRequest) for r in merged)
+
+    def test_equality_not_merged(self):
+        requests = extract_path_requests(
+            parse_statement(
+                'for $s in X(\'SDOC\')/Security where $s/Yield > 2 and $s/Symbol = "A" return $s'
+            )
+        )
+        merged = merge_range_requests(requests)
+        kinds = {type(r) for r in merged}
+        assert kinds == {PathRequest}
+
+    def test_mixed_type_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RangeRequest(
+                parse_pattern("/a"), Literal(1.0), True, Literal("z"), True
+            )
+
+    def test_range_request_type(self):
+        interval = RangeRequest(
+            parse_pattern("/a"), Literal(1.0), True, Literal(2.0), True
+        )
+        assert interval.value_type is IndexValueType.NUMERIC
+        assert interval.is_comparison
+
+
+class TestRangePlans:
+    def test_single_leg_for_between(self, security_db):
+        optimizer = Optimizer(security_db)
+        result = optimizer.optimize(
+            parse_statement(BETWEEN),
+            OptimizerMode.EVALUATE,
+            [
+                IndexDefinition(
+                    "vy", "SDOC", parse_pattern("/Security/Yield"),
+                    IndexValueType.NUMERIC, True,
+                )
+            ],
+        )
+        assert isinstance(result.plan.source, IndexScan)  # ONE leg, no IXAND
+        assert isinstance(result.plan.source.request, RangeRequest)
+
+    def test_range_cheaper_than_two_probes(self, security_db):
+        """The merged plan costs at most what two separate probes would."""
+        optimizer = Optimizer(security_db)
+        definition = IndexDefinition(
+            "vy", "SDOC", parse_pattern("/Security/Yield"),
+            IndexValueType.NUMERIC, True,
+        )
+        merged_cost = optimizer.optimize(
+            parse_statement(BETWEEN), OptimizerMode.EVALUATE, [definition]
+        ).estimated_cost
+        single = optimizer.optimize(
+            parse_statement(
+                "for $s in X('SDOC')/Security where $s/Yield >= 2.5 return $s"
+            ),
+            OptimizerMode.EVALUATE,
+            [definition],
+        ).estimated_cost
+        assert merged_cost <= single + 1.0  # narrower interval, no extra probe
+
+    def test_execution_equivalence(self, security_db):
+        query = parse_statement(BETWEEN)
+        baseline = Executor(security_db).execute(query, collect_output=True)
+        security_db.create_index(
+            IndexDefinition(
+                "ry", "SDOC", parse_pattern("/Security/Yield"),
+                IndexValueType.NUMERIC,
+            )
+        )
+        try:
+            indexed = Executor(security_db).execute(query, collect_output=True)
+            assert sorted(indexed.output) == sorted(baseline.output)
+            assert indexed.docs_examined == baseline.rows
+            # entries scanned equals exactly the in-range entries
+            assert indexed.index_entries_scanned == baseline.rows
+        finally:
+            security_db.drop_index("ry")
+
+    def test_contradictory_interval_empty(self, security_db):
+        query = parse_statement(
+            "for $s in X('SDOC')/Security where $s/Yield >= 9 and $s/Yield <= 1 return $s"
+        )
+        security_db.create_index(
+            IndexDefinition(
+                "ry2", "SDOC", parse_pattern("/Security/Yield"),
+                IndexValueType.NUMERIC,
+            )
+        )
+        try:
+            result = Executor(security_db).execute(query)
+            assert result.rows == 0
+        finally:
+            security_db.drop_index("ry2")

@@ -1,0 +1,109 @@
+"""Tests for the rewrite phase: exposing indexable path requests."""
+
+import pytest
+
+from repro.optimizer.rewriter import PathRequest, extract_path_requests
+from repro.query import parse_statement
+from repro.storage.index import IndexValueType
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
+
+
+def requests_of(text):
+    return extract_path_requests(parse_statement(text))
+
+
+class TestQueryRequests:
+    def test_paper_example_q1_q2(self):
+        """Section IV / Table I: the optimizer exposes C1, C2, C3."""
+        q1 = requests_of(
+            """for $sec in SECURITY('SDOC')/Security
+               where $sec/Symbol = "BCIIPRC" return $sec"""
+        )
+        assert [str(r.pattern) for r in q1] == ["/Security/Symbol"]
+        assert q1[0].value_type is IndexValueType.STRING
+
+        q2 = requests_of(
+            """for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+               where $sec/SecInfo/*/Sector = "Energy"
+               return <Security>{$sec/Name}</Security>"""
+        )
+        patterns = {str(r.pattern): r.value_type for r in q2}
+        assert patterns == {
+            "/Security/Yield": IndexValueType.NUMERIC,
+            "/Security/SecInfo/*/Sector": IndexValueType.STRING,
+        }
+
+    def test_predicate_inside_middle_step(self):
+        reqs = requests_of("COLLECTION('C')/a/b[c=1]/d")
+        assert "/a/b/c" in {str(r.pattern) for r in reqs}
+
+    def test_nested_predicate_lifted(self):
+        reqs = requests_of("COLLECTION('C')/a[b[c=1]]")
+        patterns = {str(r.pattern) for r in reqs}
+        assert "/a/b" in patterns  # the existence of b
+        assert "/a/b/c" in patterns  # the nested comparison
+
+    def test_existence_where_clause(self):
+        reqs = requests_of(
+            "for $x in C('C')/a where $x/b return $x"
+        )
+        (req,) = reqs
+        assert not req.is_comparison
+        assert req.value_type is IndexValueType.STRING
+
+    def test_attribute_request(self):
+        reqs = requests_of(
+            """for $o in C('C')/FIXML/Order where $o/@ID = "1" return $o"""
+        )
+        assert str(reqs[0].pattern) == "/FIXML/Order/@ID"
+
+    def test_numeric_vs_string_typing(self):
+        reqs = requests_of(
+            """for $x in C('C')/a where $x/b > 5 and $x/c = "v" return $x"""
+        )
+        types = {str(r.pattern): r.value_type for r in reqs}
+        assert types["/a/b"] is IndexValueType.NUMERIC
+        assert types["/a/c"] is IndexValueType.STRING
+
+    def test_duplicates_removed(self):
+        reqs = requests_of(
+            """for $x in C('C')/a[b=1] where $x/b = 1 return $x"""
+        )
+        assert len(reqs) == 1
+
+    def test_return_paths_not_requests(self):
+        reqs = requests_of(
+            "for $x in C('C')/a where $x/b = 1 return $x/huge/subtree"
+        )
+        assert {str(r.pattern) for r in reqs} == {"/a/b"}
+
+    def test_bare_path_query_no_requests(self):
+        # a bare path with no predicates exposes nothing indexable
+        assert requests_of("COLLECTION('C')/a/b") == []
+
+
+class TestUpdateRequests:
+    def test_insert_has_no_requests(self):
+        assert requests_of("insert into C value '<a/>'") == []
+
+    def test_delete_selector_is_request(self):
+        reqs = requests_of('delete from C where /a/b = "x"')
+        (req,) = reqs
+        assert str(req.pattern) == "/a/b"
+        assert req.op == "="
+
+    def test_delete_existence_selector(self):
+        reqs = requests_of("delete from C where /a/b")
+        assert not reqs[0].is_comparison
+
+
+class TestPathRequest:
+    def test_op_literal_pairing_enforced(self):
+        with pytest.raises(ValueError):
+            PathRequest(parse_pattern("/a"), op="=", literal=None)
+
+    def test_str_forms(self):
+        req = PathRequest(parse_pattern("/a/b"), ">", Literal(4.5))
+        assert str(req) == "/a/b > 4.5"
+        assert "exists" in str(PathRequest(parse_pattern("/a")))

@@ -1,0 +1,159 @@
+"""Tests for let clauses and aggregate functions."""
+
+import pytest
+
+from repro import Database, Executor, IndexAdvisor, Workload
+from repro.query import QuerySyntaxError, parse_statement
+from repro.query.model import Aggregate
+from repro.xpath.ast import LocationPath
+from repro.xpath.parser import parse_xpath
+
+
+@pytest.fixture()
+def orders_db():
+    db = Database()
+    db.create_collection("ODOC")
+    rows = [(100, 10.0), (500, 20.0), (1500, 30.0)]
+    for i, (qty, px) in enumerate(rows):
+        db.insert_document(
+            "ODOC",
+            f"""<FIXML><Order ID="{i}">
+                  <OrdQty Qty="{qty}"/><Px>{px}</Px><Px>{px + 1}</Px>
+                </Order></FIXML>""",
+        )
+    return db
+
+
+class TestLetParsing:
+    def test_let_is_alias_not_filter(self):
+        query = parse_statement(
+            """for $o in X('ODOC')/FIXML/Order
+               let $q := $o/OrdQty/@Qty
+               where $q > 100 return $o"""
+        )
+        # exactly one where clause (the comparison); no existence conjunct
+        assert len(query.where) == 1
+        assert str(query.where[0].path) == "OrdQty/@Qty"
+
+    def test_let_chains(self):
+        query = parse_statement(
+            """for $o in X('ODOC')/FIXML/Order
+               let $q := $o/OrdQty let $n := $q/@Qty
+               where $n > 100 return $o"""
+        )
+        assert str(query.where[0].path) == "OrdQty/@Qty"
+
+    def test_let_with_predicate_lifted(self):
+        query = parse_statement(
+            """for $o in X('ODOC')/FIXML/Order
+               let $q := $o/OrdQty[@Qty>100]
+               return $q"""
+        )
+        comparisons = [c for c in query.where if c.is_comparison]
+        assert len(comparisons) == 1
+        assert str(comparisons[0].path) == "OrdQty/@Qty"
+
+    def test_let_undefined_source(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement(
+                "for $o in X('C')/a let $q := $zzz/b return $o"
+            )
+
+    def test_let_redefinition_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement(
+                "for $o in X('C')/a let $o := $o/b return $o"
+            )
+
+    def test_malformed_let(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("for $o in X('C')/a let $q = $o/b return $o")
+
+
+class TestAggregateParsing:
+    def test_aggregates_extracted(self):
+        query = parse_statement(
+            "for $o in X('ODOC')/FIXML/Order return max($o/Px)"
+        )
+        (aggregate,) = query.aggregates
+        assert aggregate.function == "max"
+        assert str(aggregate.path) == "Px"
+
+    def test_aggregate_through_let(self):
+        query = parse_statement(
+            """for $o in X('ODOC')/FIXML/Order
+               let $p := $o/Px return avg($p)"""
+        )
+        (aggregate,) = query.aggregates
+        assert str(aggregate.path) == "Px"
+
+    def test_mixed_aggregate_and_path(self):
+        query = parse_statement(
+            "for $o in X('ODOC')/FIXML/Order return <r>{count($o/Px)}{$o/@ID}</r>"
+        )
+        assert len(query.aggregates) == 1
+        assert [str(p) for p in query.return_paths] == ["@ID"]
+
+    def test_aggregate_model_validation(self):
+        with pytest.raises(ValueError):
+            Aggregate("median", LocationPath((), absolute=False))
+        with pytest.raises(ValueError):
+            Aggregate("count", parse_xpath("/a/b"))
+
+
+class TestAggregateExecution:
+    def run(self, db, text):
+        return Executor(db).execute(parse_statement(text), collect_output=True)
+
+    def test_count(self, orders_db):
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return count($o/Px)",
+        )
+        assert result.output == ["2", "2", "2"]
+
+    def test_max_min(self, orders_db):
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return max($o/Px)",
+        )
+        assert result.output == ["11", "21", "31"]
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return min($o/Px)",
+        )
+        assert result.output == ["10", "20", "30"]
+
+    def test_sum_avg(self, orders_db):
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return sum($o/Px)",
+        )
+        assert result.output == ["21", "41", "61"]
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return avg($o/Px)",
+        )
+        assert result.output == ["10.5", "20.5", "30.5"]
+
+    def test_aggregate_over_missing_path(self, orders_db):
+        result = self.run(
+            orders_db,
+            "for $o in X('ODOC')/FIXML/Order return count($o/Nope)",
+        )
+        assert result.output == ["0", "0", "0"]
+
+    def test_aggregate_with_where_and_index(self, orders_db):
+        """Aggregates compose with let/where and index-backed filtering."""
+        workload = Workload.from_statements(
+            [
+                """for $o in X('ODOC')/FIXML/Order
+                   let $q := $o/OrdQty/@Qty
+                   where $q > 400 return max($o/Px)"""
+            ]
+        )
+        advisor = IndexAdvisor(orders_db, workload)
+        patterns = {str(c.pattern) for c in advisor.candidates.basics()}
+        assert "/FIXML/Order/OrdQty/@Qty" in patterns
+        result = self.run(orders_db, workload.entries[0].statement.text)
+        assert sorted(result.output) == ["21", "31"]

@@ -1,0 +1,179 @@
+"""Tests for the mini-XQuery front end."""
+
+import pytest
+
+from repro.query import (
+    DeleteStatement,
+    InsertStatement,
+    Query,
+    QuerySyntaxError,
+    StatementKind,
+    parse_statement,
+)
+from repro.xpath.ast import Literal
+
+
+class TestFlworParsing:
+    def test_paper_q1(self):
+        query = parse_statement(
+            """for $sec in SECURITY('SDOC')/Security
+               where $sec/Symbol = "BCIIPRC"
+               return $sec"""
+        )
+        assert isinstance(query, Query)
+        assert query.collection == "SDOC"
+        assert str(query.binding_path) == "/Security"
+        (clause,) = query.where
+        assert str(clause.path) == "Symbol"
+        assert clause.op == "="
+        assert clause.literal == Literal("BCIIPRC")
+
+    def test_paper_q2(self):
+        query = parse_statement(
+            """for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+               where $sec/SecInfo/*/Sector = "Energy"
+               return <Security>{$sec/Name}</Security>"""
+        )
+        assert query.binding_path.has_predicates()
+        (clause,) = query.where
+        assert str(clause.path) == "SecInfo/*/Sector"
+        assert [str(p) for p in query.return_paths] == ["Name"]
+
+    def test_collection_function_name_is_free(self):
+        query = parse_statement("for $x in WHATEVER('COL')/a return $x")
+        assert query.collection == "COL"
+
+    def test_multiple_where_conjuncts(self):
+        query = parse_statement(
+            """for $s in X('C')/a
+               where $s/b = 1 and $s/c > 2 and $s/d"""
+        )
+        assert len(query.where) == 3
+        assert query.where[2].op is None  # existence
+
+    def test_comparison_on_variable_itself(self):
+        query = parse_statement(
+            """for $s in X('C')/a/b where $s = "v" return $s"""
+        )
+        (clause,) = query.where
+        assert clause.path.steps == ()
+        assert clause.op == "="
+
+    def test_attribute_where_clause(self):
+        query = parse_statement(
+            """for $o in X('C')/FIXML/Order where $o/@ID = "1" return $o"""
+        )
+        (clause,) = query.where
+        assert str(clause.path) == "@ID"
+
+    def test_secondary_binding_folds_into_where(self):
+        query = parse_statement(
+            """for $o in X('C')/FIXML/Order for $q in $o/OrdQty
+               where $q/@Qty > 100 return $o"""
+        )
+        paths = [str(c.path) for c in query.where]
+        assert "OrdQty" in paths  # existence from the binding
+        assert "OrdQty/@Qty" in paths
+
+    def test_secondary_binding_with_predicate(self):
+        query = parse_statement(
+            """for $o in X('C')/a for $b in $o/b[c=5] return $b/d"""
+        )
+        comparisons = [c for c in query.where if c.is_comparison]
+        assert any(str(c.path) == "b/c" for c in comparisons)
+        # return paths keep their predicates (used verbatim by the executor)
+        assert [str(p) for p in query.return_paths] == ["b[c=5]/d"]
+
+    def test_return_paths_through_secondary_variable(self):
+        query = parse_statement(
+            """for $o in X('C')/a for $b in $o/b return $b/c"""
+        )
+        assert [str(p) for p in query.return_paths] == ["b/c"]
+
+    def test_bare_collection_path(self):
+        query = parse_statement("COLLECTION('SDOC')/Security/Symbol")
+        assert query.collection == "SDOC"
+        assert str(query.binding_path) == "/Security/Symbol"
+        assert query.where == ()
+
+    def test_kind(self):
+        query = parse_statement("COLLECTION('C')/a")
+        assert query.kind is StatementKind.QUERY
+
+
+class TestFlworErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "for $x in /a return $x",  # no collection binding
+            "for $x return $x",  # no 'in'
+            "for x in C('C')/a return x",  # not a variable
+            "for $x in C('C')/a where $y/b = 1",  # unknown variable
+            "for $x in C('C')/a for $y in $z/b return $y",  # undefined source
+            "for $x in $y/a return $x",  # first binding not a collection
+            "for $x in C('C')/a for $y in D('D')/b return $y",  # 2nd collection
+            "COLLECTION('C')",  # missing path
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement(text)
+
+
+class TestUpdates:
+    def test_insert_with_document(self):
+        stmt = parse_statement(
+            "insert into SDOC value '<Security><Symbol>X</Symbol></Security>'"
+        )
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.collection == "SDOC"
+        assert stmt.document_text.startswith("<Security>")
+        assert stmt.kind is StatementKind.INSERT
+
+    def test_insert_without_document(self):
+        stmt = parse_statement("insert into SDOC")
+        assert stmt.document_text == ""
+
+    def test_delete_with_comparison(self):
+        stmt = parse_statement(
+            'delete from SDOC where /Security/Symbol = "GONE"'
+        )
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.op == "="
+        assert stmt.literal == Literal("GONE")
+        assert stmt.kind is StatementKind.DELETE
+
+    def test_delete_with_existence(self):
+        stmt = parse_statement("delete from SDOC where /Security/Flagged")
+        assert stmt.op is None
+
+    def test_delete_without_where_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("delete from SDOC")
+
+    def test_delete_bad_condition(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("delete from SDOC where ???")
+
+
+class TestKeywordSplitting:
+    def test_keyword_inside_string_not_split(self):
+        query = parse_statement(
+            """for $s in X('C')/a where $s/b = "where and return" return $s"""
+        )
+        (clause,) = query.where
+        assert clause.literal == Literal("where and return")
+
+    def test_keyword_inside_predicate_brackets(self):
+        # 'and' inside a predicate value must not split the where clause
+        query = parse_statement(
+            """for $s in X('C')/a[b="x and y"] where $s/c = 1 return $s"""
+        )
+        assert len(query.where) == 1
+
+    def test_case_insensitive_keywords(self):
+        query = parse_statement(
+            """FOR $s IN X('C')/a WHERE $s/b = 1 RETURN $s"""
+        )
+        assert len(query.where) == 1

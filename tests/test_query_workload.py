@@ -1,0 +1,80 @@
+"""Tests for workloads."""
+
+import pytest
+
+from repro.query import Query, Workload, WorkloadEntry, parse_statement
+from repro.query.model import WhereClause
+from repro.xpath.ast import Literal, LocationPath
+from repro.xpath.parser import parse_xpath
+
+
+class TestWorkload:
+    def test_from_statement_texts(self):
+        wl = Workload.from_statements(
+            ["COLLECTION('C')/a", "insert into C value '<a/>'"]
+        )
+        assert len(wl) == 2
+        assert len(wl.queries()) == 1
+        assert len(wl.updates()) == 1
+
+    def test_from_statement_objects(self):
+        query = parse_statement("COLLECTION('C')/a")
+        wl = Workload.from_statements([query])
+        assert wl.entries[0].statement is query
+
+    def test_frequencies_parallel(self):
+        wl = Workload.from_statements(
+            ["COLLECTION('C')/a", "COLLECTION('C')/b"], [2.0, 5.0]
+        )
+        assert [e.frequency for e in wl] == [2.0, 5.0]
+
+    def test_frequencies_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Workload.from_statements(["COLLECTION('C')/a"], [1.0, 2.0])
+
+    def test_default_frequency(self):
+        wl = Workload.from_statements(["COLLECTION('C')/a"])
+        assert wl.entries[0].frequency == 1.0
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadEntry(parse_statement("COLLECTION('C')/a"), 0.0)
+
+    def test_subset_is_prefix(self):
+        wl = Workload.from_statements(
+            [f"COLLECTION('C')/p{i}" for i in range(5)]
+        )
+        sub = wl.subset(3)
+        assert len(sub) == 3
+        assert sub.entries == wl.entries[:3]
+
+    def test_add_and_concat(self):
+        a = Workload.from_statements(["COLLECTION('C')/a"])
+        b = Workload.from_statements(["COLLECTION('C')/b"])
+        combined = a + b
+        assert len(combined) == 2
+        a.add("COLLECTION('C')/c", frequency=3.0)
+        assert len(a) == 2
+        assert len(combined) == 2  # concat made a copy
+
+
+class TestQueryModel:
+    def test_binding_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            Query("C", parse_xpath("a/b"))
+
+    def test_where_clause_must_be_relative(self):
+        with pytest.raises(ValueError):
+            WhereClause(parse_xpath("/a/b"), "=", Literal(1.0))
+
+    def test_where_clause_op_literal_pairing(self):
+        with pytest.raises(ValueError):
+            WhereClause(parse_xpath("a"), "=", None)
+
+    def test_describe_collapses_whitespace(self):
+        query = parse_statement(
+            """for $s in X('C')/a
+               where $s/b = 1
+               return $s"""
+        )
+        assert "\n" not in query.describe()

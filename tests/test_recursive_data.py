@@ -1,0 +1,151 @@
+"""Tests on recursive documents (Section I: "XML elements can be
+recursive").
+
+Recursion makes one tag occur at many depths: descendant patterns match
+unboundedly many rooted paths, specific patterns only one.  These tests
+verify the whole stack behaves: pattern matching, statistics, candidate
+enumeration, generalization, recommendation, and execution equivalence.
+"""
+
+import pytest
+
+from repro import Executor, IndexAdvisor, IndexDefinition, IndexValueType, Workload
+from repro.workloads import recursive
+from repro.xpath import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def bom_db():
+    return recursive.build_database(num_parts=80, max_depth=4, seed=23)
+
+
+@pytest.fixture(scope="module")
+def bom_wl():
+    return recursive.recursive_workload(seed=23)
+
+
+class TestRecursiveData:
+    def test_materials_at_multiple_depths(self, bom_db):
+        stats = bom_db.runstats("PARTS")
+        material_paths = [
+            path for path in stats.path_counts if path[-1] == "Material"
+        ]
+        depths = {len(path) for path in material_paths}
+        assert len(depths) >= 3  # Material occurs at several depths
+
+    def test_descendant_pattern_matches_all_depths(self, bom_db):
+        stats = bom_db.runstats("PARTS")
+        pattern = parse_pattern("//Material")
+        matched = stats.matching_paths(pattern)
+        assert len(matched) >= 3
+        specific = parse_pattern("/Part/Material")
+        assert len(stats.matching_paths(specific)) == 1
+
+    def test_recursive_pattern_containment(self):
+        assert parse_pattern("//Part").covers(parse_pattern("/Part/SubParts/Part"))
+        assert parse_pattern("/Part//Part").covers(
+            parse_pattern("/Part/SubParts/Part/SubParts/Part")
+        )
+        assert not parse_pattern("/Part/SubParts/Part").covers(
+            parse_pattern("/Part//Part")
+        )
+
+
+class TestRecursiveIndexing:
+    def test_descendant_index_covers_all_depths(self, bom_db):
+        index = bom_db.create_index(
+            IndexDefinition(
+                "imat_all", "PARTS", parse_pattern("//Material"),
+                IndexValueType.STRING,
+            )
+        )
+        specific = bom_db.create_index(
+            IndexDefinition(
+                "imat_top", "PARTS", parse_pattern("/Part/Material"),
+                IndexValueType.STRING,
+            )
+        )
+        try:
+            assert index.entry_count() > specific.entry_count()
+            assert specific.entry_count() == len(bom_db.collection("PARTS"))
+        finally:
+            bom_db.drop_index("imat_all")
+            bom_db.drop_index("imat_top")
+
+    def test_derived_stats_match_reality_on_recursion(self, bom_db):
+        pattern = parse_pattern("/Part//Weight")
+        derived = bom_db.runstats("PARTS").derive_index_statistics(
+            pattern, IndexValueType.NUMERIC
+        )
+        index = bom_db.create_index(
+            IndexDefinition("iw", "PARTS", pattern, IndexValueType.NUMERIC)
+        )
+        try:
+            assert derived.entry_count == index.entry_count()
+            assert derived.size_bytes == index.size_bytes()
+        finally:
+            bom_db.drop_index("iw")
+
+
+class TestRecursiveAdvisor:
+    def test_candidates_include_descendant_patterns(self, bom_db, bom_wl):
+        advisor = IndexAdvisor(bom_db, bom_wl)
+        patterns = {str(c.pattern) for c in advisor.candidates.basics()}
+        assert "/Part//Material" in patterns
+        assert "/Part/Material" in patterns  # the top-level-only query
+        assert "/Part/SubParts//Weight" in patterns
+
+    def test_generalization_on_recursive_candidates(self, bom_db, bom_wl):
+        """/Part//Material + /Part/Material generalize to /Part//Material
+        (already present) -- and deeper merges stay sound."""
+        advisor = IndexAdvisor(bom_db, bom_wl)
+        for general in advisor.candidates.generals():
+            for basic in advisor.candidates.basics():
+                if general.covers(basic):
+                    assert general.pattern.covers(basic.pattern)
+
+    def test_recommend_and_execute(self, bom_db, bom_wl):
+        advisor = IndexAdvisor(bom_db, bom_wl)
+        recommendation = advisor.recommend(budget_bytes=200_000)
+        assert recommendation.estimated_speedup > 1.0
+        executor = Executor(bom_db)
+        baseline = [
+            sorted(executor.execute(e.statement, collect_output=True).output)
+            for e in bom_wl.queries()
+        ]
+        advisor.create_indexes(recommendation)
+        try:
+            executor = Executor(bom_db)
+            for position, entry in enumerate(bom_wl.queries()):
+                result = executor.execute(entry.statement, collect_output=True)
+                assert sorted(result.output) == baseline[position]
+        finally:
+            advisor.drop_created_indexes()
+
+    def test_descendant_index_serves_all_depth_query(self, bom_db):
+        """A selective query probing all depths gets the descendant-axis
+        index recommended."""
+        workload = Workload.from_statements(
+            ["""for $p in PARTS('PARTS')/Part where $p//Part/@id = "p70_1" return $p"""]
+        )
+        advisor = IndexAdvisor(bom_db, workload)
+        recommendation = advisor.recommend(budget_bytes=500_000)
+        patterns = {str(c.pattern) for c in recommendation.configuration}
+        assert "/Part//Part/@id" in patterns
+
+    def test_unselective_descendant_query_gets_nothing(self, bom_db):
+        """Tight coupling also means knowing when an index will NOT help:
+        //Material = "steel" matches nearly every document, so the advisor
+        recommends nothing rather than a useless index."""
+        workload = Workload.from_statements(
+            ["""for $p in PARTS('PARTS')/Part where $p//Material = "steel" return $p"""]
+        )
+        advisor = IndexAdvisor(bom_db, workload)
+        # the candidate IS enumerated ...
+        assert {str(c.pattern) for c in advisor.candidates.basics()} == {
+            "/Part//Material"
+        }
+        # ... but the optimizer-evaluated benefit is ~zero, so it is not
+        # recommended even with an unlimited budget
+        recommendation = advisor.recommend(budget_bytes=10_000_000)
+        assert len(recommendation.configuration) == 0

@@ -1,0 +1,119 @@
+"""Tests for the buffer pool simulation."""
+
+import pytest
+
+from repro import IndexAdvisor, Workload
+from repro.query import parse_statement
+from repro.storage.bufferpool import (
+    BufferPool,
+    PagedExecutor,
+    PoolStats,
+)
+from repro.workloads import tpox
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=4)
+        assert pool.access(("p", 1)) is False
+        assert pool.access(("p", 1)) is True
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.access(("p", 1))
+        pool.access(("p", 2))
+        pool.access(("p", 1))  # 1 becomes most recent
+        pool.access(("p", 3))  # evicts 2
+        assert pool.access(("p", 1)) is True
+        assert pool.access(("p", 2)) is False  # was evicted
+
+    def test_capacity_bound(self):
+        pool = BufferPool(capacity_pages=3)
+        for i in range(10):
+            pool.access(("p", i))
+        assert pool.resident_pages() == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_reset_and_clear(self):
+        pool = BufferPool(4)
+        pool.access(("p", 1))
+        pool.reset_stats()
+        assert pool.stats.accesses == 0
+        assert pool.resident_pages() == 1
+        pool.clear()
+        assert pool.resident_pages() == 0
+
+    def test_empty_stats(self):
+        assert PoolStats().hit_ratio == 0.0
+
+
+@pytest.fixture()
+def paged_world():
+    db = tpox.build_database(
+        num_securities=80, num_orders=20, num_customers=10, seed=77
+    )
+    statement = parse_statement(
+        f"""for $s in X('SDOC')/Security
+            where $s/Symbol = "{tpox.symbol_for(7)}"
+            return $s"""
+    )
+    return db, statement
+
+
+class TestPagedExecutor:
+    def test_scan_touches_every_document(self, paged_world):
+        db, statement = paged_world
+        pool = BufferPool(capacity_pages=10_000)
+        executor = PagedExecutor(db, pool)
+        outcome = executor.execute(statement)
+        # at least one page per SDOC document
+        assert outcome.page_accesses >= len(db.collection("SDOC"))
+        assert outcome.result.rows == 1
+
+    def test_cold_pool_all_misses(self, paged_world):
+        db, statement = paged_world
+        pool = BufferPool(capacity_pages=10_000)
+        outcome = PagedExecutor(db, pool).execute(statement)
+        assert outcome.physical_reads == outcome.page_accesses
+
+    def test_warm_pool_hits(self, paged_world):
+        db, statement = paged_world
+        pool = BufferPool(capacity_pages=10_000)
+        executor = PagedExecutor(db, pool)
+        executor.execute(statement)
+        warm = executor.execute(statement)
+        assert warm.physical_reads == 0
+        assert warm.hit_ratio == 1.0
+
+    def test_small_pool_keeps_missing(self, paged_world):
+        db, statement = paged_world
+        pool = BufferPool(capacity_pages=4)
+        executor = PagedExecutor(db, pool)
+        executor.execute(statement)
+        rerun = executor.execute(statement)
+        # the scan working set far exceeds 4 pages -> LRU thrashes
+        assert rerun.physical_reads > rerun.page_accesses * 0.5
+
+    def test_index_shrinks_working_set(self, paged_world):
+        """The central claim the simulation supports: with the recommended
+        index, repeated query runs touch a few pages instead of the whole
+        collection."""
+        db, statement = paged_world
+        workload = Workload.from_statements([statement])
+        pool = BufferPool(capacity_pages=10_000)
+        executor = PagedExecutor(db, pool)
+        cold_scan = executor.execute(statement)
+
+        advisor = IndexAdvisor(db, workload)
+        advisor.create_indexes(advisor.recommend(budget_bytes=100_000))
+        pool.clear()
+        executor = PagedExecutor(db, pool)
+        cold_indexed = executor.execute(statement)
+        assert cold_indexed.page_accesses < cold_scan.page_accesses / 5
+        assert cold_indexed.result.used_indexes

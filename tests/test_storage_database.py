@@ -1,0 +1,167 @@
+"""Tests for collections, the database object, and the catalog."""
+
+import pytest
+
+from repro.storage import Catalog, Database, IndexDefinition, IndexValueType
+from repro.xmlmodel.nodes import element
+from repro.xpath import parse_pattern
+
+
+class TestCollection:
+    def test_insert_and_get(self, security_db):
+        col = security_db.collection("SDOC")
+        assert len(col) == 30
+        assert col.get(0).root.name == "Security"
+
+    def test_insert_tree(self):
+        db = Database()
+        col = db.create_collection("C")
+        doc_id = col.insert_tree(element("a", element("b", text="x")))
+        assert col.get(doc_id).root.name == "a"
+
+    def test_doc_ids_dense(self, security_db):
+        col = security_db.collection("SDOC")
+        assert [d.doc_id for d in col] == list(range(30))
+
+    def test_delete_and_iteration(self):
+        db = Database()
+        db.create_collection("C")
+        for i in range(3):
+            db.insert_document("C", f"<a><v>{i}</v></a>")
+        db.delete_document("C", 1)
+        col = db.collection("C")
+        assert len(col) == 2
+        assert [d.doc_id for d in col] == [0, 2]
+        with pytest.raises(KeyError):
+            col.get(1)
+
+    def test_get_out_of_range(self):
+        db = Database()
+        db.create_collection("C")
+        with pytest.raises(KeyError):
+            db.collection("C").get(5)
+
+
+class TestDatabase:
+    def test_duplicate_collection_rejected(self):
+        db = Database()
+        db.create_collection("C")
+        with pytest.raises(ValueError):
+            db.create_collection("C")
+
+    def test_unknown_collection(self):
+        with pytest.raises(KeyError):
+            Database().collection("nope")
+
+    def test_create_index_builds_entries(self):
+        db = Database()
+        db.create_collection("C")
+        db.insert_document("C", "<a><v>1</v></a>")
+        db.insert_document("C", "<a><v>2</v></a>")
+        index = db.create_index(
+            IndexDefinition("i1", "C", parse_pattern("/a/v"), IndexValueType.NUMERIC)
+        )
+        assert index.entry_count() == 2
+
+    def test_insert_maintains_indexes(self):
+        db = Database()
+        db.create_collection("C")
+        index = db.create_index(
+            IndexDefinition("i1", "C", parse_pattern("/a/v"), IndexValueType.NUMERIC)
+        )
+        db.insert_document("C", "<a><v>7</v></a>")
+        assert index.entry_count() == 1
+        assert index.lookup_eq(7.0) != []
+
+    def test_delete_maintains_indexes(self):
+        db = Database()
+        db.create_collection("C")
+        doc_id = None
+        db.insert_document("C", "<a><v>7</v></a>")
+        index = db.create_index(
+            IndexDefinition("i1", "C", parse_pattern("/a/v"), IndexValueType.NUMERIC)
+        )
+        db.delete_document("C", 0)
+        assert index.entry_count() == 0
+
+    def test_drop_index(self):
+        db = Database()
+        db.create_collection("C")
+        db.create_index(
+            IndexDefinition("i1", "C", parse_pattern("/a"), IndexValueType.STRING)
+        )
+        db.drop_index("i1")
+        assert "i1" not in db.catalog
+        with pytest.raises(KeyError):
+            db.index("i1")
+
+    def test_drop_all_indexes(self):
+        db = Database()
+        db.create_collection("C")
+        for i in range(3):
+            db.create_index(
+                IndexDefinition(f"i{i}", "C", parse_pattern("/a"), IndexValueType.STRING)
+            )
+        db.drop_all_indexes()
+        assert len(db.catalog) == 0
+        assert db.indexes == {}
+
+
+class TestCatalog:
+    def definition(self, name="x", virtual=False):
+        return IndexDefinition(
+            name, "C", parse_pattern("/a/b"), IndexValueType.STRING, virtual
+        )
+
+    def test_add_get_remove(self):
+        catalog = Catalog()
+        catalog.add(self.definition("x"))
+        assert catalog.get("x").name == "x"
+        catalog.remove("x")
+        assert "x" not in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add(self.definition("x"))
+        with pytest.raises(ValueError):
+            catalog.add(self.definition("x"))
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            Catalog().remove("nope")
+
+    def test_definitions_for_filters_virtual(self):
+        catalog = Catalog()
+        catalog.add(self.definition("real", virtual=False))
+        catalog.add(self.definition("virt", virtual=True))
+        names = [d.name for d in catalog.definitions_for("C", include_virtual=False)]
+        assert names == ["real"]
+        names = [d.name for d in catalog.definitions_for("C", include_virtual=True)]
+        assert set(names) == {"real", "virt"}
+
+    def test_remove_virtual(self):
+        catalog = Catalog()
+        catalog.add(self.definition("real", virtual=False))
+        catalog.add(self.definition("virt", virtual=True))
+        catalog.remove_virtual()
+        assert "virt" not in catalog
+        assert "real" in catalog
+
+    def test_fresh_name_unique(self):
+        catalog = Catalog()
+        name1 = catalog.fresh_name("idx")
+        catalog.add(
+            IndexDefinition(name1, "C", parse_pattern("/a"), IndexValueType.STRING)
+        )
+        name2 = catalog.fresh_name("idx")
+        assert name1 != name2
+
+    def test_ddl_rendering(self):
+        ddl = self.definition("x").ddl()
+        assert "CREATE INDEX x" in ddl
+        assert "XMLPATTERN '/a/b'" in ddl
+        assert "VARCHAR" in ddl
+        numeric = IndexDefinition(
+            "y", "C", parse_pattern("/a"), IndexValueType.NUMERIC
+        ).ddl()
+        assert "DOUBLE" in numeric

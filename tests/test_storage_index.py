@@ -1,0 +1,169 @@
+"""Tests for partial path indexes, including property-based lookup checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.catalog import IndexDefinition
+from repro.storage.index import IndexValueType, PathIndex, estimate_levels
+from repro.xmlmodel import parse_document
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
+
+
+def build_index(pattern, value_type, docs):
+    definition = IndexDefinition("i", "C", parse_pattern(pattern), value_type)
+    index = PathIndex(definition)
+    for i, text in enumerate(docs):
+        index.insert_document(parse_document(text, doc_id=i))
+    return index
+
+
+SAMPLE_DOCS = [
+    "<S><Y>4.5</Y><N>alpha</N></S>",
+    "<S><Y>2.0</Y><N>beta</N></S>",
+    "<S><Y>7.25</Y><N>alpha</N></S>",
+    "<S><Y>not-a-number</Y><N>gamma</N></S>",
+]
+
+
+class TestIndexBuild:
+    def test_numeric_index_skips_non_numeric(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        assert index.entry_count() == 3  # "not-a-number" excluded
+
+    def test_string_index_keeps_everything(self):
+        index = build_index("/S/Y", IndexValueType.STRING, SAMPLE_DOCS)
+        assert index.entry_count() == 4
+
+    def test_partial_index_only_matching_paths(self):
+        index = build_index("/S/N", IndexValueType.STRING, SAMPLE_DOCS)
+        assert index.entry_count() == 4
+        assert all(isinstance(e[0], str) for e in index.entries)
+
+    def test_wildcard_pattern(self):
+        index = build_index("/S/*", IndexValueType.STRING, SAMPLE_DOCS)
+        assert index.entry_count() == 8  # Y and N of each doc
+
+    def test_attribute_pattern(self):
+        docs = ['<S id="x"/>', '<S id="y"/>']
+        index = build_index("/S/@id", IndexValueType.STRING, docs)
+        assert sorted(e[0] for e in index.entries) == ["x", "y"]
+
+    def test_entries_sorted(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        keys = [e[0] for e in index.entries]
+        assert keys == sorted(keys)
+
+    def test_remove_document(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        doc = parse_document(SAMPLE_DOCS[0], doc_id=0)
+        removed = index.remove_document(doc)
+        assert removed == 1
+        assert index.entry_count() == 2
+
+
+class TestLookups:
+    def test_lookup_eq(self):
+        index = build_index("/S/N", IndexValueType.STRING, SAMPLE_DOCS)
+        assert {d for d, _ in index.lookup_eq("alpha")} == {0, 2}
+
+    def test_lookup_eq_missing(self):
+        index = build_index("/S/N", IndexValueType.STRING, SAMPLE_DOCS)
+        assert index.lookup_eq("nope") == []
+
+    def test_lookup_range_numeric(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        docs = {d for d, _ in index.lookup_range(low=2.0, high=5.0)}
+        assert docs == {0, 1}
+
+    def test_lookup_range_exclusive(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        docs = {d for d, _ in index.lookup_range(low=2.0, low_inclusive=False)}
+        assert docs == {0, 2}
+
+    @pytest.mark.parametrize(
+        "op,literal,expected",
+        [
+            ("=", 4.5, {0}),
+            ("<", 4.5, {1}),
+            ("<=", 4.5, {0, 1}),
+            (">", 4.5, {2}),
+            (">=", 4.5, {0, 2}),
+            ("!=", 4.5, {1, 2}),
+        ],
+    )
+    def test_lookup_op_numeric(self, op, literal, expected):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        assert {d for d, _ in index.lookup_op(op, Literal(literal))} == expected
+
+    def test_lookup_op_bad_operator(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS)
+        with pytest.raises(ValueError):
+            index.lookup_op("~", Literal(1.0))
+
+    def test_string_coercion_of_numeric_literal(self):
+        docs = ["<S><N>4</N></S>"]
+        index = build_index("/S/N", IndexValueType.STRING, docs)
+        assert index.lookup_op("=", Literal(4.0)) == [(0, 2)]
+
+    def test_all_entries_structural(self):
+        index = build_index("/S/Y", IndexValueType.STRING, SAMPLE_DOCS)
+        assert len(index.all_entries()) == 4
+
+
+class TestSizing:
+    def test_levels_monotone(self):
+        assert estimate_levels(0) == 1
+        assert estimate_levels(1) == 1
+        assert estimate_levels(255) == 1
+        assert estimate_levels(257) == 2
+        assert estimate_levels(256 * 256 + 1) == 3
+
+    def test_size_empty(self):
+        index = build_index("/S/Y", IndexValueType.NUMERIC, [])
+        assert index.size_bytes() == 0
+
+    def test_size_grows_with_entries(self):
+        small = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS[:2])
+        large = build_index("/S/Y", IndexValueType.NUMERIC, SAMPLE_DOCS * 5)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_distinct_keys(self):
+        index = build_index("/S/N", IndexValueType.STRING, SAMPLE_DOCS)
+        assert index.distinct_keys() == 3  # alpha, beta, gamma
+
+
+# ---------------------------------------------------------------------------
+# Property-based: index lookups agree with brute-force filtering
+# ---------------------------------------------------------------------------
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    probe=st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    op=st.sampled_from(["=", "<", "<=", ">", ">=", "!="]),
+)
+@settings(max_examples=150, deadline=None)
+def test_lookup_matches_brute_force(values, probe, op):
+    docs = [f"<S><Y>{v!r}</Y></S>" for v in values]
+    index = build_index("/S/Y", IndexValueType.NUMERIC, docs)
+    got = sorted(d for d, _ in index.lookup_op(op, Literal(probe)))
+
+    def check(v):
+        return {
+            "=": v == probe,
+            "!=": v != probe,
+            "<": v < probe,
+            "<=": v <= probe,
+            ">": v > probe,
+            ">=": v >= probe,
+        }[op]
+
+    expected = sorted(
+        i for i, v in enumerate(values) if check(float(repr(v)))
+    )
+    assert got == expected

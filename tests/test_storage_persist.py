@@ -1,0 +1,91 @@
+"""Tests for database persistence."""
+
+import os
+
+import pytest
+
+from repro.storage import Database, IndexDefinition, IndexValueType
+from repro.storage.persist import load_database, save_database
+from repro.xmlmodel import serialize
+from repro.xpath import parse_pattern
+
+
+@pytest.fixture()
+def populated_db():
+    db = Database("mydb")
+    db.create_collection("SDOC")
+    db.create_collection("EMPTY")
+    for i in range(5):
+        db.insert_document(
+            "SDOC", f"<Security><Symbol>S{i}</Symbol><Yield>{i}.5</Yield></Security>"
+        )
+    db.create_index(
+        IndexDefinition(
+            "iy", "SDOC", parse_pattern("/Security/Yield"), IndexValueType.NUMERIC
+        )
+    )
+    return db
+
+
+class TestRoundTrip:
+    def test_documents_survive(self, populated_db, tmp_path):
+        save_database(populated_db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert loaded.name == "mydb"
+        assert set(loaded.collections) == {"SDOC", "EMPTY"}
+        original = [serialize(d.root) for d in populated_db.collection("SDOC")]
+        restored = [serialize(d.root) for d in loaded.collection("SDOC")]
+        assert original == restored
+
+    def test_indexes_rebuilt(self, populated_db, tmp_path):
+        save_database(populated_db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        index = loaded.index("iy")
+        assert index.entry_count() == 5
+        assert index.definition.value_type is IndexValueType.NUMERIC
+        assert str(index.definition.pattern) == "/Security/Yield"
+
+    def test_virtual_definitions_not_persisted(self, populated_db, tmp_path):
+        populated_db.catalog.add(
+            IndexDefinition(
+                "v", "SDOC", parse_pattern("//*"), IndexValueType.STRING, virtual=True
+            )
+        )
+        save_database(populated_db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert "v" not in loaded.catalog
+
+    def test_deleted_documents_not_persisted(self, populated_db, tmp_path):
+        populated_db.delete_document("SDOC", 2)
+        save_database(populated_db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert len(loaded.collection("SDOC")) == 4
+
+    def test_resave_overwrites_stale_documents(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        populated_db.delete_document("SDOC", 0)
+        populated_db.delete_document("SDOC", 1)
+        save_database(populated_db, root)
+        loaded = load_database(root)
+        assert len(loaded.collection("SDOC")) == 3
+
+    def test_empty_collection_round_trip(self, populated_db, tmp_path):
+        save_database(populated_db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert len(loaded.collection("EMPTY")) == 0
+
+
+class TestErrors:
+    def test_missing_database(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(str(tmp_path / "nope"))
+
+    def test_bad_format_version(self, tmp_path):
+        root = tmp_path / "db"
+        root.mkdir()
+        (root / "database.json").write_text(
+            '{"format_version": 999, "name": "x", "collections": []}'
+        )
+        with pytest.raises(ValueError):
+            load_database(str(root))

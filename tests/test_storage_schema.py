@@ -1,0 +1,83 @@
+"""Tests for the DataGuide-style structural summary."""
+
+import pytest
+
+from repro.storage import Database
+from repro.storage.schema import build_dataguide, format_dataguide, recursive_tags
+from repro.workloads import recursive
+
+
+@pytest.fixture()
+def guide(security_db):
+    return build_dataguide(security_db.runstats("SDOC"))
+
+
+class TestDataGuide:
+    def test_structure(self, guide):
+        security = guide.children["Security"]
+        assert security.count == 30
+        assert set(security.children) >= {"Symbol", "Yield", "SecInfo", "@id"}
+
+    def test_counts_propagated(self, guide):
+        symbol = guide.children["Security"].children["Symbol"]
+        assert symbol.count == 30
+
+    def test_value_kinds(self, guide):
+        security = guide.children["Security"]
+        assert security.children["Yield"].has_numeric_values
+        assert not security.children["Yield"].has_text_values
+        assert security.children["Symbol"].has_text_values
+
+    def test_depth_and_node_count(self, guide):
+        # Security/SecInfo/Industrial/Sector is the deepest chain (root
+        # pseudo-node adds one level)
+        assert guide.depth() == 5
+        assert guide.node_count() == len(
+            list(_walk(guide))
+        )
+
+    def test_format_renders_tree(self, guide):
+        text = format_dataguide(guide)
+        assert "Security (30)" in text
+        assert "  Symbol (30)" in text
+        assert "[num]" in text
+
+    def test_format_max_depth(self, guide):
+        text = format_dataguide(guide, max_depth=1)
+        assert "Security (30)" in text
+        assert "Symbol" not in text
+
+    def test_no_recursion_in_flat_data(self, guide):
+        assert recursive_tags(guide) == []
+
+    def test_recursion_detected(self):
+        db = recursive.build_database(num_parts=40, max_depth=3, seed=9)
+        guide = build_dataguide(db.runstats("PARTS"))
+        tags = recursive_tags(guide)
+        assert "Part" in tags
+
+    def test_empty_collection(self):
+        db = Database()
+        db.create_collection("E")
+        guide = build_dataguide(db.runstats("E"))
+        assert guide.children == {}
+        assert format_dataguide(guide) == ""
+
+
+def _walk(node):
+    yield node
+    for child in node.children.values():
+        yield from _walk(child)
+
+
+class TestCliTree:
+    def test_stats_tree_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "db")
+        main(["generate", path, "--benchmark", "tpox", "--scale", "10"])
+        capsys.readouterr()
+        assert main(["stats", path, "SDOC", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "Security (10)" in out
+        assert "SecInfo" in out

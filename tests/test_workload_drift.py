@@ -1,0 +1,102 @@
+"""Tests for the workload drift generator."""
+
+import pytest
+
+from repro.query import Query, Workload
+from repro.workloads import tpox
+from repro.workloads.drift import drift_workload
+
+
+@pytest.fixture()
+def workload(tpox_db):
+    return tpox.tpox_workload(num_securities=120, seed=42)
+
+
+class TestDrift:
+    def test_deterministic(self, tpox_db, workload):
+        a = drift_workload(tpox_db, workload, seed=7)
+        b = drift_workload(tpox_db, workload, seed=7)
+        assert [e.statement.describe() for e in a] == [
+            e.statement.describe() for e in b
+        ]
+
+    def test_seeds_differ(self, tpox_db, workload):
+        a = drift_workload(tpox_db, workload, seed=1)
+        b = drift_workload(tpox_db, workload, seed=2)
+        assert [e.statement.describe() for e in a] != [
+            e.statement.describe() for e in b
+        ]
+
+    def test_same_size_and_frequencies(self, tpox_db, workload):
+        drifted = drift_workload(tpox_db, workload, seed=3)
+        assert len(drifted) == len(workload)
+        assert [e.frequency for e in drifted] == [e.frequency for e in workload]
+
+    def test_something_actually_drifts(self, tpox_db, workload):
+        drifted = drift_workload(tpox_db, workload, seed=3)
+        changed = sum(
+            1
+            for before, after in zip(workload, drifted)
+            if before.statement.describe() != after.statement.describe()
+        )
+        assert changed >= len(workload) // 3
+
+    def test_drifted_queries_still_parseable_structures(self, tpox_db, workload):
+        drifted = drift_workload(tpox_db, workload, seed=4)
+        for entry in drifted:
+            assert isinstance(entry.statement, Query)
+            for clause in entry.statement.where:
+                if clause.is_comparison:
+                    assert clause.literal is not None
+
+    def test_drifted_paths_exist_in_data(self, tpox_db, workload):
+        """Sibling drift must target elements that occur in the data."""
+        from repro.optimizer.rewriter import extract_path_requests
+
+        drifted = drift_workload(tpox_db, workload, seed=5)
+        stats = tpox_db.runstats("SDOC")
+        for entry in drifted:
+            if entry.statement.collection != "SDOC":
+                continue
+            for request in extract_path_requests(entry.statement):
+                assert any(
+                    request.pattern.matches(path) for path in stats.path_counts
+                ), f"drifted pattern {request.pattern} matches no data path"
+
+    def test_drifted_queries_executable(self, tpox_db, workload):
+        from repro import Executor
+
+        executor = Executor(tpox_db)
+        drifted = drift_workload(tpox_db, workload, seed=6)
+        for entry in drifted:
+            result = executor.execute(entry.statement)
+            assert result.docs_examined > 0
+
+    def test_zero_probabilities_no_change(self, tpox_db, workload):
+        same = drift_workload(
+            tpox_db, workload, seed=1,
+            literal_probability=0.0, sibling_probability=0.0,
+        )
+        assert [e.statement.describe() for e in same] == [
+            e.statement.describe() for e in workload
+        ]
+
+    def test_updates_pass_through(self, tpox_db):
+        workload = Workload.from_statements(
+            ["insert into SDOC value '<Security/>'"]
+        )
+        drifted = drift_workload(tpox_db, workload, seed=1)
+        assert drifted.entries[0].statement is workload.entries[0].statement
+
+
+class TestDriftWithJoins:
+    def test_join_queries_pass_through_unchanged(self, tpox_db):
+        from repro.workloads import tpox as tpox_module
+
+        wl = Workload.from_statements(
+            tpox_module.tpox_join_queries(num_securities=120, seed=42)
+        )
+        drifted = drift_workload(tpox_db, wl, seed=1)
+        assert [e.statement.describe() for e in drifted] == [
+            e.statement.describe() for e in wl
+        ]

@@ -1,0 +1,131 @@
+"""Tests for the XML node model."""
+
+import pytest
+
+from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode, element
+
+
+def build_security() -> XmlNode:
+    return element(
+        "Security",
+        element("Symbol", text="IBM"),
+        element("Yield", text="4.5"),
+        element(
+            "SecInfo",
+            element("Industrial", element("Sector", text="Energy")),
+        ),
+        id="s1",
+    )
+
+
+class TestXmlNode:
+    def test_element_construction(self):
+        node = element("Symbol", text="IBM")
+        assert node.kind is NodeKind.ELEMENT
+        assert node.name == "Symbol"
+        assert node.children[0].kind is NodeKind.TEXT
+
+    def test_append_child_sets_parent(self):
+        parent = XmlNode(NodeKind.ELEMENT, name="a")
+        child = XmlNode(NodeKind.ELEMENT, name="b")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_attribute_rejected(self):
+        parent = XmlNode(NodeKind.ELEMENT, name="a")
+        attr = XmlNode(NodeKind.ATTRIBUTE, name="x", value="1")
+        with pytest.raises(ValueError):
+            parent.append_child(attr)
+
+    def test_set_attribute(self):
+        node = element("Security", id="s1")
+        attr = node.attribute("id")
+        assert attr is not None
+        assert attr.value == "s1"
+        assert attr.parent is node
+
+    def test_set_attribute_on_text_rejected(self):
+        text = XmlNode(NodeKind.TEXT, value="x")
+        with pytest.raises(ValueError):
+            text.set_attribute("a", "b")
+
+    def test_attribute_missing_returns_none(self):
+        assert element("a").attribute("nope") is None
+
+    def test_child_elements_skips_text(self):
+        node = element("a", element("b"), text="hello")
+        names = [c.name for c in node.child_elements()]
+        assert names == ["b"]
+
+    def test_descendants_or_self_document_order(self):
+        root = build_security()
+        names = [n.name for n in root.descendants_or_self()]
+        assert names == [
+            "Security",
+            "Symbol",
+            "Yield",
+            "SecInfo",
+            "Industrial",
+            "Sector",
+        ]
+
+    def test_string_value_concatenates_text(self):
+        root = element("a", element("b", text="x"), element("c", text="y"))
+        assert root.string_value() == "xy"
+
+    def test_string_value_of_attribute(self):
+        node = element("a", id="42")
+        assert node.attribute("id").string_value() == "42"
+
+    def test_typed_value_numeric(self):
+        assert element("Yield", text=" 4.5 ").typed_value() == 4.5
+
+    def test_typed_value_string(self):
+        assert element("Symbol", text="IBM").typed_value() == "IBM"
+
+    def test_tag_path(self):
+        root = build_security()
+        sector = list(root.descendants_or_self())[-1]
+        assert sector.tag_path() == ("Security", "SecInfo", "Industrial", "Sector")
+
+    def test_tag_path_of_attribute(self):
+        root = build_security()
+        doc = XmlDocument(root)
+        attr = root.attribute("id")
+        assert attr.tag_path() == ("Security", "@id")
+
+
+class TestXmlDocument:
+    def test_root_property(self):
+        doc = XmlDocument(build_security())
+        assert doc.root.name == "Security"
+
+    def test_rejects_non_element_root(self):
+        with pytest.raises(ValueError):
+            XmlDocument(XmlNode(NodeKind.TEXT, value="x"))
+
+    def test_node_ids_are_document_order(self):
+        doc = XmlDocument(build_security())
+        ids = [n.node_id for n in doc.nodes]
+        assert ids == list(range(len(doc.nodes)))
+        # the document node is id 0, root element id 1
+        assert doc.nodes[0].kind is NodeKind.DOCUMENT
+        assert doc.nodes[1] is doc.root
+
+    def test_attribute_before_children_in_order(self):
+        doc = XmlDocument(build_security())
+        attr = doc.root.attribute("id")
+        first_child = next(doc.root.child_elements())
+        assert attr.node_id < first_child.node_id
+
+    def test_nodes_indexable_by_id(self):
+        doc = XmlDocument(build_security())
+        for node in doc.nodes:
+            assert doc.nodes[node.node_id] is node
+
+    def test_counts(self):
+        doc = XmlDocument(build_security())
+        assert doc.element_count() == 6
+        # 1 document + 6 elements + 1 attribute + 3 text nodes
+        assert doc.node_count() == 11

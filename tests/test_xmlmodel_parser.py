@@ -1,0 +1,131 @@
+"""Tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.xmlmodel import XmlParseError, parse_document, parse_fragment, serialize
+from repro.xmlmodel.nodes import NodeKind
+
+
+class TestBasicParsing:
+    def test_simple_element(self):
+        root = parse_fragment("<a/>")
+        assert root.name == "a"
+        assert root.children == []
+
+    def test_nested_elements(self):
+        root = parse_fragment("<a><b><c/></b></a>")
+        assert root.children[0].name == "b"
+        assert root.children[0].children[0].name == "c"
+
+    def test_text_content(self):
+        root = parse_fragment("<a>hello</a>")
+        assert root.string_value() == "hello"
+
+    def test_whitespace_only_text_dropped(self):
+        root = parse_fragment("<a>\n  <b/>\n</a>")
+        assert all(c.kind is NodeKind.ELEMENT for c in root.children)
+
+    def test_mixed_content_preserved(self):
+        root = parse_fragment("<a>x<b>y</b>z</a>")
+        assert root.string_value() == "xyz"
+
+    def test_attributes_double_and_single_quotes(self):
+        root = parse_fragment("""<a x="1" y='2'/>""")
+        assert root.attribute("x").value == "1"
+        assert root.attribute("y").value == "2"
+
+    def test_attribute_with_spaces_around_equals(self):
+        root = parse_fragment('<a x = "1"/>')
+        assert root.attribute("x").value == "1"
+
+    def test_names_with_namespace_prefix(self):
+        root = parse_fragment("<ns:a><ns:b/></ns:a>")
+        assert root.name == "ns:a"
+        assert root.children[0].name == "ns:b"
+
+    def test_names_with_dots_and_dashes(self):
+        root = parse_fragment("<a-b.c/>")
+        assert root.name == "a-b.c"
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities_in_text(self):
+        root = parse_fragment("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>")
+        assert root.string_value() == "<x> & \"y\" 'z'"
+
+    def test_numeric_character_references(self):
+        root = parse_fragment("<a>&#65;&#x42;</a>")
+        assert root.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_fragment('<a x="&amp;&lt;"/>')
+        assert root.attribute("x").value == "&<"
+
+    def test_cdata_section(self):
+        root = parse_fragment("<a><![CDATA[<not> & parsed]]></a>")
+        assert root.string_value() == "<not> & parsed"
+
+    def test_comments_skipped(self):
+        root = parse_fragment("<a><!-- comment --><b/></a>")
+        assert [c.name for c in root.child_elements()] == ["b"]
+
+    def test_xml_declaration_and_doctype(self):
+        root = parse_fragment(
+            '<?xml version="1.0"?><!DOCTYPE a><a><b/></a>'
+        )
+        assert root.name == "a"
+
+    def test_processing_instruction_in_content(self):
+        root = parse_fragment("<a><?pi data?><b/></a>")
+        assert [c.name for c in root.child_elements()] == ["b"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",  # missing end tag
+            "<a></b>",  # mismatched tags
+            "<a",  # truncated start tag
+            "<a x=1/>",  # unquoted attribute
+            "<a>&unknown;</a>",  # unknown entity
+            "<a>&#xZZ;</a>",  # bad char reference
+            "<a/><b/>",  # two roots
+            "",  # empty
+            "just text",  # no element
+            '<a x="1" x="2"/>',  # duplicate attribute
+            "<a><!-- unterminated </a>",
+            "<a><![CDATA[ unterminated </a>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(XmlParseError):
+            parse_fragment(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_fragment("<a>\n<b></c></a>")
+        assert excinfo.value.line == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a>text</a>",
+            '<a x="1"><b>y</b><c/></a>',
+            "<a>&lt;escaped&gt;</a>",
+            '<Security id="s1"><Symbol>A&amp;B</Symbol></Security>',
+        ],
+    )
+    def test_parse_serialize_parse_is_stable(self, text):
+        once = serialize(parse_fragment(text))
+        twice = serialize(parse_fragment(once))
+        assert once == twice
+
+    def test_parse_document_assigns_ids(self):
+        doc = parse_document("<a><b/><c/></a>", doc_id=9)
+        assert doc.doc_id == 9
+        assert doc.nodes[0].kind is NodeKind.DOCUMENT
+        assert doc.root.name == "a"

@@ -1,0 +1,119 @@
+"""Tests for the XML serializer, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import parse_fragment, serialize
+from repro.xmlmodel.nodes import NodeKind, XmlNode, element
+
+
+class TestBasics:
+    def test_empty_element_self_closes(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_text_content(self):
+        assert serialize(element("a", text="hi")) == "<a>hi</a>"
+
+    def test_attributes(self):
+        assert serialize(element("a", x="1")) == '<a x="1"/>'
+
+    def test_escaping_text(self):
+        node = element("a", text="<&>")
+        assert serialize(node) == "<a>&lt;&amp;&gt;</a>"
+
+    def test_escaping_attribute_quotes(self):
+        node = element("a", x='say "hi" & go')
+        assert '&quot;' in serialize(node)
+        assert "&amp;" in serialize(node)
+
+    def test_nested(self):
+        node = element("a", element("b", text="x"), element("c"))
+        assert serialize(node) == "<a><b>x</b><c/></a>"
+
+    def test_document_node(self):
+        from repro.xmlmodel.nodes import XmlDocument
+
+        doc = XmlDocument(element("a", element("b")))
+        assert serialize(doc.document_node) == "<a><b/></a>"
+
+    def test_attribute_node_alone(self):
+        node = element("a", x="1")
+        assert serialize(node.attributes[0]) == 'x="1"'
+
+    def test_pretty_indents(self):
+        node = element("a", element("b", element("c")))
+        text = serialize(node, pretty=True)
+        lines = text.splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1].startswith("  <b>")
+
+
+# ---------------------------------------------------------------------------
+# Property-based: parse(serialize(tree)) == tree
+# ---------------------------------------------------------------------------
+
+NAMES = st.sampled_from(["a", "b", "c", "item", "ns:x"])
+TEXTS = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), max_codepoint=0x2FF
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda t: t.strip())
+ATTR_VALUES = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), max_codepoint=0x2FF),
+    max_size=10,
+)
+
+
+@st.composite
+def trees(draw, depth=3):
+    node = XmlNode(NodeKind.ELEMENT, name=draw(NAMES))
+    for attr_name in draw(st.lists(st.sampled_from(["p", "q"]), max_size=2, unique=True)):
+        node.set_attribute(attr_name, draw(ATTR_VALUES))
+    if depth > 0:
+        for __ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                node.append_child(draw(trees(depth=depth - 1)))
+            else:
+                node.append_child(XmlNode(NodeKind.TEXT, value=draw(TEXTS)))
+    return node
+
+
+def canonical(node: XmlNode):
+    """Structure-equality key: whitespace-only text dropped and adjacent
+    text nodes coalesced (parsing merges them, as any XML parser does)."""
+    if node.kind is NodeKind.TEXT:
+        return ("text", node.value)
+    children = []
+    for child in node.children:
+        if child.kind is NodeKind.TEXT:
+            if not (child.value or "").strip():
+                continue
+            if children and children[-1][0] == "text":
+                children[-1] = ("text", children[-1][1] + (child.value or ""))
+                continue
+            children.append(("text", child.value or ""))
+        else:
+            children.append(canonical(child))
+    return (
+        "element",
+        node.name,
+        tuple(sorted((a.name, a.value) for a in node.attributes)),
+        tuple(children),
+    )
+
+
+@given(tree=trees())
+@settings(max_examples=200, deadline=None)
+def test_serialize_parse_round_trip(tree):
+    text = serialize(tree)
+    reparsed = parse_fragment(text)
+    assert canonical(reparsed) == canonical(tree)
+
+
+@given(tree=trees())
+@settings(max_examples=100, deadline=None)
+def test_serialization_is_deterministic(tree):
+    assert serialize(tree) == serialize(tree)

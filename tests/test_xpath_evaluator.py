@@ -1,0 +1,140 @@
+"""Tests for XPath evaluation over the node tree."""
+
+import pytest
+
+from repro.xmlmodel import parse_document
+from repro.xpath import evaluate_path, parse_xpath
+from repro.xpath.ast import Literal
+from repro.xpath.evaluator import compare_value
+
+DOC = parse_document(
+    """
+<Security id="s1">
+  <Symbol>IBM</Symbol>
+  <Yield>4.8</Yield>
+  <SecInfo>
+    <Industrial>
+      <Sector>Energy</Sector>
+      <Sector>Utilities</Sector>
+    </Industrial>
+  </SecInfo>
+  <Price><Ask>105.5</Ask><Bid>104.0</Bid></Price>
+  <Nested><Nested><Leaf>deep</Leaf></Nested></Nested>
+</Security>
+""",
+    doc_id=1,
+)
+
+
+def values(expr, context=DOC):
+    return [n.string_value() for n in evaluate_path(context, parse_xpath(expr))]
+
+
+class TestNavigation:
+    def test_child_path(self):
+        assert values("/Security/Symbol") == ["IBM"]
+
+    def test_missing_path_empty(self):
+        assert values("/Security/Nope") == []
+
+    def test_wrong_root_empty(self):
+        assert values("/Other/Symbol") == []
+
+    def test_wildcard_step(self):
+        assert values("/Security/SecInfo/*/Sector") == ["Energy", "Utilities"]
+
+    def test_descendant_axis(self):
+        assert values("/Security//Sector") == ["Energy", "Utilities"]
+
+    def test_descendant_from_root(self):
+        assert values("//Leaf") == ["deep"]
+
+    def test_descendant_recursive_element(self):
+        # both Nested elements are reachable; inner contains "deep"
+        nodes = evaluate_path(DOC, parse_xpath("//Nested"))
+        assert len(nodes) == 2
+
+    def test_attribute_step(self):
+        assert values("/Security/@id") == ["s1"]
+
+    def test_descendant_attribute_includes_self(self):
+        root = DOC.root
+        nodes = evaluate_path(root, parse_xpath(".//@id"))
+        assert [n.value for n in nodes] == ["s1"]
+
+    def test_document_order_and_dedup(self):
+        nodes = evaluate_path(DOC, parse_xpath("//Sector"))
+        ids = [n.node_id for n in nodes]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_relative_path_from_node(self):
+        (sec_info,) = evaluate_path(DOC, parse_xpath("/Security/SecInfo"))
+        assert [
+            n.string_value()
+            for n in evaluate_path(sec_info, parse_xpath("Industrial/Sector"))
+        ] == ["Energy", "Utilities"]
+
+    def test_relative_path_needs_context(self):
+        with pytest.raises(ValueError):
+            evaluate_path(DOC, parse_xpath("Symbol"))
+
+    def test_absolute_path_restarts_from_root(self):
+        (symbol,) = evaluate_path(DOC, parse_xpath("/Security/Symbol"))
+        assert values("/Security/Yield", context=symbol) == ["4.8"]
+
+
+class TestPredicates:
+    def test_numeric_comparison_true(self):
+        assert values("/Security[Yield>4.5]/Symbol") == ["IBM"]
+
+    def test_numeric_comparison_false(self):
+        assert values("/Security[Yield>5.0]/Symbol") == []
+
+    def test_string_equality(self):
+        assert values('/Security[Symbol="IBM"]/Yield') == ["4.8"]
+
+    def test_existential_semantics_multiple_targets(self):
+        # one Sector is "Energy", the predicate holds existentially
+        assert values('/Security[SecInfo/Industrial/Sector="Energy"]/Symbol') == ["IBM"]
+
+    def test_exists_predicate(self):
+        assert values("/Security[SecInfo]/Symbol") == ["IBM"]
+        assert values("/Security[Missing]/Symbol") == []
+
+    def test_predicate_on_middle_step(self):
+        assert values('/Security/Price[Ask>100]/Bid') == ["104.0"]
+        assert values('/Security/Price[Ask>200]/Bid') == []
+
+    def test_attribute_predicate(self):
+        assert values('/Security[@id="s1"]/Symbol') == ["IBM"]
+        assert values('/Security[@id="nope"]/Symbol') == []
+
+    def test_not_equal(self):
+        assert values('/Security[Symbol!="MSFT"]/Symbol') == ["IBM"]
+
+    def test_numeric_on_non_numeric_never_matches(self):
+        assert values("/Security[Symbol>5]/Symbol") == []
+
+
+class TestCompareValue:
+    @pytest.mark.parametrize(
+        "value,op,literal,expected",
+        [
+            (4.5, "=", Literal(4.5), True),
+            (4.5, "<", Literal(5.0), True),
+            (4.5, ">=", Literal(4.5), True),
+            (4.5, "!=", Literal(4.5), False),
+            ("4.5", ">", Literal(4.0), True),  # numeric coercion of text
+            ("abc", ">", Literal(4.0), False),  # non-numeric never matches
+            ("IBM", "=", Literal("IBM"), True),
+            ("IBM", "<", Literal("MSFT"), True),  # lexicographic
+            (4.0, "=", Literal("4"), True),  # numeric value vs string literal
+        ],
+    )
+    def test_compare(self, value, op, literal, expected):
+        assert compare_value(value, op, literal) is expected
+
+    def test_unsupported_operator(self):
+        with pytest.raises(ValueError):
+            compare_value(1.0, "~", Literal(1.0))

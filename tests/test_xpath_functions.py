@@ -1,0 +1,259 @@
+"""Tests for boolean predicates and string functions in XPath.
+
+Covers the parser (precedence, parentheses), the evaluator, the rewriter
+(what is and is not indexable), index lookups for ``starts-with``, and the
+advisor end to end.
+"""
+
+import pytest
+
+from repro.optimizer.rewriter import extract_path_requests
+from repro.query import parse_statement
+from repro.storage import Database, IndexDefinition, IndexValueType
+from repro.storage.statistics import collect_statistics
+from repro.xmlmodel import parse_document
+from repro.xpath import evaluate_path, parse_xpath
+from repro.xpath.ast import (
+    AndPredicate,
+    ComparisonPredicate,
+    FunctionPredicate,
+    Literal,
+    OrPredicate,
+)
+from repro.xpath.parser import XPathSyntaxError
+
+DOC = parse_document(
+    """
+<Security><Symbol>IBM</Symbol><Name>Intl Business Machines</Name>
+<Yield>4.8</Yield><PE>22</PE></Security>
+"""
+)
+
+
+def values(expr):
+    return [n.string_value() for n in evaluate_path(DOC, parse_xpath(expr))]
+
+
+class TestParsing:
+    def test_and_splits_into_step_predicates(self):
+        path = parse_xpath("/Security[Yield>4.5 and PE<30]")
+        assert len(path.steps[0].predicates) == 2
+        assert all(
+            isinstance(p, ComparisonPredicate) for p in path.steps[0].predicates
+        )
+
+    def test_or_predicate_node(self):
+        path = parse_xpath("/Security[Yield>9 or PE<30]")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, OrPredicate)
+        assert len(pred.alternatives) == 2
+
+    def test_and_binds_tighter_than_or(self):
+        path = parse_xpath("/Security[Yield>9 or PE<30 and Yield>5]")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, OrPredicate)
+        assert isinstance(pred.alternatives[1], AndPredicate)
+
+    def test_parentheses_override_precedence(self):
+        path = parse_xpath("/Security[(Yield>9 or PE<30) and Yield>5]")
+        # top level is AND -> split into two predicates
+        preds = path.steps[0].predicates
+        assert len(preds) == 2
+        assert isinstance(preds[0], OrPredicate)
+
+    def test_starts_with(self):
+        path = parse_xpath('/Security[starts-with(Symbol,"IB")]')
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, FunctionPredicate)
+        assert pred.function == "starts-with"
+        assert pred.literal == Literal("IB")
+
+    def test_contains(self):
+        path = parse_xpath('/Security[contains(Name,"Business")]')
+        (pred,) = path.steps[0].predicates
+        assert pred.function == "contains"
+
+    def test_function_needs_string_argument(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/Security[starts-with(Symbol,4)]")
+
+    def test_function_missing_paren(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath('/Security[starts-with(Symbol,"IB"]')
+
+    def test_element_named_like_function(self):
+        # no '(' after the name -> it is an ordinary path step
+        path = parse_xpath("/Security[contains]")
+        (pred,) = path.steps[0].predicates
+        assert not isinstance(pred, FunctionPredicate)
+
+    def test_str_round_trips(self):
+        for text in [
+            '/Security[starts-with(Symbol,"IB")]',
+            "/a[b=1 or c=2]",
+        ]:
+            assert str(parse_xpath(text)).replace(" ", "") == text.replace(" ", "")
+
+
+class TestEvaluation:
+    def test_and_semantics(self):
+        assert values("/Security[Yield>4.5 and PE<30]/Symbol") == ["IBM"]
+        assert values("/Security[Yield>4.5 and PE>30]/Symbol") == []
+
+    def test_or_semantics(self):
+        assert values("/Security[Yield>9 or PE<30]/Symbol") == ["IBM"]
+        assert values("/Security[Yield>9 or PE>30]/Symbol") == []
+
+    def test_precedence_semantics(self):
+        # Yield>9 is false; PE<30 and Yield>5 is false (4.8) => []
+        assert values("/Security[Yield>9 or PE<30 and Yield>5]/Symbol") == []
+        # (Yield>9 or PE<30) and Yield>4 => true
+        assert values("/Security[(Yield>9 or PE<30) and Yield>4]/Symbol") == ["IBM"]
+
+    def test_starts_with_evaluation(self):
+        assert values('/Security[starts-with(Symbol,"IB")]/Name') == [
+            "Intl Business Machines"
+        ]
+        assert values('/Security[starts-with(Symbol,"XX")]/Name') == []
+
+    def test_contains_evaluation(self):
+        assert values('/Security[contains(Name,"Business")]/Symbol') == ["IBM"]
+        assert values('/Security[contains(Name,"Nope")]/Symbol') == []
+
+
+class TestRewriter:
+    def test_and_conjuncts_both_indexable(self):
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[Yield>4.5 and PE<30]"""
+        )
+        patterns = {str(r.pattern) for r in extract_path_requests(query)}
+        assert patterns == {"/Security/Yield", "/Security/PE"}
+
+    def test_or_not_indexable(self):
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[Yield>9 or PE<30]"""
+        )
+        assert extract_path_requests(query) == []
+
+    def test_starts_with_indexable_as_string(self):
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[starts-with(Symbol,"IB")]"""
+        )
+        (request,) = extract_path_requests(query)
+        assert request.op == "starts-with"
+        assert request.value_type is IndexValueType.STRING
+
+    def test_contains_not_indexable(self):
+        query = parse_statement(
+            """COLLECTION('SDOC')/Security[contains(Name,"x")]"""
+        )
+        assert extract_path_requests(query) == []
+
+
+@pytest.fixture()
+def prefix_db():
+    db = Database()
+    db.create_collection("SDOC")
+    for i in range(40):
+        prefix = "IB" if i % 8 == 0 else "ZQ"
+        db.insert_document(
+            "SDOC",
+            f"<Security><Symbol>{prefix}{i:03d}</Symbol><Yield>{i % 10}</Yield></Security>",
+        )
+    return db
+
+
+class TestStartsWithThroughTheStack:
+    def test_index_lookup(self, prefix_db):
+        from repro.xpath import parse_pattern
+
+        index = prefix_db.create_index(
+            IndexDefinition(
+                "isym", "SDOC", parse_pattern("/Security/Symbol"),
+                IndexValueType.STRING,
+            )
+        )
+        hits = index.lookup_op("starts-with", Literal("IB"))
+        assert len(hits) == 5
+
+    def test_starts_with_on_numeric_index_rejected(self, prefix_db):
+        from repro.xpath import parse_pattern
+
+        index = prefix_db.create_index(
+            IndexDefinition(
+                "iy", "SDOC", parse_pattern("/Security/Yield"),
+                IndexValueType.NUMERIC,
+            )
+        )
+        with pytest.raises(ValueError):
+            index.lookup_op("starts-with", Literal("4"))
+
+    def test_selectivity(self, prefix_db):
+        from repro.xpath import parse_pattern
+
+        stats = prefix_db.runstats("SDOC")
+        sel = stats.selectivity(
+            parse_pattern("/Security/Symbol"), "starts-with", Literal("IB")
+        )
+        assert sel == pytest.approx(5 / 40)
+
+    def test_advisor_recommends_and_executor_uses(self, prefix_db):
+        from repro import Executor, IndexAdvisor, Workload
+
+        workload = Workload.from_statements(
+            ["""COLLECTION('SDOC')/Security[starts-with(Symbol,"IB")]"""]
+        )
+        advisor = IndexAdvisor(prefix_db, workload)
+        patterns = {str(c.pattern) for c in advisor.candidates.basics()}
+        assert patterns == {"/Security/Symbol"}
+        recommendation = advisor.recommend(budget_bytes=100_000)
+        assert len(recommendation.configuration) == 1
+        advisor.create_indexes(recommendation)
+        result = Executor(prefix_db).execute(workload.entries[0].statement)
+        assert result.rows == 5
+        assert result.docs_examined == 5
+        assert result.used_indexes
+
+
+class TestNotPredicate:
+    def test_parse(self):
+        from repro.xpath.ast import NotPredicate
+
+        path = parse_xpath("/Security[not(Flagged)]")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, NotPredicate)
+
+    def test_negated_existence(self):
+        assert values("/Security[not(Flagged)]/Symbol") == ["IBM"]
+        assert values("/Security[not(Symbol)]/Name") == []
+
+    def test_negated_comparison(self):
+        assert values("/Security[not(Yield>5)]/Symbol") == ["IBM"]
+        assert values("/Security[not(Yield>4)]/Symbol") == []
+
+    def test_negated_boolean_group(self):
+        assert values('/Security[not(Yield>5 or PE>30)]/Symbol') == ["IBM"]
+        assert values('/Security[not(Yield>4 and PE<30)]/Symbol') == []
+
+    def test_double_negation(self):
+        assert values("/Security[not(not(Symbol))]/Name") == [
+            "Intl Business Machines"
+        ]
+
+    def test_not_never_indexable(self):
+        query = parse_statement(
+            "COLLECTION('SDOC')/Security[not(Yield>5)]"
+        )
+        assert extract_path_requests(query) == []
+
+    def test_not_defeats_disjunction(self):
+        from repro.optimizer.rewriter import extract_disjunctive_requests
+
+        query = parse_statement(
+            "COLLECTION('SDOC')/Security[Yield>5 or not(PE>3)]"
+        )
+        assert extract_disjunctive_requests(query) == []
+
+    def test_str_rendering(self):
+        path = parse_xpath("/Security[not(Yield>5)]")
+        assert "not(" in str(path)

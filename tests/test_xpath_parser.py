@@ -1,0 +1,189 @@
+"""Tests for the XPath lexer and parser."""
+
+import pytest
+
+from repro.xpath.ast import (
+    Axis,
+    ComparisonPredicate,
+    ExistsPredicate,
+    Literal,
+    LocationPath,
+    Step,
+)
+from repro.xpath.lexer import TokenKind, XPathLexError, tokenize
+from repro.xpath.parser import XPathSyntaxError, parse_comparison, parse_xpath
+
+
+class TestLexer:
+    def test_separators(self):
+        kinds = [t.kind for t in tokenize("/a//b")]
+        assert kinds == [
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.DOUBLE_SLASH,
+            TokenKind.NAME,
+            TokenKind.END,
+        ]
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("a<=b") if t.kind is TokenKind.OP]
+        assert texts == ["<="]
+        texts = [t.text for t in tokenize("a!=b") if t.kind is TokenKind.OP]
+        assert texts == ["!="]
+
+    def test_string_literals(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_number_literal(self):
+        tokens = tokenize("4.5")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "4.5"
+
+    def test_negative_number(self):
+        tokens = tokenize("-3")
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(XPathLexError):
+            tokenize("'oops")
+
+    def test_bare_bang_raises(self):
+        with pytest.raises(XPathLexError):
+            tokenize("a!b")
+
+
+class TestPathParsing:
+    def test_absolute_child_path(self):
+        path = parse_xpath("/Security/Symbol")
+        assert path.absolute
+        assert [s.name_test for s in path.steps] == ["Security", "Symbol"]
+        assert all(s.axis is Axis.CHILD for s in path.steps)
+
+    def test_descendant_axis(self):
+        path = parse_xpath("//Yield")
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_mixed_axes(self):
+        path = parse_xpath("/a//b/c")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT,
+            Axis.CHILD,
+        ]
+
+    def test_wildcard(self):
+        path = parse_xpath("/Security/*/Sector")
+        assert path.steps[1].is_wildcard
+
+    def test_attribute_step(self):
+        path = parse_xpath("/Order/@ID")
+        assert path.steps[-1].name_test == "@ID"
+        assert path.steps[-1].is_attribute
+
+    def test_attribute_must_be_last(self):
+        with pytest.raises((XPathSyntaxError, ValueError)):
+            parse_xpath("/Order/@ID/x")
+
+    def test_relative_path(self):
+        path = parse_xpath("SecInfo/Sector")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_dot_is_empty_relative(self):
+        path = parse_xpath(".")
+        assert not path.absolute
+        assert path.steps == ()
+
+    def test_roundtrip_str(self):
+        for text in ["/a/b", "//a", "/a//b/*", "/a/@id", "a/b"]:
+            assert str(parse_xpath(text)) == text
+
+
+class TestPredicates:
+    def test_comparison_predicate(self):
+        path = parse_xpath("/Security[Yield>4.5]")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, ComparisonPredicate)
+        assert pred.op == ">"
+        assert pred.literal == Literal(4.5)
+        assert str(pred.path) == "Yield"
+
+    def test_string_comparison(self):
+        path = parse_xpath('/Security[Symbol="IBM"]')
+        (pred,) = path.steps[0].predicates
+        assert pred.literal == Literal("IBM")
+        assert not pred.literal.is_number
+
+    def test_exists_predicate(self):
+        path = parse_xpath("/Security[SecInfo]")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, ExistsPredicate)
+
+    def test_predicate_with_nested_path(self):
+        path = parse_xpath('/Security[SecInfo/*/Sector="Energy"]')
+        (pred,) = path.steps[0].predicates
+        assert str(pred.path) == "SecInfo/*/Sector"
+
+    def test_multiple_predicates_on_step(self):
+        path = parse_xpath('/Security[Yield>4.5][Symbol="A"]')
+        assert len(path.steps[0].predicates) == 2
+
+    def test_predicate_at_middle_step(self):
+        path = parse_xpath("/a/b[c=1]/d")
+        assert path.steps[1].predicates
+
+    def test_attribute_in_predicate(self):
+        path = parse_xpath('/Order[@ID="7"]')
+        (pred,) = path.steps[0].predicates
+        assert str(pred.path) == "@ID"
+
+    def test_without_predicates_strips(self):
+        path = parse_xpath("/Security[Yield>4.5]/Symbol")
+        stripped = path.without_predicates()
+        assert not stripped.has_predicates()
+        assert str(stripped) == "/Security/Symbol"
+
+    def test_predicates_must_be_relative(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/a[/b=1]")
+
+
+class TestParseComparison:
+    def test_comparison_expression(self):
+        path, op, literal = parse_comparison("/Security/Yield >= 4.5")
+        assert str(path) == "/Security/Yield"
+        assert op == ">="
+        assert literal == Literal(4.5)
+
+    def test_missing_operator_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_comparison("/Security/Yield")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_comparison("/a = 1 extra")
+
+
+class TestAstInvariants:
+    def test_concat(self):
+        base = parse_xpath("/Security")
+        rel = parse_xpath("SecInfo/Sector")
+        joined = base.concat(rel)
+        assert str(joined) == "/Security/SecInfo/Sector"
+
+    def test_concat_absolute_rejected(self):
+        with pytest.raises(ValueError):
+            parse_xpath("/a").concat(parse_xpath("/b"))
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate(
+                LocationPath((), absolute=False), "~", Literal(1.0)
+            )
+
+    def test_literal_str_forms(self):
+        assert str(Literal(4.0)) == "4"
+        assert str(Literal(4.5)) == "4.5"
+        assert str(Literal("x")) == '"x"'
