@@ -30,6 +30,7 @@ from repro.core.advisor import IndexAdvisor, Recommendation
 from repro.core.config import IndexConfiguration
 from repro.optimizer.executor import Executor
 from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.session import InstrumentationCounters, WhatIfSession
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
 from repro.storage.catalog import IndexDefinition
@@ -46,9 +47,11 @@ __all__ = [
     "IndexConfiguration",
     "IndexDefinition",
     "IndexValueType",
+    "InstrumentationCounters",
     "Optimizer",
     "OptimizerMode",
     "Recommendation",
+    "WhatIfSession",
     "Workload",
     "__version__",
     "load_database",

@@ -24,7 +24,7 @@ Section II predicts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.candidates import CandidateIndex
 from repro.core.config import IndexConfiguration
@@ -61,6 +61,28 @@ class DecoupledAdvisor:
     def __init__(self, database: Database, workload: Workload) -> None:
         self.database = database
         self.workload = workload
+
+    # ------------------------------------------------------------------
+    # Tightly-coupled scoring of the decoupled result
+    # ------------------------------------------------------------------
+    def coupled_benefit(
+        self, configuration: IndexConfiguration, session=None
+    ) -> float:
+        """Score this baseline's configuration with the *paper's*
+        optimizer-coupled evaluator, through a shared
+        :class:`~repro.optimizer.session.WhatIfSession` when given one
+        (the comparison experiments reuse the coupled advisor's warm
+        cache).  The baseline itself never consults the optimizer -- that
+        is the point -- but its output is judged by it."""
+        from repro.core.benefit import ConfigurationEvaluator
+        from repro.optimizer.session import WhatIfSession
+
+        if session is None:
+            session = WhatIfSession(self.database)
+        evaluator = ConfigurationEvaluator(
+            self.database, session, self.workload
+        )
+        return evaluator.benefit(configuration)
 
     # ------------------------------------------------------------------
     # Candidate generation: every path in the data

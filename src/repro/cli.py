@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.advisor import IndexAdvisor
 from repro.optimizer.executor import Executor
-from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.session import WhatIfSession
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
 from repro.storage.database import Database
@@ -173,12 +173,12 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     db = load_database(args.dbdir)
     statement = parse_statement(args.statement)
-    optimizer = Optimizer(db)
-    result = optimizer.optimize(statement, OptimizerMode.NORMAL)
+    session = WhatIfSession(db)
+    result = session.plan(statement)
     print(f"estimated cost: {result.estimated_cost:.2f}")
     print(result.explain())
     if args.enumerate:
-        enumerated = optimizer.optimize(statement, OptimizerMode.ENUMERATE)
+        enumerated = session.enumerate(statement)
         print("\ncandidate index patterns (Enumerate Indexes mode):")
         for candidate in enumerated.candidates:
             print(f"  {candidate}")
@@ -198,6 +198,9 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         print(json.dumps(recommendation.to_dict(), indent=2))
     else:
         print(recommendation.report())
+        if args.stats:
+            print()
+            print(recommendation.stats_report())
     if args.create:
         names = advisor.create_indexes(recommendation)
         save_database(db, args.dbdir)
@@ -248,8 +251,16 @@ def cmd_whatif(args: argparse.Namespace) -> int:
         candidates.append(
             CandidateIndex(parse_pattern(pattern_text), value_type, args.collection)
         )
-    report = analyze(db, workload, IndexConfiguration(candidates))
+    session = WhatIfSession(db)
+    report = analyze(db, workload, IndexConfiguration(candidates), session=session)
     print(report.summary())
+    if args.stats:
+        stats = session.stats()
+        print(
+            f"-- session: {stats['optimizer_calls']} optimizer calls, "
+            f"{stats['cache_hits']} cache hits, "
+            f"{stats['cache_misses']} misses"
+        )
     return 0
 
 
@@ -376,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the recommendation as JSON",
     )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="also print what-if session instrumentation counters",
+    )
     p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser(
@@ -398,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--patterns", nargs="+", required=True,
         help="index patterns, e.g. /Security/Yield:numeric /Security/Symbol",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="also print what-if session instrumentation counters",
     )
     p.set_defaults(func=cmd_whatif)
 

@@ -33,6 +33,7 @@ from repro.core.maintenance import MaintenanceConstants
 from repro.core.search import ALGORITHMS, DEFAULT_BETA, SearchResult
 from repro.optimizer.cost import CostConstants
 from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 from repro.storage.database import Database
 
@@ -46,6 +47,9 @@ class Recommendation:
     workload_cost_before: float
     workload_cost_after: float
     ddl: List[str] = field(default_factory=list)
+    #: Instrumentation snapshot of the shared what-if session at
+    #: packaging time (optimizer calls, cache hits/misses, phase times).
+    session_stats: Dict = field(default_factory=dict)
 
     @property
     def configuration(self) -> IndexConfiguration:
@@ -63,7 +67,10 @@ class Recommendation:
             "workload_cost_before": self.workload_cost_before,
             "workload_cost_after": self.workload_cost_after,
             "optimizer_calls": self.search.optimizer_calls,
+            "cache_hits": self.search.cache_hits,
+            "cache_misses": self.search.cache_misses,
             "elapsed_seconds": self.search.elapsed_seconds,
+            "session": dict(self.session_stats),
             "indexes": [
                 {
                     "pattern": str(candidate.pattern),
@@ -90,10 +97,29 @@ class Recommendation:
             f"{self.workload_cost_after:.2f}",
             f"Estimated speedup  : {self.estimated_speedup:.2f}x",
             f"Optimizer calls    : {self.search.optimizer_calls}",
+            f"Cost cache         : {self.search.cache_hits} hits / "
+            f"{self.search.cache_misses} misses (search)",
             f"Search time        : {self.search.elapsed_seconds * 1000:.0f} ms",
             "Recommended indexes:",
         ]
         lines.extend(f"  {stmt}" for stmt in self.ddl)
+        return "\n".join(lines)
+
+    def stats_report(self) -> str:
+        """Human-readable session instrumentation block (CLI --stats)."""
+        stats = self.session_stats
+        lines = [
+            "What-if session stats:",
+            f"  optimizer calls   : {stats.get('optimizer_calls', 0)}",
+            f"  cache hits/misses : {stats.get('cache_hits', 0)} / "
+            f"{stats.get('cache_misses', 0)} "
+            f"(hit ratio {stats.get('cache_hit_ratio', 0.0):.2%})",
+            f"  evaluations       : {stats.get('evaluations', 0)}",
+            f"  invalidations     : {stats.get('invalidations', 0)}",
+            f"  cached results    : {stats.get('cached_results', 0)}",
+        ]
+        for name, seconds in sorted(stats.get("phase_seconds", {}).items()):
+            lines.append(f"  phase {name:<12}: {seconds * 1000:.1f} ms")
         return "\n".join(lines)
 
 
@@ -108,10 +134,14 @@ class IndexAdvisor:
         maintenance_constants: MaintenanceConstants = MaintenanceConstants(),
         generalize: bool = True,
         naive_evaluation: bool = False,
+        session: Optional[WhatIfSession] = None,
     ) -> None:
         self.database = database
         self.workload = workload
-        self.optimizer = Optimizer(database, cost_constants)
+        #: The advisor's entire optimizer coupling runs through this one
+        #: session; pass a shared session to share its cost cache across
+        #: advisors (e.g. the generalization experiments).
+        self.session = session or WhatIfSession(database, cost_constants)
         self.generalize = generalize
         self.maintenance_constants = maintenance_constants
         self.naive_evaluation = naive_evaluation
@@ -127,10 +157,14 @@ class IndexAdvisor:
         """The expanded candidate set (enumerated + generalized),
         computed on first access."""
         if self._candidates is None:
-            candidates = enumerate_basic_candidates(self.optimizer, self.workload)
-            if self.generalize:
-                generalize_candidates(candidates)
-            candidates.compute_sizes(self.database)
+            with self.session.phase("enumerate"):
+                candidates = enumerate_basic_candidates(
+                    self.session, self.workload
+                )
+            with self.session.phase("generalize"):
+                if self.generalize:
+                    generalize_candidates(candidates)
+                candidates.compute_sizes(self.database)
             self._candidates = candidates
         return self._candidates
 
@@ -140,12 +174,17 @@ class IndexAdvisor:
             self._candidates = self.candidates  # ensure enumeration happened
             self._evaluator = ConfigurationEvaluator(
                 self.database,
-                self.optimizer,
+                self.session,
                 self.workload,
                 self.maintenance_constants,
                 naive=self.naive_evaluation,
             )
         return self._evaluator
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The session's optimizer (single production instance)."""
+        return self.session.optimizer
 
     # ------------------------------------------------------------------
     # Recommendation
@@ -166,10 +205,13 @@ class IndexAdvisor:
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
             )
         searcher = ALGORITHMS[algorithm]
-        if algorithm == "greedy_heuristics":
-            result = searcher(self.candidates, self.evaluator, budget_bytes, beta)
-        else:
-            result = searcher(self.candidates, self.evaluator, budget_bytes)
+        with self.session.phase(f"search:{algorithm}"):
+            if algorithm == "greedy_heuristics":
+                result = searcher(
+                    self.candidates, self.evaluator, budget_bytes, beta
+                )
+            else:
+                result = searcher(self.candidates, self.evaluator, budget_bytes)
         return self._package(result)
 
     def _package(self, result: SearchResult) -> Recommendation:
@@ -189,6 +231,7 @@ class IndexAdvisor:
             workload_cost_before=before,
             workload_cost_after=after,
             ddl=ddl,
+            session_stats=self.session.stats(),
         )
 
     # ------------------------------------------------------------------

@@ -9,8 +9,11 @@ where ``s_new(X)`` comes from the optimizer's *Evaluate Indexes* mode with
 X installed as virtual indexes, and MC charges index maintenance for
 update statements (:mod:`repro.core.maintenance`).
 
-Because the search algorithms evaluate many configurations, the evaluator
-implements the paper's two call-reduction techniques:
+All raw costing goes through a shared
+:class:`~repro.optimizer.session.WhatIfSession`, which memoizes every
+(statement, projected configuration) pair and counts optimizer calls and
+cache traffic.  On top of the session's cache the evaluator implements
+the paper's two call-reduction techniques:
 
 * **Affected sets** -- an index can only change the cost of statements
   that produced basic candidate patterns it covers, so only the union of
@@ -21,37 +24,50 @@ implements the paper's two call-reduction techniques:
   is evaluated independently and cached, so a search step that adds one
   index only re-evaluates the group that index interacts with.
 
-``naive=True`` disables both (every evaluation re-optimizes the whole
-workload against the whole configuration) -- the ablation benchmark uses
-it to measure the savings.
+``naive=True`` disables both *and* bypasses the session's cost cache
+(every evaluation re-optimizes the whole workload against the whole
+configuration) -- the ablation benchmark uses it to measure the savings.
+
+The evaluator's derived caches are tied to the database's modification
+counter: an insert/delete/index-DDL between calls invalidates base costs
+and sub-configuration benefits automatically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.candidates import CandidateIndex, CandidateKey
 from repro.core.config import IndexConfiguration
 from repro.core.maintenance import MaintenanceConstants, maintenance_cost
-from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.rewriter import PathRequest, extract_all_requests
+from repro.optimizer.session import WhatIfSession
 from repro.query.model import JoinQuery, Query
 from repro.query.workload import Workload
 
 
 class ConfigurationEvaluator:
-    """Benefit/cost oracle for index configurations over one workload."""
+    """Benefit/cost oracle for index configurations over one workload.
+
+    ``coupling`` is the shared :class:`WhatIfSession`; a bare
+    :class:`Optimizer` is also accepted (it is adopted into a private
+    session) for backward compatibility and tests.
+    """
 
     def __init__(
         self,
         database,
-        optimizer: Optimizer,
+        coupling: Union[WhatIfSession, Optimizer],
         workload: Workload,
         maintenance_constants: MaintenanceConstants = MaintenanceConstants(),
         naive: bool = False,
     ) -> None:
         self.database = database
-        self.optimizer = optimizer
+        if isinstance(coupling, WhatIfSession):
+            self.session = coupling
+        else:
+            self.session = WhatIfSession.adopt(coupling)
         self.workload = workload
         self.maintenance_constants = maintenance_constants
         self.naive = naive
@@ -66,21 +82,58 @@ class ConfigurationEvaluator:
             for entry in workload
         ]
         self.evaluations = 0  # configuration evaluations requested
-        # Base (no new indexes) cost of every statement, freq-weighted later.
-        self.base_costs: List[float] = [
-            self.optimizer.optimize(
-                entry.statement, OptimizerMode.EVALUATE, ()
-            ).estimated_cost
-            for entry in workload
-        ]
+        self._generation = self.session.generation
+        self._base_costs: Optional[List[float]] = None
 
     # ------------------------------------------------------------------
-    # Public API
+    # Coupling / staleness
     # ------------------------------------------------------------------
+    @property
+    def optimizer(self) -> Optimizer:
+        """The session's optimizer (for call counting; do not construct
+        optimizers elsewhere)."""
+        return self.session.optimizer
+
     @property
     def optimizer_calls(self) -> int:
         return self.optimizer.calls
 
+    def _refresh(self) -> None:
+        """Invalidate derived caches when the database changed.  The
+        session notices data/index modifications via the database's
+        modification counter; everything this evaluator derived from old
+        costs (base costs, sub-configuration benefits, maintenance, and
+        standalone benefits) must go with them."""
+        current = getattr(self.database, "modification_count", 0)
+        if current == self._generation:
+            return
+        self._generation = current
+        self._base_costs = None
+        self._subconfig_cache.clear()
+        self._standalone_cache.clear()
+        self._maintenance_cache.clear()
+        # affected sets depend only on statement patterns, which do not
+        # change with data -- but keep the contract simple and safe.
+        self._affected_cache.clear()
+
+    @property
+    def base_costs(self) -> List[float]:
+        """Base (no new indexes) cost of every statement, computed lazily
+        through the session (warm after the first evaluator on a shared
+        session)."""
+        self._refresh()
+        if self._base_costs is None:
+            with self.session.phase("base-costs"):
+                with self.session.evaluating(()) as scope:
+                    self._base_costs = [
+                        scope.cost(entry.statement) for entry in self.workload
+                    ]
+            self._generation = getattr(self.database, "modification_count", 0)
+        return self._base_costs
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
     def total_base_cost(self) -> float:
         """Frequency-weighted workload cost with no (new) indexes."""
         return sum(
@@ -91,6 +144,7 @@ class ConfigurationEvaluator:
     def benefit(self, config: IndexConfiguration) -> float:
         """Benefit(X; W): query savings minus maintenance."""
         self.evaluations += 1
+        self.session.note_evaluation()
         return self.raw_benefit(config) - self.maintenance(config)
 
     def improved_benefit(
@@ -105,6 +159,7 @@ class ConfigurationEvaluator:
     def standalone_benefit(self, candidate: CandidateIndex) -> float:
         """Benefit of {candidate} alone (interaction-free view, used by
         plain greedy, top down lite, and dynamic programming)."""
+        self._refresh()
         key = candidate.key
         if key not in self._standalone_cache:
             self._standalone_cache[key] = self.benefit(
@@ -134,9 +189,12 @@ class ConfigurationEvaluator:
     def maintenance(self, config: IndexConfiguration) -> float:
         """MC(X; W): frequency-weighted maintenance charge of the
         configuration for the workload's update statements."""
-        return sum(self._candidate_maintenance(c) for c in config)
+        return sum(self.candidate_maintenance(c) for c in config)
 
-    def _candidate_maintenance(self, candidate: CandidateIndex) -> float:
+    def candidate_maintenance(self, candidate: CandidateIndex) -> float:
+        """Frequency-weighted maintenance charge of one candidate for the
+        workload's update statements (public: index review uses it)."""
+        self._refresh()
         key = candidate.key
         if key not in self._maintenance_cache:
             if candidate.collection not in self.database.collections:
@@ -156,10 +214,15 @@ class ConfigurationEvaluator:
             self._maintenance_cache[key] = total
         return self._maintenance_cache[key]
 
+    # Backward-compatible alias (pre-session code reached for the
+    # underscore name).
+    _candidate_maintenance = candidate_maintenance
+
     # ------------------------------------------------------------------
     # Raw (query-side) benefit with sub-configuration caching
     # ------------------------------------------------------------------
     def raw_benefit(self, config: IndexConfiguration) -> float:
+        self._refresh()
         if len(config) == 0:
             return 0.0
         if self.naive:
@@ -221,25 +284,26 @@ class ConfigurationEvaluator:
         self, group: Sequence[CandidateIndex], statement_positions
     ) -> float:
         """Optimize the affected statements with the group installed as
-        virtual indexes; return the frequency-weighted savings."""
-        definitions = [
-            candidate.definition(f"__virtual_{i}", virtual=True)
-            for i, candidate in enumerate(group)
-        ]
+        virtual indexes; return the frequency-weighted savings.  Costing
+        is delegated to the session (bypassing its cache in naive mode so
+        the ablation keeps measuring real optimizer traffic)."""
+        base_costs = self.base_costs
         saved = 0.0
-        for position in statement_positions:
-            entry = self.workload.entries[position]
-            new_cost = self.optimizer.optimize(
-                entry.statement, OptimizerMode.EVALUATE, definitions
-            ).estimated_cost
-            saved += entry.frequency * (self.base_costs[position] - new_cost)
+        with self.session.evaluating(group, use_cache=not self.naive) as scope:
+            for position in statement_positions:
+                entry = self.workload.entries[position]
+                new_cost = scope.cost(entry.statement)
+                saved += entry.frequency * (base_costs[position] - new_cost)
         return saved
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
         """Cache/counter snapshot for the efficiency experiments."""
+        counters = self.session.counters
         return {
             "optimizer_calls": self.optimizer.calls,
             "config_evaluations": self.evaluations,
             "cached_subconfigs": len(self._subconfig_cache),
+            "session_cache_hits": counters.cache_hits,
+            "session_cache_misses": counters.cache_misses,
         }

@@ -140,17 +140,26 @@ class CandidateSet:
                     general.affected |= basic.affected
 
 
-def enumerate_basic_candidates(
-    optimizer: Optimizer, workload: Workload
-) -> CandidateSet:
+def enumerate_basic_candidates(coupling, workload: Workload) -> CandidateSet:
     """Run every workload statement through Enumerate Indexes mode and
-    collect the basic candidate set."""
+    collect the basic candidate set.
+
+    ``coupling`` is a :class:`~repro.optimizer.session.WhatIfSession`
+    (preferred -- enumeration results are cached per statement) or a bare
+    :class:`Optimizer` (tests, backward compatibility).
+    """
+    if isinstance(coupling, Optimizer):
+        enumerate_statement = lambda stmt: coupling.optimize(  # noqa: E731
+            stmt, OptimizerMode.ENUMERATE
+        )
+    else:
+        enumerate_statement = coupling.enumerate
     candidates = CandidateSet()
     for position, entry in enumerate(workload):
         statement = entry.statement
         if not hasattr(statement, "collection"):
             continue
-        result = optimizer.optimize(statement, OptimizerMode.ENUMERATE)
+        result = enumerate_statement(statement)
         for enumerated in result.candidates:
             candidate = candidates.get_or_add(
                 enumerated.pattern,

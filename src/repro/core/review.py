@@ -17,7 +17,7 @@ from repro.core.benefit import ConfigurationEvaluator
 from repro.core.candidates import CandidateIndex
 from repro.core.config import IndexConfiguration
 from repro.core.maintenance import MaintenanceConstants
-from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 from repro.storage.database import Database
 
@@ -80,11 +80,14 @@ def review_existing_indexes(
     # Hide the built indexes while measuring, so base costs reflect a
     # no-index world and the candidates (their virtual twins) carry the
     # whole benefit -- otherwise the benefit would be double-counted.
+    # ``touch()`` bumps the modification counter so any other session on
+    # this database drops costs cached against the full index set.
     hidden = {name: database.indexes.pop(name) for name in candidates}
+    database.touch()
     try:
-        optimizer = Optimizer(database)
+        session = WhatIfSession(database)
         evaluator = ConfigurationEvaluator(
-            database, optimizer, workload, maintenance_constants
+            database, session, workload, maintenance_constants
         )
         full = IndexConfiguration(candidates.values())
         full_benefit = evaluator.raw_benefit(full)
@@ -93,7 +96,7 @@ def review_existing_indexes(
             candidate = candidates[definition.name]
             without = full.without(candidate)
             marginal = full_benefit - evaluator.raw_benefit(without)
-            maintenance = evaluator._candidate_maintenance(candidate)
+            maintenance = evaluator.candidate_maintenance(candidate)
             reviews.append(
                 IndexReview(
                     index_name=definition.name,
@@ -106,6 +109,7 @@ def review_existing_indexes(
         return reviews
     finally:
         database.indexes.update(hidden)
+        database.touch()
 
 
 def drop_recommended(

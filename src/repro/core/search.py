@@ -37,7 +37,13 @@ DEFAULT_BETA = 0.10
 
 @dataclass
 class SearchResult:
-    """Outcome of one configuration search."""
+    """Outcome of one configuration search.
+
+    ``optimizer_calls``/``cache_hits``/``cache_misses`` are deltas of the
+    shared :class:`~repro.optimizer.session.WhatIfSession` counters over
+    the search, so they reflect exactly the optimizer traffic this search
+    caused (and the work the shared cost cache absorbed).
+    """
 
     algorithm: str
     configuration: IndexConfiguration
@@ -47,6 +53,8 @@ class SearchResult:
     elapsed_seconds: float
     optimizer_calls: int
     evaluations: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def general_count(self) -> int:
@@ -67,25 +75,39 @@ class SearchResult:
         )
 
 
-def _finish(
-    algorithm: str,
-    config: IndexConfiguration,
-    evaluator: ConfigurationEvaluator,
-    budget: int,
-    started: float,
-    calls_before: int,
-    evals_before: int,
-) -> SearchResult:
-    return SearchResult(
-        algorithm=algorithm,
-        configuration=config,
-        benefit=evaluator.benefit(config),
-        size_bytes=config.size_bytes(),
-        budget_bytes=budget,
-        elapsed_seconds=time.perf_counter() - started,
-        optimizer_calls=evaluator.optimizer.calls - calls_before,
-        evaluations=evaluator.evaluations - evals_before,
-    )
+class _Telemetry:
+    """Counter snapshot at search start; finishes into a SearchResult.
+
+    Counters are read from the evaluator's shared what-if session -- the
+    single source of truth for optimizer traffic -- not from the raw
+    optimizer object."""
+
+    def __init__(self, evaluator: ConfigurationEvaluator) -> None:
+        self.evaluator = evaluator
+        self.started = time.perf_counter()
+        counters = evaluator.session.counters
+        self.calls_before = counters.optimizer_calls
+        self.hits_before = counters.cache_hits
+        self.misses_before = counters.cache_misses
+        self.evals_before = evaluator.evaluations
+
+    def finish(
+        self, algorithm: str, config: IndexConfiguration, budget: int
+    ) -> SearchResult:
+        benefit = self.evaluator.benefit(config)
+        counters = self.evaluator.session.counters
+        return SearchResult(
+            algorithm=algorithm,
+            configuration=config,
+            benefit=benefit,
+            size_bytes=config.size_bytes(),
+            budget_bytes=budget,
+            elapsed_seconds=time.perf_counter() - self.started,
+            optimizer_calls=counters.optimizer_calls - self.calls_before,
+            evaluations=self.evaluator.evaluations - self.evals_before,
+            cache_hits=counters.cache_hits - self.hits_before,
+            cache_misses=counters.cache_misses - self.misses_before,
+        )
 
 
 def _positive_candidates(
@@ -114,18 +136,14 @@ def greedy_search(
 ) -> SearchResult:
     """Density greedy on standalone benefits; ignores interaction, so it
     happily picks redundant indexes that the optimizer will never combine."""
-    started = time.perf_counter()
-    calls_before = evaluator.optimizer.calls
-    evals_before = evaluator.evaluations
+    telemetry = _Telemetry(evaluator)
     config = IndexConfiguration()
     remaining = budget_bytes
     for candidate in _positive_candidates(candidates, evaluator):
         if candidate.size_bytes <= remaining:
             config = config.with_candidate(candidate)
             remaining -= candidate.size_bytes
-    return _finish(
-        "greedy", config, evaluator, budget_bytes, started, calls_before, evals_before
-    )
+    return telemetry.finish("greedy", config, budget_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -147,9 +165,7 @@ def greedy_search_with_heuristics(
     generalizes (IB test) without exceeding their total size by more than
     ``beta``.
     """
-    started = time.perf_counter()
-    calls_before = evaluator.optimizer.calls
-    evals_before = evaluator.evaluations
+    telemetry = _Telemetry(evaluator)
     dag = CandidateDag(candidates)
     basics = candidates.basics()
     covered: Dict[Tuple, bool] = {b.key: False for b in basics}
@@ -181,15 +197,7 @@ def greedy_search_with_heuristics(
         remaining = budget_bytes - config.size_bytes()
         for basic in covered_basics:
             covered[basic.key] = True
-    return _finish(
-        "greedy_heuristics",
-        config,
-        evaluator,
-        budget_bytes,
-        started,
-        calls_before,
-        evals_before,
-    )
+    return telemetry.finish("greedy_heuristics", config, budget_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -203,9 +211,7 @@ def _top_down(
     full: bool,
 ) -> SearchResult:
     algorithm = "topdown_full" if full else "topdown_lite"
-    started = time.perf_counter()
-    calls_before = evaluator.optimizer.calls
-    evals_before = evaluator.evaluations
+    telemetry = _Telemetry(evaluator)
 
     # Preprocessing: drop candidates with zero/negative benefit (high
     # maintenance cost, or never used in optimizer plans).
@@ -278,9 +284,7 @@ def _top_down(
                 trimmed = trimmed.with_candidate(candidate)
                 remaining -= candidate.size_bytes
         config = trimmed
-    return _finish(
-        algorithm, config, evaluator, budget_bytes, started, calls_before, evals_before
-    )
+    return telemetry.finish(algorithm, config, budget_bytes)
 
 
 def top_down_lite(
@@ -320,9 +324,7 @@ def dynamic_programming_search(
     """Exact 0/1 knapsack on standalone benefits (ignores interaction --
     "optimal modulo index interactions" as the paper puts it).  Sizes are
     quantized to :data:`DP_UNITS` buckets."""
-    started = time.perf_counter()
-    calls_before = evaluator.optimizer.calls
-    evals_before = evaluator.evaluations
+    telemetry = _Telemetry(evaluator)
     items = [
         (evaluator.standalone_benefit(c), c)
         for c in candidates
@@ -344,9 +346,7 @@ def dynamic_programming_search(
                 chosen[w] = chosen[w - weight] + (candidate,)
     top = max(range(capacity + 1), key=lambda w: best_benefit[w])
     config = IndexConfiguration(chosen[top])
-    return _finish(
-        "dp", config, evaluator, budget_bytes, started, calls_before, evals_before
-    )
+    return telemetry.finish("dp", config, budget_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -371,9 +371,7 @@ def exhaustive_search(
     (:data:`EXHAUSTIVE_LIMIT`); the sub-configuration cache keeps the
     optimizer-call count from exploding with the configuration count.
     """
-    started = time.perf_counter()
-    calls_before = evaluator.optimizer.calls
-    evals_before = evaluator.evaluations
+    telemetry = _Telemetry(evaluator)
     pool = [c for c in candidates if 0 < c.size_bytes <= budget_bytes]
     if len(pool) > EXHAUSTIVE_LIMIT:
         raise ValueError(
@@ -394,15 +392,7 @@ def exhaustive_search(
         ):
             best_config = config
             best_benefit = benefit
-    return _finish(
-        "exhaustive",
-        best_config,
-        evaluator,
-        budget_bytes,
-        started,
-        calls_before,
-        evals_before,
-    )
+    return telemetry.finish("exhaustive", best_config, budget_bytes)
 
 
 #: Registry used by the advisor front end.

@@ -5,6 +5,14 @@ indexes [8, 9]; the paper's Evaluate Indexes mode is exactly that for XML.
 :func:`analyze` packages it for users: for every workload statement it
 reports the cost without the configuration, the cost with it (virtual),
 which indexes the plan would use, and the plan itself.
+
+Analysis runs through a shared
+:class:`~repro.optimizer.session.WhatIfSession`: when the caller passes
+the session an advisor already used for ``recommend()``, every
+(statement, configuration) pair the search already costed is served from
+the session cache and the analysis issues **zero** new optimizer calls
+for them.  The session names virtual indexes canonically; the report
+translates those names to ``<name_prefix>_<i>`` for display.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.config import IndexConfiguration
-from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 
 
@@ -80,33 +89,51 @@ def analyze(
     database,
     workload: Workload,
     configuration: IndexConfiguration,
+    session: Optional[WhatIfSession] = None,
     optimizer: Optional[Optimizer] = None,
     name_prefix: str = "whatif",
 ) -> WhatIfReport:
     """Evaluate ``configuration`` statement by statement as virtual
-    indexes; nothing is built."""
-    optimizer = optimizer or Optimizer(database)
-    definitions = [
-        candidate.definition(f"{name_prefix}_{i}", virtual=True)
-        for i, candidate in enumerate(configuration)
-    ]
+    indexes; nothing is built.
+
+    Pass the ``session`` of the advisor that produced the configuration
+    to reuse its warm cost cache.  ``optimizer`` is accepted for backward
+    compatibility and adopted into a private session.
+    """
+    if session is None:
+        session = (
+            WhatIfSession.adopt(optimizer)
+            if optimizer is not None
+            else WhatIfSession(database)
+        )
+    definitions = session.definitions_for(configuration)
+    display = {
+        definition.name: f"{name_prefix}_{i}"
+        for i, definition in enumerate(definitions)
+    }
     impacts: List[StatementImpact] = []
-    for entry in workload:
-        before = optimizer.optimize(entry.statement, OptimizerMode.EVALUATE, ())
-        after = optimizer.optimize(
-            entry.statement, OptimizerMode.EVALUATE, definitions
-        )
-        impacts.append(
-            StatementImpact(
-                statement_text=entry.statement.describe(),
-                frequency=entry.frequency,
-                cost_before=before.estimated_cost,
-                cost_after=after.estimated_cost,
-                used_indexes=after.used_indexes,
-                plan_before=before.explain(),
-                plan_after=after.explain(),
-            )
-        )
+    with session.phase("whatif"):
+        with session.evaluating(()) as base_scope, session.evaluating(
+            definitions
+        ) as config_scope:
+            for entry in workload:
+                before = base_scope.result(entry.statement)
+                after = config_scope.result(entry.statement)
+                impacts.append(
+                    StatementImpact(
+                        statement_text=entry.statement.describe(),
+                        frequency=entry.frequency,
+                        cost_before=before.estimated_cost,
+                        cost_after=after.estimated_cost,
+                        used_indexes=tuple(
+                            display.get(name, name)
+                            for name in after.used_indexes
+                        ),
+                        plan_before=before.explain(),
+                        plan_after=after.explain(),
+                    )
+                )
     return WhatIfReport(
-        impacts=impacts, index_names=[d.name for d in definitions]
+        impacts=impacts,
+        index_names=[display[d.name] for d in definitions],
     )

@@ -33,8 +33,8 @@ def run_optimizer_calls(
         rows.append(
             {
                 "algorithm": algorithm,
-                "efficient_calls": efficient.optimizer.calls,
-                "naive_calls": naive.optimizer.calls,
+                "efficient_calls": efficient.session.counters.optimizer_calls,
+                "naive_calls": naive.session.counters.optimizer_calls,
             }
         )
     return rows

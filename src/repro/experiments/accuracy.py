@@ -20,7 +20,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.advisor import IndexAdvisor
 from repro.optimizer.executor import Executor
-from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 from repro.storage.database import Database
 
@@ -41,16 +41,17 @@ def run(db: Database, workload: Workload) -> List[Dict]:
         ("all_index", advisor.all_index_configuration()),
     ]
     rows: List[Dict] = []
+    # One session serves every configuration: index DDL bumps the
+    # database's modification counter, so cached plans are invalidated
+    # between configurations automatically.
+    session = WhatIfSession(db)
     for label, configuration in configurations:
-        optimizer = Optimizer(db)
         created: List[str] = []
         if configuration is not None:
             created = advisor.create_configuration(configuration, prefix=label)
-        executor = Executor(db, Optimizer(db))
+        executor = Executor(db, session=session)
         for position, entry in enumerate(workload.queries()):
-            estimate = optimizer.optimize(
-                entry.statement, OptimizerMode.NORMAL
-            ).estimated_cost
+            estimate = session.plan(entry.statement).estimated_cost
             started = time.perf_counter()
             result = executor.execute(entry.statement)
             elapsed = time.perf_counter() - started

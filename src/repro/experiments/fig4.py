@@ -10,7 +10,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.advisor import IndexAdvisor
 from repro.core.benefit import ConfigurationEvaluator
-from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 from repro.storage.database import Database
 
@@ -28,7 +28,11 @@ def run(
     """Return (rows, all_index_speedup).  The budget is ``budget_factor``
     times the test workload's All-Index size (the paper uses 2 GB, well
     above its All-Index size)."""
-    reference = IndexAdvisor(db, test_workload)
+    # Every advisor and evaluator in this sweep shares one session, so a
+    # (statement, configuration) pair costed for one training size is
+    # never re-optimized for another.
+    shared = WhatIfSession(db)
+    reference = IndexAdvisor(db, test_workload, session=shared)
     all_config = reference.all_index_configuration()
     all_speedup = reference.evaluate_configuration(all_config)
     budget = int(budget_factor * all_config.size_bytes())
@@ -37,11 +41,11 @@ def run(
         training = test_workload.subset(n)
         row: Dict = {"n": n}
         for algorithm in algorithms:
-            advisor = IndexAdvisor(db, training)
+            advisor = IndexAdvisor(db, training, session=shared)
             recommendation = advisor.recommend(
                 budget_bytes=budget, algorithm=algorithm
             )
-            evaluator = ConfigurationEvaluator(db, Optimizer(db), test_workload)
+            evaluator = ConfigurationEvaluator(db, shared, test_workload)
             row[algorithm] = evaluator.estimated_speedup(
                 recommendation.configuration
             )

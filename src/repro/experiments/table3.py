@@ -6,7 +6,7 @@ from typing import Dict, List, Sequence
 
 from repro.core.candidates import enumerate_basic_candidates
 from repro.core.generalization import generalize_candidates
-from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
 from repro.storage.database import Database
 from repro.workloads import synthetic
@@ -22,10 +22,11 @@ def run(
     """For random-XPath workloads of each size: count basic candidates
     enumerated by the optimizer and total candidates after generalization."""
     rows: List[Dict] = []
+    session = WhatIfSession(db)  # shared: repeated statements enumerate once
     for size in sizes:
         queries = synthetic.random_path_queries(db, collection, size, seed=size)
         workload = Workload.from_statements(queries)
-        candidates = enumerate_basic_candidates(Optimizer(db), workload)
+        candidates = enumerate_basic_candidates(session, workload)
         basic = len(candidates)
         generalize_candidates(candidates)
         rows.append({"queries": size, "basic": basic, "total": len(candidates)})

@@ -11,6 +11,9 @@ the paper modifies.  It provides:
   planning, the paper's ENUMERATE (virtual ``//*`` universal index) and
   EVALUATE (virtual configuration costing) extensions.
 * :class:`CostModel` -- statistics-driven cost estimation.
+* :class:`WhatIfSession` -- the shared coupling facade: mode switching,
+  memoized what-if costing, and instrumentation counters.  All production
+  optimizer construction lives here.
 * :class:`Executor` -- real plan execution for actual-speedup experiments.
 """
 
@@ -31,6 +34,11 @@ from repro.optimizer.plans import (
     IndexScan,
     PlanNode,
     used_index_names,
+)
+from repro.optimizer.session import (
+    InstrumentationCounters,
+    WhatIfSession,
+    index_key,
 )
 from repro.optimizer.rewriter import (
     DisjunctiveRequest,
@@ -61,6 +69,9 @@ __all__ = [
     "extract_all_requests",
     "extract_disjunctive_requests",
     "extract_path_requests",
+    "InstrumentationCounters",
+    "WhatIfSession",
+    "index_key",
     "index_matches_request",
     "used_index_names",
 ]

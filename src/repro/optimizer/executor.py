@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
-from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptimizerMode
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.optimizer.plans import (
     CollectionScan,
     Fetch,
@@ -54,10 +55,27 @@ class ExecutionResult:
 class Executor:
     """Executes statements using the plans the optimizer picks."""
 
-    def __init__(self, database, optimizer: Optional[Optimizer] = None) -> None:
+    def __init__(
+        self,
+        database,
+        optimizer: Optional[Optimizer] = None,
+        session: Optional[WhatIfSession] = None,
+    ) -> None:
         self.database = database
-        self.optimizer = optimizer or Optimizer(database)
+        if session is None:
+            session = (
+                WhatIfSession.adopt(optimizer)
+                if optimizer is not None
+                else WhatIfSession(database)
+            )
+        #: All planning goes through the session: NORMAL-mode plans are
+        #: cached per statement and invalidated on database modification.
+        self.session = session
         self._entries_scanned = 0
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.session.optimizer
 
     # ------------------------------------------------------------------
     def execute(self, statement: Statement, collect_output: bool = False) -> ExecutionResult:
@@ -65,7 +83,7 @@ class Executor:
         self._entries_scanned = 0
         if isinstance(statement, InsertStatement):
             return self._execute_insert(statement)
-        result = self.optimizer.optimize(statement, OptimizerMode.NORMAL)
+        result = self.session.plan(statement)
         if isinstance(statement, JoinQuery):
             return self._execute_join(statement, result, collect_output)
         if isinstance(statement, Query):

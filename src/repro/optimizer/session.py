@@ -1,0 +1,415 @@
+"""The shared optimizer-coupling layer: :class:`WhatIfSession`.
+
+The paper's tight coupling means every advisor component -- candidate
+enumeration, benefit evaluation, what-if analysis, index review, the
+experiments, and the CLI -- drives the *same* optimizer through its
+Enumerate Indexes and Evaluate Indexes modes.  This module is the single
+seam where that happens.  A session owns:
+
+* the one production :class:`~repro.optimizer.optimizer.Optimizer`
+  instance (everything else borrows it through the session);
+* a memoized cost cache keyed on ``(statement_id, frozenset(index
+  keys))``, where the index-key set is *projected* to the indexes that
+  can actually match one of the statement's path requests (the paper's
+  affected-set argument: an index that covers none of a statement's
+  requests cannot change its plan).  Projection is what lets a what-if
+  analysis after a ``recommend()`` run hit only warm entries, even
+  though the search evaluated sub-configurations and the analysis
+  evaluates the full configuration;
+* canonical virtual-index naming (the same candidate always becomes the
+  same ``vix<N>`` definition), so cached plans report stable index names
+  across components;
+* explicit :meth:`invalidate` plus automatic invalidation tied to
+  :attr:`~repro.storage.database.Database.modification_count` -- any
+  insert/delete/index DDL bumps the counter and the next session call
+  drops every cached cost;
+* an :class:`InstrumentationCounters` record (optimizer calls, cache
+  hits/misses, configuration evaluations, invalidations, per-phase wall
+  time) surfaced by ``Recommendation.to_dict()`` and ``advise --stats``.
+
+Mode switching is exposed as context managers::
+
+    with session.enumerating() as enum:
+        result = enum.candidates(statement)
+    with session.evaluating(configuration) as scope:
+        cost = scope.cost(statement)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.optimizer.cost import CostConstants
+from repro.optimizer.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerMode,
+    index_matches_request,
+)
+from repro.optimizer.rewriter import PathRequest, extract_all_requests
+from repro.query.model import JoinQuery, Statement
+from repro.storage.catalog import IndexDefinition
+from repro.storage.database import Database
+
+#: An index's identity for caching purposes: collection, pattern text, and
+#: key-type value.  Names deliberately do not participate -- two virtual
+#: definitions of the same candidate are the same index.
+IndexKey = Tuple[str, str, str]
+
+
+def index_key(definition: IndexDefinition) -> IndexKey:
+    """The cache identity of an index definition."""
+    return (
+        definition.collection,
+        str(definition.pattern),
+        definition.value_type.value,
+    )
+
+
+@dataclass
+class InstrumentationCounters:
+    """Counters of everything a session did on the optimizer's behalf."""
+
+    optimizer_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluations: int = 0
+    invalidations: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot."""
+        return {
+            "optimizer_calls": self.optimizer_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+            "evaluations": self.evaluations,
+            "invalidations": self.invalidations,
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in self.phase_seconds.items()
+            },
+        }
+
+
+class _EnumerationScope:
+    """Bound Enumerate-Indexes mode: yields basic candidates."""
+
+    def __init__(self, session: "WhatIfSession") -> None:
+        self._session = session
+
+    def candidates(self, statement: Statement) -> OptimizationResult:
+        return self._session.enumerate(statement)
+
+
+class _EvaluationScope:
+    """Bound Evaluate-Indexes mode over one virtual configuration."""
+
+    def __init__(
+        self,
+        session: "WhatIfSession",
+        definitions: Tuple[IndexDefinition, ...],
+        use_cache: bool,
+    ) -> None:
+        self._session = session
+        self.definitions = definitions
+        self._use_cache = use_cache
+
+    def cost(self, statement: Statement) -> float:
+        return self._session.cost(
+            statement, self.definitions, use_cache=self._use_cache
+        )
+
+    def result(self, statement: Statement) -> OptimizationResult:
+        return self._session.evaluate(
+            statement, self.definitions, use_cache=self._use_cache
+        )
+
+
+class WhatIfSession:
+    """Facade over the optimizer's what-if surface, with shared caching.
+
+    All components of one advisory "conversation" (advisor, evaluator,
+    what-if analysis, experiments, CLI) should share one session so they
+    share its cost cache and its counters.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        constants: Optional[CostConstants] = None,
+        *,
+        optimizer: Optional[Optimizer] = None,
+    ) -> None:
+        self.database = database
+        self.optimizer = optimizer or Optimizer(database, constants)
+        self.counters = InstrumentationCounters()
+        self._generation = getattr(database, "modification_count", 0)
+        # (statement_id, mode value, projected index-key frozenset) -> result
+        self._result_cache: Dict[Tuple, OptimizationResult] = {}
+        self._statement_ids: Dict[Statement, int] = {}
+        self._statement_requests: Dict[int, List[PathRequest]] = {}
+        self._statement_collections: Dict[int, FrozenSet[str]] = {}
+        # (statement_id, input key set) -> projected definitions tuple
+        self._projection_cache: Dict[Tuple, Tuple[IndexDefinition, ...]] = {}
+        self._canonical_names: Dict[IndexKey, str] = {}
+        self._canonical_definitions: Dict[IndexKey, IndexDefinition] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def adopt(cls, optimizer: Optimizer) -> "WhatIfSession":
+        """Wrap an existing optimizer (tests construct optimizers
+        directly; production code should construct sessions)."""
+        return cls(optimizer.database, optimizer=optimizer)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The database modification count this session's cache matches."""
+        return self._generation
+
+    def statement_id(self, statement: Statement) -> int:
+        """A stable small id per distinct statement (value equality, so a
+        re-parsed identical statement shares its cache entries)."""
+        sid = self._statement_ids.get(statement)
+        if sid is None:
+            sid = len(self._statement_ids)
+            self._statement_ids[statement] = sid
+            self._statement_requests[sid] = extract_all_requests(statement)
+            if isinstance(statement, JoinQuery):
+                collections = frozenset(
+                    (statement.left.collection, statement.right.collection)
+                )
+            else:
+                collections = frozenset((statement.collection,))
+            self._statement_collections[sid] = collections
+        return sid
+
+    def definitions_for(
+        self, candidates: Iterable
+    ) -> Tuple[IndexDefinition, ...]:
+        """Canonical virtual definitions for candidate indexes (or index
+        definitions).  The same candidate always receives the same name,
+        so cached plans report consistent ``used_indexes`` regardless of
+        which component asked first."""
+        definitions = []
+        for candidate in candidates:
+            if isinstance(candidate, IndexDefinition):
+                key = index_key(candidate)
+                template = candidate
+            else:  # CandidateIndex (duck-typed to avoid a core import)
+                template = candidate.definition("__session_tmp", virtual=True)
+                key = index_key(template)
+            definition = self._canonical_definitions.get(key)
+            if definition is None:
+                name = self._canonical_names.get(key)
+                if name is None:
+                    name = f"vix{len(self._canonical_names)}"
+                    self._canonical_names[key] = name
+                definition = IndexDefinition(
+                    name=name,
+                    collection=template.collection,
+                    pattern=template.pattern,
+                    value_type=template.value_type,
+                    virtual=True,
+                )
+                self._canonical_definitions[key] = definition
+            definitions.append(definition)
+        return tuple(definitions)
+
+    def canonical_name(self, candidate) -> str:
+        """The session's canonical name for one candidate/definition."""
+        (definition,) = self.definitions_for([candidate])
+        return definition.name
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached optimization result.  Called automatically
+        when the database's modification counter moves (statistics or
+        index visibility changed underneath us)."""
+        self._result_cache.clear()
+        self._projection_cache.clear()
+        self.counters.invalidations += 1
+        self._generation = getattr(self.database, "modification_count", 0)
+
+    def _sync(self) -> None:
+        current = getattr(self.database, "modification_count", 0)
+        if current != self._generation:
+            self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Projection: the affected-set argument applied to cache keys
+    # ------------------------------------------------------------------
+    def _project(
+        self, statement: Statement, definitions: Sequence[IndexDefinition]
+    ) -> Tuple[IndexDefinition, ...]:
+        """Restrict ``definitions`` to those that can match one of the
+        statement's path requests (and live on one of its collections).
+        Indexes outside the projection cannot change the statement's plan
+        -- exactly the property that makes affected sets sound -- so the
+        projected set is the statement's true cache identity."""
+        if not definitions:
+            return ()
+        sid = self.statement_id(statement)
+        input_key = (sid, frozenset(index_key(d) for d in definitions))
+        projected = self._projection_cache.get(input_key)
+        if projected is None:
+            requests = self._statement_requests[sid]
+            collections = self._statement_collections[sid]
+            kept = []
+            seen = set()
+            for definition in definitions:
+                key = index_key(definition)
+                if key in seen:
+                    continue
+                if definition.collection not in collections:
+                    continue
+                if any(
+                    index_matches_request(definition, request)
+                    for request in requests
+                ):
+                    kept.append(definition)
+                    seen.add(key)
+            projected = tuple(kept)
+            self._projection_cache[input_key] = projected
+        return projected
+
+    # ------------------------------------------------------------------
+    # Optimizer entry points
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        statement: Statement,
+        definitions: Sequence[IndexDefinition] = (),
+        use_cache: bool = True,
+    ) -> OptimizationResult:
+        """Evaluate-Indexes mode: cost ``statement`` with ``definitions``
+        installed as virtual indexes, memoized on the projected key."""
+        self._sync()
+        projected = self._project(statement, definitions)
+        key = (
+            self.statement_id(statement),
+            OptimizerMode.EVALUATE.value,
+            frozenset(index_key(d) for d in projected),
+        )
+        if use_cache:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                return cached
+            self.counters.cache_misses += 1
+        result = self.optimizer.optimize(
+            statement, OptimizerMode.EVALUATE, projected
+        )
+        self.counters.optimizer_calls += 1
+        self._result_cache[key] = result
+        return result
+
+    def cost(
+        self,
+        statement: Statement,
+        definitions: Sequence[IndexDefinition] = (),
+        use_cache: bool = True,
+    ) -> float:
+        """Memoized Evaluate-Indexes cost of one (statement, configuration)
+        pair -- the workhorse of benefit evaluation."""
+        return self.evaluate(statement, definitions, use_cache).estimated_cost
+
+    def plan(self, statement: Statement) -> OptimizationResult:
+        """NORMAL-mode planning (real indexes only), memoized.  Index DDL
+        bumps the database's modification counter, so cached plans never
+        outlive the index set they were chosen against."""
+        self._sync()
+        key = (self.statement_id(statement), OptimizerMode.NORMAL.value)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        result = self.optimizer.optimize(statement, OptimizerMode.NORMAL)
+        self.counters.optimizer_calls += 1
+        self._result_cache[key] = result
+        return result
+
+    def enumerate(self, statement: Statement) -> OptimizationResult:
+        """Enumerate-Indexes mode, memoized (enumeration depends only on
+        the statement, never on statistics or built indexes)."""
+        self._sync()
+        key = (self.statement_id(statement), OptimizerMode.ENUMERATE.value)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        result = self.optimizer.optimize(statement, OptimizerMode.ENUMERATE)
+        self.counters.optimizer_calls += 1
+        self._result_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Mode context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def enumerating(self):
+        """Enter Enumerate-Indexes mode; the scope yields candidates."""
+        yield _EnumerationScope(self)
+
+    @contextmanager
+    def evaluating(self, candidates: Iterable = (), use_cache: bool = True):
+        """Enter Evaluate-Indexes mode with ``candidates`` (candidate
+        indexes or definitions) visible as virtual indexes."""
+        definitions = self.definitions_for(candidates)
+        yield _EvaluationScope(self, definitions, use_cache)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def note_evaluation(self) -> None:
+        """Record one configuration-benefit evaluation (called by the
+        evaluator so `advise --stats` can report evaluations next to
+        optimizer calls)."""
+        self.counters.evaluations += 1
+
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate wall time of a named advisory phase."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.counters.phase_seconds[name] = (
+                self.counters.phase_seconds.get(name, 0.0) + elapsed
+            )
+
+    def stats(self) -> Dict:
+        """JSON-serializable instrumentation snapshot."""
+        snapshot = self.counters.to_dict()
+        snapshot["cached_results"] = len(self._result_cache)
+        snapshot["generation"] = self._generation
+        return snapshot

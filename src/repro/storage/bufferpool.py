@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.optimizer.executor import ExecutionResult, Executor
-from repro.optimizer.optimizer import Optimizer, OptimizerMode
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.session import WhatIfSession
 from repro.optimizer.plans import (
     CollectionScan,
     Fetch,
@@ -118,11 +119,22 @@ class PagedExecutor:
         database,
         pool: BufferPool,
         optimizer: Optional[Optimizer] = None,
+        session: Optional[WhatIfSession] = None,
     ) -> None:
         self.database = database
         self.pool = pool
-        self.optimizer = optimizer or Optimizer(database)
-        self._executor = Executor(database, self.optimizer)
+        if session is None:
+            session = (
+                WhatIfSession.adopt(optimizer)
+                if optimizer is not None
+                else WhatIfSession(database)
+            )
+        self.session = session
+        self._executor = Executor(database, session=session)
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.session.optimizer
 
     # ------------------------------------------------------------------
     def execute(self, statement: Statement) -> PagedExecutionResult:
@@ -130,7 +142,7 @@ class PagedExecutor:
         before_misses = self.pool.stats.misses
         plan = None
         if isinstance(statement, (Query, JoinQuery)):
-            plan = self.optimizer.optimize(statement, OptimizerMode.NORMAL).plan
+            plan = self.session.plan(statement).plan
         result = self._executor.execute(statement)
         if isinstance(statement, JoinQuery):
             self._charge_join(plan, result)

@@ -86,6 +86,15 @@ class Database:
         self.catalog = Catalog()
         self.indexes: Dict[str, PathIndex] = {}
         self._statistics: Dict[str, DataStatistics] = {}
+        #: Bumped by every data or index-DDL change; what-if sessions
+        #: compare it against their cached generation and invalidate.
+        self.modification_count = 0
+
+    def touch(self) -> None:
+        """Record a modification (data, statistics, or index visibility
+        changed); cached optimizer results keyed on the old state must be
+        invalidated by whoever holds them."""
+        self.modification_count += 1
 
     # ------------------------------------------------------------------
     # Collections
@@ -111,6 +120,7 @@ class Database:
         for index in self._indexes_on(collection_name):
             index.insert_document(document)
         self.invalidate_statistics(collection_name)
+        self.touch()
         return doc_id
 
     def delete_document(self, collection_name: str, doc_id: int) -> None:
@@ -120,6 +130,7 @@ class Database:
         for index in self._indexes_on(collection_name):
             index.remove_document(document)
         self.invalidate_statistics(collection_name)
+        self.touch()
 
     # ------------------------------------------------------------------
     # Indexes
@@ -130,11 +141,13 @@ class Database:
         index = PathIndex(definition)
         index.bulk_load(self.collection(definition.collection))
         self.indexes[definition.name] = index
+        self.touch()
         return index
 
     def drop_index(self, name: str) -> None:
         self.catalog.remove(name)
         self.indexes.pop(name, None)
+        self.touch()
 
     def drop_all_indexes(self) -> None:
         for name in [d.name for d in self.catalog.all_definitions()]:
