@@ -1,0 +1,348 @@
+"""Performance recorder for the compiled-matcher / delta-evaluation work.
+
+Measures three layers of the search hot path and writes the results to a
+JSON file (``BENCH_PR2.json`` at the repo root is the committed copy):
+
+* **matcher** -- pattern-matching throughput of the compiled matchers
+  (interned path table + anchored regex, :mod:`repro.xpath.compiled`)
+  against the NFA reference (``PathPattern.matches_nfa``) over every
+  (candidate pattern, statistics path) pair of a workload.
+* **evaluator** -- benefit probes per second: one sweep of
+  ``delta_benefit(config, c)`` over the candidate pool versus the same
+  sweep through full ``benefit(config + c) - benefit(config)``
+  differences, each on a fresh evaluator with warm base costs.
+* **recommend** -- end-to-end ``IndexAdvisor.recommend`` wall time and
+  instrumentation counters on TPoX and XMark at two scales each.
+
+Modes::
+
+    python benchmarks/record_bench.py --out BENCH_PR2.json \
+        [--merge-before before.json]     # attach a frozen pre-PR capture
+    python benchmarks/record_bench.py --smoke                # quick subset
+    python benchmarks/record_bench.py --smoke \
+        --compare BENCH_PR2.json --tolerance 0.25            # CI gate
+
+``--compare`` re-measures the smoke scenarios and exits non-zero if any
+freshly measured ``recommend`` wall time exceeds the committed one by
+more than ``--tolerance`` (fractional; default 0.25).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import IndexAdvisor
+from repro.core.config import IndexConfiguration
+from repro.workloads import tpox, xmark
+from repro.xpath.compiled import GLOBAL_TABLE
+
+SCALES = {
+    "tpox_small": (
+        "tpox",
+        dict(num_securities=120, num_orders=120, num_customers=60, seed=42),
+    ),
+    "tpox_medium": (
+        "tpox",
+        dict(num_securities=300, num_orders=300, num_customers=150, seed=42),
+    ),
+    "xmark_small": (
+        "xmark",
+        dict(num_items=100, num_persons=100, num_auctions=100, seed=7),
+    ),
+    "xmark_medium": (
+        "xmark",
+        dict(num_items=250, num_persons=250, num_auctions=250, seed=7),
+    ),
+}
+
+MATCHER_SCALES = ("tpox_small", "tpox_medium", "xmark_medium")
+SMOKE_SCALES = ("tpox_small",)
+ALGORITHMS = ("greedy_heuristics", "topdown_full")
+BUDGET_FRACTION = 0.5
+
+
+def build(name):
+    kind, kwargs = SCALES[name]
+    if kind == "tpox":
+        database = tpox.build_database(**kwargs)
+        workload = tpox.tpox_workload(
+            num_securities=kwargs["num_securities"],
+            seed=42,
+            include_updates=True,
+            update_frequency=0.5,
+        )
+    else:
+        database = xmark.build_database(**kwargs)
+        workload = xmark.xmark_workload(seed=7)
+    return database, workload
+
+
+def _time_sweep(patterns, paths, match_of, repeats):
+    """Best-of-``repeats`` wall time for one full patterns x paths sweep."""
+    best = float("inf")
+    hits = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        hits = 0
+        for pattern in patterns:
+            matches = match_of(pattern)
+            for path in paths:
+                if matches(path):
+                    hits += 1
+        best = min(best, time.perf_counter() - start)
+    return best, hits
+
+
+def matcher_bench(name, repeats=5):
+    """Compiled vs NFA matching over candidate patterns x statistics paths.
+
+    Three measurements of the same (pattern, path) decision matrix:
+
+    * ``nfa`` -- the reference NFA simulation, one call per pair.
+    * ``compiled_percall`` -- the compiled matcher through the per-call
+      ``matches`` API (id lookup + bitmap membership per pair).
+    * ``compiled`` (headline) -- the shape the statistics/affected-set hot
+      path actually runs: paths interned once (amortized, mirroring
+      ``DataStatistics``'s id cache), then per pattern one ``matching_ids``
+      bitmap fetch and a membership test per path.
+    """
+    database, workload = build(name)
+    advisor = IndexAdvisor(database, workload)
+    patterns = [c.pattern for c in advisor.candidates]
+    paths = []
+    for collection in database.collections:
+        paths.extend(database.runstats(collection).path_counts.keys())
+    ops = len(patterns) * len(paths)
+
+    nfa_seconds, nfa_hits = _time_sweep(
+        patterns, paths, lambda p: p.matches_nfa, repeats
+    )
+    # First compiled sweep pays table interning + regex compilation + the
+    # initial table scan; report it separately from the steady state the
+    # search loop actually runs in.
+    cold_start = time.perf_counter()
+    percall_hits = sum(
+        1 for p in patterns for path in paths if p.matches(path)
+    )
+    cold_seconds = time.perf_counter() - cold_start
+    percall_seconds, percall_hits = _time_sweep(
+        patterns, paths, lambda p: p.matcher.matches, repeats
+    )
+
+    path_ids = [GLOBAL_TABLE.intern(path) for path in paths]
+    sweep_seconds = float("inf")
+    sweep_hits = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sweep_hits = 0
+        for pattern in patterns:
+            matched = pattern.matcher.matching_ids()
+            for path_id in path_ids:
+                if path_id in matched:
+                    sweep_hits += 1
+        sweep_seconds = min(sweep_seconds, time.perf_counter() - start)
+
+    if not (nfa_hits == percall_hits == sweep_hits):  # pragma: no cover
+        raise AssertionError(
+            f"{name}: compiled matcher disagrees with NFA "
+            f"({percall_hits}/{sweep_hits} vs {nfa_hits} hits)"
+        )
+    return {
+        "patterns": len(patterns),
+        "paths": len(paths),
+        "ops": ops,
+        "hits": sweep_hits,
+        "nfa_seconds": nfa_seconds,
+        "nfa_ops_per_s": ops / nfa_seconds,
+        "compiled_cold_seconds": cold_seconds,
+        "compiled_percall_seconds": percall_seconds,
+        "compiled_percall_ops_per_s": ops / percall_seconds,
+        "compiled_seconds": sweep_seconds,
+        "compiled_ops_per_s": ops / sweep_seconds,
+        "percall_speedup": nfa_seconds / percall_seconds,
+        "speedup": nfa_seconds / sweep_seconds,
+    }
+
+
+def evaluator_bench(name, config_size=4, repeats=5):
+    """One probe sweep over the candidate pool: delta vs full difference.
+
+    Both sides start from a fresh advisor (warm base costs, empty benefit
+    caches) and probe every ranked candidate outside a fixed seed
+    configuration -- the exact shape of one greedy round.  Best of
+    ``repeats`` fresh sweeps per side (each probe triggers real optimizer
+    costing, so a single sweep is noisy).
+    """
+    def fresh():
+        database, workload = build(name)
+        advisor = IndexAdvisor(database, workload)
+        evaluator = advisor.evaluator
+        ranked = evaluator.ranked_positive_candidates(advisor.candidates)
+        config = IndexConfiguration(ranked[:config_size])
+        evaluator.base_costs  # warm base costs outside the timed region
+        return evaluator, config, ranked[config_size:]
+
+    delta_seconds = full_seconds = float("inf")
+    delta_calls = full_calls = 0
+    probes = []
+    for _ in range(repeats):
+        evaluator, config, probes = fresh()
+        current = evaluator.benefit(config)
+        calls_before = evaluator.optimizer_calls
+        start = time.perf_counter()
+        for candidate in probes:
+            evaluator.delta_benefit(config, candidate, current)
+        delta_seconds = min(delta_seconds, time.perf_counter() - start)
+        delta_calls = evaluator.optimizer_calls - calls_before
+
+        evaluator, config, probes = fresh()
+        current = evaluator.benefit(config)
+        calls_before = evaluator.optimizer_calls
+        start = time.perf_counter()
+        for candidate in probes:
+            evaluator.benefit(config.with_candidate(candidate)) - current
+        full_seconds = min(full_seconds, time.perf_counter() - start)
+        full_calls = evaluator.optimizer_calls - calls_before
+
+    return {
+        "config_size": config_size,
+        "probes": len(probes),
+        "delta_seconds": delta_seconds,
+        "delta_probes_per_s": len(probes) / delta_seconds,
+        "delta_optimizer_calls": delta_calls,
+        "full_seconds": full_seconds,
+        "full_probes_per_s": len(probes) / full_seconds,
+        "full_optimizer_calls": full_calls,
+        "speedup": full_seconds / delta_seconds,
+    }
+
+
+def recommend_bench(name, algorithm, repeats=3):
+    """End-to-end ``recommend`` wall time, best of ``repeats`` runs on a
+    fresh advisor each (recommendation and counters are deterministic)."""
+    elapsed = float("inf")
+    recommendation = None
+    budget = 0
+    for _ in range(repeats):
+        database, workload = build(name)
+        advisor = IndexAdvisor(database, workload)
+        all_size = sum(c.size_bytes for c in advisor.candidates.basics())
+        budget = int(all_size * BUDGET_FRACTION)
+        start = time.perf_counter()
+        recommendation = advisor.recommend(
+            budget_bytes=budget, algorithm=algorithm
+        )
+        elapsed = min(elapsed, time.perf_counter() - start)
+    search = recommendation.search
+    return {
+        "seconds": elapsed,
+        "budget": budget,
+        "optimizer_calls": search.optimizer_calls,
+        "cache_hits": search.cache_hits,
+        "cache_misses": search.cache_misses,
+        "evaluations": search.evaluations,
+        "benefit": search.benefit,
+        "indexes": len(recommendation.configuration),
+        "speedup": recommendation.estimated_speedup,
+    }
+
+
+def run(smoke=False):
+    scales = SMOKE_SCALES if smoke else tuple(SCALES)
+    matcher_scales = SMOKE_SCALES if smoke else MATCHER_SCALES
+    repeats = 3 if smoke else 5
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "smoke": smoke,
+            "budget_fraction": BUDGET_FRACTION,
+        },
+        "matcher": {},
+        "evaluator": {},
+        "recommend": {},
+    }
+    for name in matcher_scales:
+        results["matcher"][name] = matcher_bench(name, repeats=repeats)
+    for name in matcher_scales:
+        results["evaluator"][name] = evaluator_bench(name)
+    for name in scales:
+        for algorithm in ALGORITHMS:
+            results["recommend"][f"{name}_{algorithm}"] = recommend_bench(
+                name, algorithm
+            )
+    return results
+
+
+def compare(results, committed_path, tolerance):
+    """Exit non-zero if any freshly measured recommend time regressed more
+    than ``tolerance`` (fractional) against the committed record."""
+    committed = json.loads(Path(committed_path).read_text())
+    reference = committed.get("recommend", {})
+    failures = []
+    for key, fresh in results["recommend"].items():
+        baseline = reference.get(key)
+        if baseline is None:
+            continue
+        limit = baseline["seconds"] * (1.0 + tolerance)
+        status = "OK" if fresh["seconds"] <= limit else "REGRESSED"
+        print(
+            f"{status:9s} {key}: {fresh['seconds']:.4f}s "
+            f"(committed {baseline['seconds']:.4f}s, limit {limit:.4f}s)"
+        )
+        if fresh["seconds"] > limit:
+            failures.append(key)
+    if failures:
+        print(f"recommend() wall time regressed >"
+              f"{tolerance:.0%} on: {', '.join(failures)}")
+        return 1
+    print("recommend() wall time within tolerance.")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument(
+        "--smoke", action="store_true", help="quick subset (CI-sized)"
+    )
+    parser.add_argument(
+        "--merge-before",
+        default=None,
+        help="JSON file with a frozen pre-PR capture to embed as 'before'",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="committed results JSON to gate recommend wall time against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional recommend-time regression for --compare",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(smoke=args.smoke)
+    if args.merge_before:
+        results["before"] = json.loads(Path(args.merge_before).read_text())
+
+    print(json.dumps(results, indent=2))
+    if args.out:
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.compare:
+        return compare(results, args.compare, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

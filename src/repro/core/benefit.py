@@ -20,9 +20,15 @@ the paper's two call-reduction techniques:
   the configuration's affected sets is re-optimized; every other statement
   keeps its base cost.
 * **Sub-configurations** -- the configuration is split into groups of
-  indexes with overlapping affected sets (merged transitively); each group
-  is evaluated independently and cached, so a search step that adds one
-  index only re-evaluates the group that index interacts with.
+  indexes with overlapping affected sets (merged transitively, by
+  union-find over statement positions); each group is evaluated
+  independently and cached, so a search step that adds one index only
+  re-evaluates the group that index interacts with.
+* **Delta evaluation** -- :meth:`ConfigurationEvaluator.delta_benefit`
+  scores a search step as ``benefit(X + c) - benefit(X)`` directly,
+  re-costing only the group(s) ``c`` touches; the searchers telescope
+  deltas onto a running benefit instead of re-deriving whole-configuration
+  benefits at every probe.
 
 ``naive=True`` disables both *and* bypasses the session's cost cache
 (every evaluation re-optimizes the whole workload against the whole
@@ -35,6 +41,7 @@ and sub-configuration benefits automatically.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.candidates import CandidateIndex, CandidateKey
@@ -45,6 +52,7 @@ from repro.optimizer.rewriter import PathRequest, extract_all_requests
 from repro.optimizer.session import WhatIfSession
 from repro.query.model import JoinQuery, Query
 from repro.query.workload import Workload
+from repro.xpath.patterns import PathPattern
 
 
 class ConfigurationEvaluator:
@@ -75,11 +83,35 @@ class ConfigurationEvaluator:
         self._standalone_cache: Dict[CandidateKey, float] = {}
         self._maintenance_cache: Dict[CandidateKey, float] = {}
         self._affected_cache: Dict[CandidateKey, FrozenSet[int]] = {}
+        #: Ranked positive candidates per candidate set (searchers share
+        #: the scan/sort across repeated searches on one evaluator).
+        self._ranked_cache: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         self._statement_requests: List[List[PathRequest]] = [
             extract_all_requests(entry.statement)
             if hasattr(entry.statement, "collection")
             else []
             for entry in workload
+        ]
+        #: Candidate -> request coverage is decided against the workload's
+        #: *distinct* request patterns, precomputed once per evaluator:
+        #: (pattern, value type) -> statement positions requesting it.
+        #: The same pattern text recurs across statements, so this turns
+        #: O(statements * requests) containment probes per candidate into
+        #: O(distinct requests).
+        request_index: Dict[Tuple[str, object], Tuple] = {}
+        for position, requests in enumerate(self._statement_requests):
+            for request in requests:
+                key = (str(request.pattern), request.value_type)
+                entry = request_index.get(key)
+                if entry is None:
+                    request_index[key] = (request.pattern, request.value_type, {position})
+                else:
+                    entry[2].add(position)
+        self._request_index: List[Tuple[PathPattern, object, FrozenSet[int]]] = [
+            (pattern, value_type, frozenset(positions))
+            for pattern, value_type, positions in request_index.values()
         ]
         self.evaluations = 0  # configuration evaluations requested
         self._generation = self.session.generation
@@ -112,6 +144,7 @@ class ConfigurationEvaluator:
         self._subconfig_cache.clear()
         self._standalone_cache.clear()
         self._maintenance_cache.clear()
+        self._ranked_cache.clear()
         # affected sets depend only on statement patterns, which do not
         # change with data -- but keep the contract simple and safe.
         self._affected_cache.clear()
@@ -166,6 +199,32 @@ class ConfigurationEvaluator:
                 IndexConfiguration([candidate])
             )
         return self._standalone_cache[key]
+
+    def ranked_positive_candidates(self, candidates) -> List[CandidateIndex]:
+        """Candidates with positive standalone benefit, densest
+        (benefit/size) first -- the scan order every searcher starts
+        from.
+
+        Computed lazily on first use and shared across searches on this
+        evaluator (keyed weakly per candidate set), so algorithm sweeps
+        like the Figure 3 experiments score and sort the pool once.  The
+        cache is dropped when the database changes or when the candidate
+        set has grown since it was ranked.
+        """
+        self._refresh()
+        cached = self._ranked_cache.get(candidates)
+        if cached is not None and cached[0] == len(candidates):
+            return cached[1]
+        positive = [
+            (self.standalone_benefit(c), c)
+            for c in candidates
+            if c.size_bytes > 0
+        ]
+        positive = [(benefit, c) for benefit, c in positive if benefit > 0]
+        positive.sort(key=lambda pair: pair[0] / pair[1].size_bytes, reverse=True)
+        ranked = [c for _, c in positive]
+        self._ranked_cache[candidates] = (len(candidates), ranked)
+        return ranked
 
     def workload_cost(self, config: IndexConfiguration) -> float:
         """Estimated frequency-weighted workload cost under ``config``
@@ -231,14 +290,85 @@ class ConfigurationEvaluator:
             )
         total = 0.0
         for group in self._sub_configurations(config):
-            key = frozenset(c.key for c in group)
-            if key not in self._subconfig_cache:
-                affected = sorted(
-                    set().union(*(self.affected_set(c) for c in group))
-                )
-                self._subconfig_cache[key] = self._evaluate_group(group, affected)
-            total += self._subconfig_cache[key]
+            total += self._group_benefit(group)
         return total
+
+    def _group_benefit(self, group: Sequence[CandidateIndex]) -> float:
+        """Cached raw benefit of one sub-configuration group."""
+        key = frozenset(c.key for c in group)
+        cached = self._subconfig_cache.get(key)
+        if cached is None:
+            affected = sorted(
+                set().union(*(self.affected_set(c) for c in group))
+            )
+            cached = self._evaluate_group(group, affected)
+            self._subconfig_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Delta evaluation (the search hot path)
+    # ------------------------------------------------------------------
+    def delta_benefit(
+        self,
+        config: IndexConfiguration,
+        extra: Union[CandidateIndex, Iterable[CandidateIndex]],
+        current_benefit: Optional[float] = None,
+    ) -> float:
+        """``benefit(config + extra) - benefit(config)`` evaluated by
+        re-costing only the sub-configuration group(s) the added indexes
+        touch.
+
+        Every untouched group contributes identically to both sides of
+        the difference, so only the groups whose affected sets overlap the
+        additions are merged and re-evaluated -- a search step that adds
+        one candidate to an n-index configuration pays for one group, not
+        n.  Exactly equal (up to the same caches) to computing the two
+        benefits and subtracting; searchers track a running benefit and
+        telescope deltas onto it.
+
+        ``current_benefit`` is that tracked ``benefit(config)``; it is
+        only consulted in naive mode, where group caching is disabled and
+        the delta is a full re-evaluation minus the tracked base (one
+        optimizer sweep per probe, like the naive advisor it models).
+        """
+        extras: List[CandidateIndex] = (
+            [extra] if isinstance(extra, CandidateIndex) else list(extra)
+        )
+        extras = [c for c in extras if c not in config]
+        self.evaluations += 1
+        self.session.note_evaluation()
+        if not extras:
+            return 0.0
+        self._refresh()
+        if self.naive:
+            new_total = self.raw_benefit(
+                config.with_candidates(extras)
+            ) - self.maintenance(config.with_candidates(extras))
+            if current_benefit is None:
+                current_benefit = self.raw_benefit(config) - self.maintenance(config)
+            return new_total - current_benefit
+        merged_members = list(extras)
+        merged_affected = set()
+        for candidate in extras:
+            merged_affected |= self.affected_set(candidate)
+        extras_affect_nothing = not merged_affected
+        old_benefit = 0.0
+        for group in self._sub_configurations(config):
+            group_affected = set().union(
+                *(self.affected_set(c) for c in group)
+            )
+            touches = (
+                bool(merged_affected & group_affected)
+                or (extras_affect_nothing and not group_affected)
+            )
+            if touches:
+                old_benefit += self._group_benefit(group)
+                merged_members.extend(group)
+        return (
+            self._group_benefit(merged_members)
+            - old_benefit
+            - sum(self.candidate_maintenance(c) for c in extras)
+        )
 
     def affected_set(self, candidate: CandidateIndex) -> FrozenSet[int]:
         """The candidate's affected set *for this evaluator's workload*:
@@ -248,15 +378,14 @@ class ConfigurationEvaluator:
         can be evaluated against another (Figures 4/5)."""
         key = candidate.key
         if key not in self._affected_cache:
-            affected = set()
-            for position, requests in enumerate(self._statement_requests):
-                for request in requests:
-                    if (
-                        candidate.value_type is request.value_type
-                        and candidate.pattern.covers(request.pattern)
-                    ):
-                        affected.add(position)
-                        break
+            affected: set = set()
+            for pattern, value_type, positions in self._request_index:
+                if (
+                    candidate.value_type is value_type
+                    and not positions <= affected
+                    and candidate.pattern.covers(pattern)
+                ):
+                    affected |= positions
             self._affected_cache[key] = frozenset(affected)
         return self._affected_cache[key]
 
@@ -264,21 +393,41 @@ class ConfigurationEvaluator:
         self, config: IndexConfiguration
     ) -> List[List[CandidateIndex]]:
         """Partition the configuration into groups of indexes whose
-        affected sets overlap (merged transitively)."""
-        groups: List[Tuple[set, List[CandidateIndex]]] = []
-        for candidate in config:
-            affected = set(self.affected_set(candidate))
-            merged_members = [candidate]
-            remaining: List[Tuple[set, List[CandidateIndex]]] = []
-            for group_affected, members in groups:
-                if affected & group_affected or (not affected and not group_affected):
-                    affected |= group_affected
-                    merged_members.extend(members)
+        affected sets overlap (merged transitively).
+
+        Union-find keyed on statement positions: two candidates land in
+        one group iff they (transitively) share an affected statement,
+        and candidates affecting nothing pool into one leftover group --
+        the same partition the old O(n^2) pairwise merge produced, in
+        O(n * |affected|)."""
+        candidates = list(config)
+        parent = list(range(len(candidates)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+
+        owner_by_position: Dict[Optional[int], int] = {}
+        for i, candidate in enumerate(candidates):
+            affected = self.affected_set(candidate)
+            # None is the pooling key for empty affected sets.
+            for position in affected if affected else (None,):
+                owner = owner_by_position.get(position)
+                if owner is None:
+                    owner_by_position[position] = i
                 else:
-                    remaining.append((group_affected, members))
-            remaining.append((affected, merged_members))
-            groups = remaining
-        return [members for _, members in groups]
+                    union(owner, i)
+        groups: Dict[int, List[CandidateIndex]] = {}
+        for i, candidate in enumerate(candidates):
+            groups.setdefault(find(i), []).append(candidate)
+        return list(groups.values())
 
     def _evaluate_group(
         self, group: Sequence[CandidateIndex], statement_positions

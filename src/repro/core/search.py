@@ -9,7 +9,10 @@ the same signature and a common :class:`SearchResult`:
 * :func:`greedy_search_with_heuristics` -- Section VI-A: full-configuration
   benefit evaluation plus two heuristics: a coverage bitmap that blocks
   indexes replicating patterns already covered, and the IB/size
-  (beta-bounded) test before admitting a *general* index.
+  (beta-bounded) test before admitting a *general* index.  Candidates are
+  scored through :meth:`ConfigurationEvaluator.delta_benefit`, so each
+  probe re-costs only the sub-configuration group the candidate touches
+  and the running benefit telescopes the accepted deltas.
 * :func:`top_down_lite` / :func:`top_down_full` -- Section VI-B: start
   from the generalization DAG's roots and repeatedly replace the general
   index with the smallest dB/dC by its children until the configuration
@@ -92,37 +95,46 @@ class _Telemetry:
         self.evals_before = evaluator.evaluations
 
     def finish(
-        self, algorithm: str, config: IndexConfiguration, budget: int
+        self,
+        algorithm: str,
+        config: IndexConfiguration,
+        budget: int,
+        benefit: Optional[float] = None,
     ) -> SearchResult:
-        benefit = self.evaluator.benefit(config)
+        """Package the result.  Counter deltas are snapshotted *before*
+        any final benefit evaluation, so the reported optimizer traffic
+        is exactly what the search itself caused.  Searchers that tracked
+        the final configuration's benefit pass it in; only searchers that
+        never evaluated the full configuration (plain greedy, top down
+        lite, dp) pay one uncounted evaluation here."""
         counters = self.evaluator.session.counters
+        elapsed = time.perf_counter() - self.started
+        optimizer_calls = counters.optimizer_calls - self.calls_before
+        evaluations = self.evaluator.evaluations - self.evals_before
+        cache_hits = counters.cache_hits - self.hits_before
+        cache_misses = counters.cache_misses - self.misses_before
+        if benefit is None:
+            benefit = self.evaluator.benefit(config)
         return SearchResult(
             algorithm=algorithm,
             configuration=config,
             benefit=benefit,
             size_bytes=config.size_bytes(),
             budget_bytes=budget,
-            elapsed_seconds=time.perf_counter() - self.started,
-            optimizer_calls=counters.optimizer_calls - self.calls_before,
-            evaluations=self.evaluator.evaluations - self.evals_before,
-            cache_hits=counters.cache_hits - self.hits_before,
-            cache_misses=counters.cache_misses - self.misses_before,
+            elapsed_seconds=elapsed,
+            optimizer_calls=optimizer_calls,
+            evaluations=evaluations,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
 
 def _positive_candidates(
     candidates: CandidateSet, evaluator: ConfigurationEvaluator
 ) -> List[CandidateIndex]:
-    """Candidates with positive standalone benefit, densest first."""
-    scored = [
-        (evaluator.standalone_benefit(c), c)
-        for c in candidates
-    ]
-    positive = [
-        (benefit, c) for benefit, c in scored if benefit > 0 and c.size_bytes > 0
-    ]
-    positive.sort(key=lambda pair: pair[0] / pair[1].size_bytes, reverse=True)
-    return [c for _, c in positive]
+    """Candidates with positive standalone benefit, densest first (ranked
+    once per evaluator and shared across searches)."""
+    return evaluator.ranked_positive_candidates(candidates)
 
 
 # ---------------------------------------------------------------------------
@@ -179,25 +191,30 @@ def greedy_search_with_heuristics(
         covered_basics = [b for b in basics if candidate.covers(b) or b.key == candidate.key]
         if covered_basics and all(covered[b.key] for b in covered_basics):
             continue  # pure replication of already-served patterns
+        delta = evaluator.delta_benefit(config, candidate, current_benefit)
         if candidate.general:
             children = [c for c in dag.children(candidate)]
             if children:
-                ib_general = evaluator.improved_benefit(config, [candidate])
-                ib_children = evaluator.improved_benefit(config, children)
+                # IB test on deltas: benefit(X+general) < benefit(X+children)
+                # iff the deltas compare the same way (benefit(X) cancels).
+                delta_children = evaluator.delta_benefit(
+                    config, children, current_benefit
+                )
                 children_size = sum(c.size_bytes for c in children)
-                if ib_general < ib_children:
+                if delta < delta_children:
                     continue
                 if candidate.size_bytes > (1.0 + beta) * children_size:
                     continue
-        new_benefit = evaluator.improved_benefit(config, [candidate])
-        if new_benefit <= current_benefit:
+        if delta <= 0:
             continue
         config = config.with_candidate(candidate)
-        current_benefit = new_benefit
+        current_benefit += delta
         remaining = budget_bytes - config.size_bytes()
         for basic in covered_basics:
             covered[basic.key] = True
-    return telemetry.finish("greedy_heuristics", config, budget_bytes)
+    return telemetry.finish(
+        "greedy_heuristics", config, budget_bytes, benefit=current_benefit
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -246,9 +263,19 @@ def _top_down(
                 continue  # replacing would not shrink the configuration
             if full:
                 base = config.without(general)
-                ib_general = evaluator.benefit(base.with_candidate(general))
-                ib_children = evaluator.benefit(base.with_candidates(children))
-                delta_b = ib_general - ib_children
+                if evaluator.naive:
+                    # Delta evaluation is one of the techniques the naive
+                    # ablation disables: evaluate both sides in full.
+                    ib_general = evaluator.benefit(base.with_candidate(general))
+                    ib_children = evaluator.benefit(base.with_candidates(children))
+                    delta_b = ib_general - ib_children
+                else:
+                    # dB = benefit(base+general) - benefit(base+children);
+                    # benefit(base) cancels, so score both sides as deltas
+                    # and re-cost only the groups the swapped indexes touch.
+                    delta_b = evaluator.delta_benefit(
+                        base, general
+                    ) - evaluator.delta_benefit(base, children)
             else:
                 delta_b = evaluator.standalone_benefit(general) - sum(
                     evaluator.standalone_benefit(c) for c in children
@@ -392,7 +419,9 @@ def exhaustive_search(
         ):
             best_config = config
             best_benefit = benefit
-    return telemetry.finish("exhaustive", best_config, budget_bytes)
+    return telemetry.finish(
+        "exhaustive", best_config, budget_bytes, benefit=best_benefit
+    )
 
 
 #: Registry used by the advisor front end.

@@ -164,30 +164,56 @@ class DisjunctiveRequest:
         return " OR ".join(str(a) for a in self.alternatives)
 
 
+#: Per-statement memo of (conjunctive requests, disjunctions, flattened
+#: all-requests).  Statements are frozen/hashable and every optimizer call
+#: re-extracts its statement's requests, so parsing each statement's
+#: predicates once per process is the single biggest rewrite-phase saving.
+#: Entries are tuples: callers must treat them as immutable.
+_EXTRACTION_MEMO: dict = {}
+
+
+def _extraction(
+    statement: Statement,
+) -> Tuple[
+    Tuple[PathRequest, ...],
+    Tuple[DisjunctiveRequest, ...],
+    Tuple[PathRequest, ...],
+]:
+    memo = _EXTRACTION_MEMO.get(statement)
+    if memo is None:
+        requests, disjunctions = _extract(statement)
+        flattened = list(requests)
+        for disjunction in disjunctions:
+            flattened.extend(disjunction.alternatives)
+        memo = (
+            tuple(_dedupe(requests)),
+            tuple(disjunctions),
+            tuple(_dedupe(flattened)),
+        )
+        _EXTRACTION_MEMO[statement] = memo
+    return memo
+
+
 def extract_path_requests(statement: Statement) -> List[PathRequest]:
     """All *conjunctive* indexable path requests of a statement, in a
     deterministic order, duplicates removed.  Disjunctions are reported
-    separately by :func:`extract_disjunctive_requests`."""
-    requests, __ = _extract(statement)
-    return _dedupe(requests)
+    separately by :func:`extract_disjunctive_requests`.  The extraction
+    itself is memoized per statement; callers get a fresh list."""
+    return list(_extraction(statement)[0])
 
 
 def extract_disjunctive_requests(statement: Statement) -> List[DisjunctiveRequest]:
     """The statement's fully-indexable disjunctions (index-ORing
-    opportunities)."""
-    __, disjunctions = _extract(statement)
-    return disjunctions
+    opportunities).  Memoized per statement; callers get a fresh list."""
+    return list(_extraction(statement)[1])
 
 
 def extract_all_requests(statement: Statement) -> List[PathRequest]:
     """Conjunctive requests plus every disjunction alternative -- the set
     relevant for candidate enumeration and affected-set computation (an
-    index on an OR branch can participate in an index-ORing plan)."""
-    requests, disjunctions = _extract(statement)
-    flattened = list(requests)
-    for disjunction in disjunctions:
-        flattened.extend(disjunction.alternatives)
-    return _dedupe(flattened)
+    index on an OR branch can participate in an index-ORing plan).
+    Memoized per statement; callers get a fresh list."""
+    return list(_extraction(statement)[2])
 
 
 def join_key_request(side: Query, join_path) -> PathRequest:

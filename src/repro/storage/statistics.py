@@ -32,6 +32,7 @@ from repro.storage.index import (
 )
 from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
 from repro.xpath.ast import Literal
+from repro.xpath.compiled import GLOBAL_TABLE
 from repro.xpath.patterns import PathPattern
 
 #: Cap on per-path value samples kept for selectivity estimation.
@@ -135,6 +136,9 @@ class DataStatistics:
         self.path_doc_counts: Dict[Tuple[str, ...], int] = {}
         self.summaries: Dict[Tuple[str, ...], PathValueSummary] = {}
         self._matching_cache: Dict[str, List[Tuple[Tuple[str, ...], int]]] = {}
+        #: (interned id, path) pairs mirroring ``path_counts``; rebuilt
+        #: lazily whenever paths were added since the last pattern probe.
+        self._path_ids: List[Tuple[int, Tuple[str, ...]]] = []
 
     # ------------------------------------------------------------------
     # Collection-side (used by collect_statistics)
@@ -163,10 +167,15 @@ class DataStatistics:
         key = str(pattern)
         cached = self._matching_cache.get(key)
         if cached is None:
+            if len(self._path_ids) != len(self.path_counts):
+                self._path_ids = [
+                    (GLOBAL_TABLE.intern(path), path) for path in self.path_counts
+                ]
+            matched = pattern.matcher.matching_ids()
             cached = [
-                (path, count)
-                for path, count in self.path_counts.items()
-                if pattern.matches(path)
+                (path, self.path_counts[path])
+                for path_id, path in self._path_ids
+                if path_id in matched
             ]
             self._matching_cache[key] = cached
         return cached

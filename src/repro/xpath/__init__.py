@@ -8,9 +8,12 @@ predicates (Section III).  This package provides both:
   :class:`LocationPath` AST.
 * :func:`evaluate_path` -- evaluate a path over a document node tree.
 * :class:`PathPattern` / :func:`parse_pattern` -- linear, predicate-free
-  patterns with NFA-based ``matches`` (does a rooted tag path belong to the
+  patterns with ``matches`` (does a rooted tag path belong to the
   pattern?) and ``covers`` (language containment between two patterns --
-  the core of optimizer index matching).
+  the core of optimizer index matching).  ``matches`` runs on a compiled
+  deterministic matcher over the interned path table
+  (:mod:`repro.xpath.compiled`); the NFA reference lives on as
+  ``matches_nfa``.
 """
 
 from repro.xpath.ast import (
@@ -21,6 +24,7 @@ from repro.xpath.ast import (
     LocationPath,
     Step,
 )
+from repro.xpath.compiled import GLOBAL_TABLE, CompiledMatcher, PathTable
 from repro.xpath.evaluator import evaluate_path, evaluate_predicate
 from repro.xpath.parser import XPathSyntaxError, parse_xpath
 from repro.xpath.patterns import PathPattern, parse_pattern
@@ -28,10 +32,13 @@ from repro.xpath.patterns import PathPattern, parse_pattern
 __all__ = [
     "Axis",
     "ComparisonPredicate",
+    "CompiledMatcher",
     "ExistsPredicate",
+    "GLOBAL_TABLE",
     "Literal",
     "LocationPath",
     "PathPattern",
+    "PathTable",
     "Step",
     "XPathSyntaxError",
     "evaluate_path",

@@ -30,6 +30,7 @@ from functools import lru_cache
 from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.xpath.ast import Axis, LocationPath, Step
+from repro.xpath.compiled import CompiledMatcher
 from repro.xpath.parser import XPathSyntaxError, _XPathParser
 
 #: Symbolic stand-in for "any element name not mentioned in the patterns".
@@ -66,7 +67,7 @@ class PathPattern:
     they can key candidate sets and configuration caches.
     """
 
-    __slots__ = ("steps", "_text", "_hash", "_transitions")
+    __slots__ = ("steps", "_text", "_hash", "_transitions", "_matcher")
 
     def __init__(self, steps: Sequence[PatternStep]) -> None:
         steps = tuple(steps)
@@ -85,6 +86,7 @@ class PathPattern:
             "_transitions",
             tuple((s.axis is Axis.DESCENDANT, s.name) for s in steps),
         )
+        object.__setattr__(self, "_matcher", None)
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("PathPattern is immutable")
@@ -153,9 +155,28 @@ class PathPattern:
             return symbol.startswith("@")
         return name_test == symbol
 
+    @property
+    def matcher(self) -> CompiledMatcher:
+        """The pattern's compiled matcher (deterministic regex over the
+        interned path table), created on first use."""
+        matcher = self._matcher
+        if matcher is None:
+            matcher = CompiledMatcher(self._transitions, self.matches_nfa)
+            object.__setattr__(self, "_matcher", matcher)
+        return matcher
+
     def matches(self, tag_path: Sequence[str]) -> bool:
         """True if the rooted tag path (a sequence of element names, the last
-        possibly an ``@attr``) belongs to this pattern's language."""
+        possibly an ``@attr``) belongs to this pattern's language.
+
+        Dispatches to the compiled matcher; :meth:`matches_nfa` is the
+        reference implementation the matcher must agree with."""
+        return self.matcher.matches(tag_path)
+
+    def matches_nfa(self, tag_path: Sequence[str]) -> bool:
+        """Reference NFA simulation of :meth:`matches` (kept as the ground
+        truth the compiled matcher is property-tested against, and as the
+        fallback for tag paths the path-string encoding cannot express)."""
         transitions = self._transitions
         accept = len(transitions)
         states: Set[int] = {0}
@@ -261,8 +282,25 @@ def _symbol_matches(name_test: str, symbol: str) -> bool:
 
 @lru_cache(maxsize=65536)
 def _covers_cached(super_text: str, sub_text: str) -> bool:
+    if super_text == sub_text:
+        return True
     sup = parse_pattern(super_text)
     sub = parse_pattern(sub_text)
+    # Fast paths that decide the bulk of optimizer index-matching probes
+    # without building the product automaton; each must agree with
+    # _covers_product (property-tested in tests/test_compiled_matcher.py).
+    if sup.is_universal:
+        # //* matches exactly the paths ending in an element symbol.
+        return not sub.last_step.is_attribute
+    if not sub.has_wildcard and not sub.has_descendant_axis:
+        # A concrete pattern's language is the single path of its names.
+        return sup.matches(tuple(s.name for s in sub.steps))
+    return _covers_product(sup, sub)
+
+
+def _covers_product(sup: PathPattern, sub: PathPattern) -> bool:
+    """Exact containment by product construction (reference decision
+    procedure; the fast paths in :func:`_covers_cached` defer to it)."""
     alphabet = _symbolic_alphabet(sup, sub)
     sub_accept = len(sub.steps)
     sup_accept = len(sup.steps)
