@@ -28,8 +28,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.candidates import CandidateIndex
 from repro.core.config import IndexConfiguration
-from repro.query.model import Query
+from repro.query.model import JoinQuery, Query
 from repro.query.workload import Workload
+from repro.robustness.errors import StatisticsUnavailable
 from repro.storage.database import Database
 from repro.storage.index import IndexValueType
 from repro.xpath.ast import Axis
@@ -53,6 +54,82 @@ def _pattern_for_tag_path(tag_path: Tuple[str, ...]) -> PathPattern:
     return PathPattern(
         [PatternStep(Axis.CHILD, name) for name in tag_path]
     )
+
+
+#: Cost assumed for a statement whose collection statistics are also
+#: unavailable -- the estimator of last resort never fails.
+DEFAULT_STATEMENT_COST = 1000.0
+
+#: Per-index navigation discount when a (virtual) index plausibly serves
+#: a statement (its final tag appears in the statement text).
+INDEX_DISCOUNT = 0.5
+
+#: Floor on the combined discount: even a pile of matching indexes never
+#: claims more than a 10x improvement without the optimizer's say-so.
+MIN_DISCOUNT = 0.1
+
+
+class HeuristicCostModel:
+    """Optimizer-free statement cost estimates: the decoupled baseline's
+    text-match heuristic packaged as the *degradation fallback* of the
+    tightly-coupled session (docs/robustness.md).
+
+    The estimate is deliberately crude -- collection node count scaled
+    down once per installed index whose final tag the statement mentions
+    -- because its only job is to keep a search ordered sensibly while
+    the optimizer is unavailable.  Results served from it are always
+    tagged ``degraded``.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._nodes_cache: Dict[str, float] = {}
+
+    def _collection_nodes(self, collection: str) -> float:
+        """Total node count of a collection, from statistics when they
+        are healthy, degrading to a document-count guess and finally to
+        a constant.  This estimator must never raise."""
+        cached = self._nodes_cache.get(collection)
+        if cached is not None:
+            return cached
+        try:
+            stats = self.database.runstats(collection)
+            nodes = float(sum(stats.path_counts.values()))
+        except (StatisticsUnavailable, KeyError):
+            try:
+                nodes = 20.0 * len(self.database.collection(collection))
+            except KeyError:
+                nodes = DEFAULT_STATEMENT_COST
+        nodes = max(1.0, nodes)
+        self._nodes_cache[collection] = nodes
+        return nodes
+
+    def estimate_cost(self, statement, definitions=()) -> float:
+        """Heuristic cost of ``statement`` with ``definitions`` installed
+        as (virtual) indexes."""
+        if isinstance(statement, JoinQuery):
+            collections = [
+                statement.left.collection, statement.right.collection
+            ]
+        else:
+            collections = [getattr(statement, "collection", None)]
+        collections = [c for c in collections if c is not None]
+        if not collections:
+            return DEFAULT_STATEMENT_COST
+        base = sum(self._collection_nodes(c) for c in collections)
+        text = statement.describe()
+        factor = 1.0
+        credited = set()
+        for definition in definitions:
+            if definition.collection not in collections:
+                continue
+            last = definition.pattern.last_step.name.lstrip("@")
+            if not last or last == "*" or last in credited:
+                continue
+            if last in text:
+                credited.add(last)
+                factor *= INDEX_DISCOUNT
+        return max(1.0, base * max(factor, MIN_DISCOUNT))
 
 
 class DecoupledAdvisor:

@@ -17,43 +17,29 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.advisor import IndexAdvisor
 from repro.optimizer.executor import Executor
 from repro.optimizer.session import WhatIfSession
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
+from repro.robustness.errors import AdvisorError
 from repro.storage.database import Database
 from repro.storage.persist import load_database, save_database
 
 
-def read_workload_file(path: str) -> Workload:
+def read_workload_file(path: str, strict: bool = False) -> Workload:
     """Parse a workload file: statements separated by ``;`` lines.
 
     A statement line may end with ``@ <frequency>`` on its separator line
-    (``; @ 10`` gives the preceding statement frequency 10).
+    (``; @ 10`` gives the preceding statement frequency 10).  Malformed
+    statements are skipped with a diagnostic unless ``strict``; see
+    :meth:`Workload.from_text`.
     """
-    with open(path) as handle:
-        text = handle.read()
-    workload = Workload()
-    current: List[str] = []
-    for line in text.splitlines():
-        stripped = line.strip()
-        if stripped.startswith(";"):
-            frequency = 1.0
-            rest = stripped[1:].strip()
-            if rest.startswith("@"):
-                frequency = float(rest[1:].strip())
-            statement_text = "\n".join(current).strip()
-            if statement_text:
-                workload.add(parse_statement(statement_text), frequency)
-            current = []
-        else:
-            current.append(line)
-    trailing = "\n".join(current).strip()
-    if trailing:
-        workload.add(parse_statement(trailing), 1.0)
+    workload = Workload.from_file(path, strict=strict)
+    for diagnostic in workload.diagnostics:
+        print(f"warning: {diagnostic}", file=sys.stderr)
     return workload
 
 
@@ -188,11 +174,44 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_recommend(args: argparse.Namespace) -> int:
     import json
 
+    if args.budget <= 0:
+        print(
+            f"error: --budget must be a positive number of bytes, got "
+            f"{args.budget}; try e.g. --budget 200000",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deadline is not None and args.deadline <= 0:
+        print(
+            f"error: --deadline must be a positive number of seconds, got "
+            f"{args.deadline}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.call_budget is not None and args.call_budget < 0:
+        print(
+            f"error: --call-budget must be non-negative, got "
+            f"{args.call_budget}",
+            file=sys.stderr,
+        )
+        return 2
     db = load_database(args.dbdir)
-    workload = read_workload_file(args.workload)
+    workload = read_workload_file(args.workload, strict=args.strict)
+    if len(workload) == 0:
+        print(
+            f"error: workload file {args.workload!r} contains no parseable "
+            f"statements; statements are separated by lines holding a "
+            f"single ';'",
+            file=sys.stderr,
+        )
+        return 2
     advisor = IndexAdvisor(db, workload)
     recommendation = advisor.recommend(
-        budget_bytes=args.budget, algorithm=args.algorithm
+        budget_bytes=args.budget,
+        algorithm=args.algorithm,
+        deadline_seconds=args.deadline,
+        optimizer_call_budget=args.call_budget,
+        checkpoint_path=args.checkpoint,
     )
     if args.json:
         print(json.dumps(recommendation.to_dict(), indent=2))
@@ -391,6 +410,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="also print what-if session instrumentation counters",
     )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="anytime deadline: return the best-so-far configuration "
+             "(flagged truncated) when it expires",
+    )
+    p.add_argument(
+        "--call-budget", type=int, default=None, metavar="N",
+        help="stop after N optimizer calls and return best-so-far",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="crash-safe checkpoint file; an interrupted run with the "
+             "same file, algorithm, and budget resumes from it",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first malformed workload statement instead of "
+             "skipping it with a warning",
+    )
     p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser(
@@ -434,7 +472,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (FileNotFoundError, ValueError, KeyError) as exc:
+    except (AdvisorError, FileNotFoundError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

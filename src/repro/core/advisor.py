@@ -35,6 +35,9 @@ from repro.optimizer.cost import CostConstants
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.session import WhatIfSession
 from repro.query.workload import Workload
+from repro.robustness.budget import SearchBudget
+from repro.robustness.checkpoint import SearchCheckpoint
+from repro.robustness.errors import AdvisorError, FatalAdvisorError
 from repro.storage.database import Database
 
 
@@ -50,10 +53,23 @@ class Recommendation:
     #: Instrumentation snapshot of the shared what-if session at
     #: packaging time (optimizer calls, cache hits/misses, phase times).
     session_stats: Dict = field(default_factory=dict)
+    #: True when any cost behind this recommendation came from the
+    #: heuristic fallback estimator (optimizer failures past retries or
+    #: missing statistics) -- see docs/robustness.md.
+    degraded: bool = False
+    #: Per-input diagnostics collected on the way here (skipped workload
+    #: statements, degraded candidate sizes, ...).
+    diagnostics: List[str] = field(default_factory=list)
 
     @property
     def configuration(self) -> IndexConfiguration:
         return self.search.configuration
+
+    @property
+    def truncated(self) -> bool:
+        """True when an anytime budget expired and the configuration is
+        the search's best-so-far, not its natural fixpoint."""
+        return self.search.truncated
 
     def to_dict(self) -> Dict:
         """JSON-serializable form of the recommendation (for the CLI's
@@ -70,6 +86,11 @@ class Recommendation:
             "cache_hits": self.search.cache_hits,
             "cache_misses": self.search.cache_misses,
             "elapsed_seconds": self.search.elapsed_seconds,
+            "truncated": self.search.truncated,
+            "truncated_reason": self.search.truncated_reason,
+            "resumed": self.search.resumed,
+            "degraded": self.degraded,
+            "diagnostics": list(self.diagnostics),
             "session": dict(self.session_stats),
             "indexes": [
                 {
@@ -100,8 +121,23 @@ class Recommendation:
             f"Cost cache         : {self.search.cache_hits} hits / "
             f"{self.search.cache_misses} misses (search)",
             f"Search time        : {self.search.elapsed_seconds * 1000:.0f} ms",
-            "Recommended indexes:",
         ]
+        if self.search.truncated:
+            lines.append(
+                f"TRUNCATED          : {self.search.truncated_reason} "
+                f"(best-so-far configuration)"
+            )
+        if self.search.resumed:
+            lines.append("Resumed            : from on-disk checkpoint")
+        if self.degraded:
+            degraded_count = self.session_stats.get("degraded_estimates", 0)
+            lines.append(
+                f"DEGRADED           : {degraded_count} cost estimate(s) "
+                f"from the heuristic fallback (optimizer unavailable)"
+            )
+        for diagnostic in self.diagnostics:
+            lines.append(f"Diagnostic         : {diagnostic}")
+        lines.append("Recommended indexes:")
         lines.extend(f"  {stmt}" for stmt in self.ddl)
         return "\n".join(lines)
 
@@ -148,6 +184,12 @@ class IndexAdvisor:
         self._candidates: Optional[CandidateSet] = None
         self._evaluator: Optional[ConfigurationEvaluator] = None
         self._created_index_names: List[str] = []
+        #: Diagnostics surfaced on every Recommendation: skipped workload
+        #: statements (lenient parsing) plus degraded candidate sizes.
+        self.diagnostics: List[str] = list(
+            getattr(workload, "diagnostics", ())
+        )
+        self._degraded_sizes = 0
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -164,9 +206,18 @@ class IndexAdvisor:
             with self.session.phase("generalize"):
                 if self.generalize:
                     generalize_candidates(candidates)
-                candidates.compute_sizes(self.database)
+                candidates.compute_sizes(
+                    self.database, on_degraded=self._note_degraded_size
+                )
             self._candidates = candidates
         return self._candidates
+
+    def _note_degraded_size(self, candidate, exc) -> None:
+        self._degraded_sizes += 1
+        self.diagnostics.append(
+            f"candidate {candidate} sized by fallback "
+            f"(statistics unavailable: {exc})"
+        )
 
     @property
     def evaluator(self) -> ConfigurationEvaluator:
@@ -194,24 +245,70 @@ class IndexAdvisor:
         budget_bytes: int,
         algorithm: str = "topdown_full",
         beta: float = DEFAULT_BETA,
+        deadline_seconds: Optional[float] = None,
+        optimizer_call_budget: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> Recommendation:
         """Search for the best configuration within ``budget_bytes``.
 
         ``algorithm`` is one of ``greedy``, ``greedy_heuristics``,
         ``topdown_lite``, ``topdown_full``, ``dp``.
+
+        Anytime operation (docs/robustness.md): ``deadline_seconds`` and
+        ``optimizer_call_budget`` bound the run -- the deadline clock
+        starts here, before candidate enumeration -- and an expired
+        budget returns the search's best-so-far configuration flagged
+        ``truncated`` instead of raising.  ``checkpoint_path`` makes the
+        search crash-safe: progress is persisted atomically after every
+        accepted step and a rerun with the same path, algorithm, and
+        disk budget resumes from it.
         """
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
             )
         searcher = ALGORITHMS[algorithm]
-        with self.session.phase(f"search:{algorithm}"):
-            if algorithm == "greedy_heuristics":
-                result = searcher(
-                    self.candidates, self.evaluator, budget_bytes, beta
-                )
-            else:
-                result = searcher(self.candidates, self.evaluator, budget_bytes)
+        search_budget = SearchBudget(
+            deadline_seconds=deadline_seconds,
+            optimizer_call_budget=optimizer_call_budget,
+            session=self.session,
+            checkpoint=(
+                SearchCheckpoint(checkpoint_path) if checkpoint_path else None
+            ),
+        )
+        budget_arg = (
+            search_budget
+            if search_budget.bounded or search_budget.checkpoint is not None
+            else None
+        )
+        try:
+            with self.session.phase(f"search:{algorithm}"):
+                if algorithm == "greedy_heuristics":
+                    result = searcher(
+                        self.candidates,
+                        self.evaluator,
+                        budget_bytes,
+                        beta,
+                        budget=budget_arg,
+                    )
+                else:
+                    result = searcher(
+                        self.candidates,
+                        self.evaluator,
+                        budget_bytes,
+                        budget=budget_arg,
+                    )
+        except FatalAdvisorError:
+            raise
+        except AdvisorError as exc:
+            raise FatalAdvisorError(
+                f"advisor failed during {algorithm} search: {exc}",
+                phase=f"search:{algorithm}",
+            ) from exc
+        if budget_arg is not None and not result.truncated:
+            search_budget.mark_completed(
+                algorithm, budget_bytes, result.configuration, result.benefit
+            )
         return self._package(result)
 
     def _package(self, result: SearchResult) -> Recommendation:
@@ -232,6 +329,8 @@ class IndexAdvisor:
             workload_cost_after=after,
             ddl=ddl,
             session_stats=self.session.stats(),
+            degraded=self.session.is_degraded or self._degraded_sizes > 0,
+            diagnostics=list(self.diagnostics),
         )
 
     # ------------------------------------------------------------------

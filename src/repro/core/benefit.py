@@ -52,6 +52,7 @@ from repro.optimizer.rewriter import PathRequest, extract_all_requests
 from repro.optimizer.session import WhatIfSession
 from repro.query.model import JoinQuery, Query
 from repro.query.workload import Workload
+from repro.robustness.errors import StatisticsUnavailable
 from repro.xpath.patterns import PathPattern
 
 
@@ -260,7 +261,13 @@ class ConfigurationEvaluator:
                 self._maintenance_cache[key] = 0.0
                 return 0.0
             total = 0.0
-            statistics = self.database.runstats(candidate.collection)
+            try:
+                statistics = self.database.runstats(candidate.collection)
+            except StatisticsUnavailable:
+                # Degrade to a statistics-free zero maintenance charge
+                # rather than sinking the whole search (docs/robustness.md).
+                self._maintenance_cache[key] = 0.0
+                return 0.0
             for entry in self.workload:
                 if isinstance(entry.statement, (Query, JoinQuery)):
                     continue

@@ -16,9 +16,15 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.optimizer.optimizer import Optimizer, OptimizerMode
 from repro.query.workload import Workload
+from repro.robustness.errors import StatisticsUnavailable
 from repro.storage.catalog import IndexDefinition
 from repro.storage.index import IndexValueType
 from repro.xpath.patterns import PathPattern
+
+#: Size assumed for a candidate whose statistics are unavailable: big
+#: enough that a degraded run does not overcommit its disk budget to
+#: indexes nobody could size.
+FALLBACK_CANDIDATE_SIZE = 4096
 
 CandidateKey = Tuple[str, IndexValueType]
 
@@ -120,13 +126,30 @@ class CandidateSet:
     def generals(self) -> List[CandidateIndex]:
         return [c for c in self if c.general]
 
-    def compute_sizes(self, database) -> None:
-        """Fill ``size_bytes`` from derived virtual-index statistics."""
+    def compute_sizes(self, database, on_degraded=None) -> None:
+        """Fill ``size_bytes`` from derived virtual-index statistics.
+
+        When statistics are unavailable for a candidate the size degrades
+        to a document-count guess (floor
+        :data:`FALLBACK_CANDIDATE_SIZE`) instead of failing the run;
+        ``on_degraded(candidate, exc)`` reports each such fallback so the
+        advisor can surface it in the recommendation."""
         for candidate in self:
-            stats = database.runstats(candidate.collection)
-            candidate.size_bytes = stats.derive_index_statistics(
-                candidate.pattern, candidate.value_type
-            ).size_bytes
+            try:
+                stats = database.runstats(candidate.collection)
+                candidate.size_bytes = stats.derive_index_statistics(
+                    candidate.pattern, candidate.value_type
+                ).size_bytes
+            except StatisticsUnavailable as exc:
+                try:
+                    documents = len(database.collection(candidate.collection))
+                except KeyError:
+                    documents = 0
+                candidate.size_bytes = max(
+                    FALLBACK_CANDIDATE_SIZE, 32 * documents
+                )
+                if on_degraded is not None:
+                    on_degraded(candidate, exc)
 
     def propagate_affected_sets(self) -> None:
         """Give every general candidate the union of the affected sets of

@@ -32,6 +32,8 @@ from repro.core.benefit import ConfigurationEvaluator
 from repro.core.candidates import CandidateIndex, CandidateSet
 from repro.core.config import IndexConfiguration
 from repro.core.dag import CandidateDag
+from repro.robustness.budget import SearchBudget
+from repro.robustness.checkpoint import resolve_candidates
 
 #: Allowed size expansion when a general index replaces the indexes it
 #: generalizes (Section VI-A; "we have found beta = 10% to work well").
@@ -58,6 +60,13 @@ class SearchResult:
     evaluations: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: True when an anytime budget (deadline / optimizer-call cap)
+    #: expired and this is the best-so-far configuration, not the
+    #: search's natural fixpoint.
+    truncated: bool = False
+    truncated_reason: Optional[str] = None
+    #: True when the search was seeded from an on-disk checkpoint.
+    resumed: bool = False
 
     @property
     def general_count(self) -> int:
@@ -68,13 +77,14 @@ class SearchResult:
         return self.configuration.specific_count()
 
     def summary(self) -> str:
+        suffix = f" [truncated: {self.truncated_reason}]" if self.truncated else ""
         return (
             f"{self.algorithm}: {len(self.configuration)} indexes "
             f"(G: {self.general_count}, S: {self.specific_count}), "
             f"size {self.size_bytes}/{self.budget_bytes} B, "
             f"benefit {self.benefit:.2f}, "
             f"{self.optimizer_calls} optimizer calls, "
-            f"{self.elapsed_seconds * 1000:.0f} ms"
+            f"{self.elapsed_seconds * 1000:.0f} ms{suffix}"
         )
 
 
@@ -100,6 +110,8 @@ class _Telemetry:
         config: IndexConfiguration,
         budget: int,
         benefit: Optional[float] = None,
+        truncated: Optional[str] = None,
+        resumed: bool = False,
     ) -> SearchResult:
         """Package the result.  Counter deltas are snapshotted *before*
         any final benefit evaluation, so the reported optimizer traffic
@@ -126,6 +138,9 @@ class _Telemetry:
             evaluations=evaluations,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            truncated=truncated is not None,
+            truncated_reason=truncated,
+            resumed=resumed,
         )
 
 
@@ -137,6 +152,36 @@ def _positive_candidates(
     return evaluator.ranked_positive_candidates(candidates)
 
 
+def _spent(budget: Optional[SearchBudget]) -> Optional[str]:
+    """The anytime budget's exhaustion reason, or ``None`` (always
+    ``None`` without a budget).  Searchers call this at loop boundaries
+    and break with their best-so-far configuration."""
+    if budget is None:
+        return None
+    return budget.exhausted()
+
+
+def _restore_scan(
+    budget: Optional[SearchBudget],
+    algorithm: str,
+    budget_bytes: int,
+    candidates,
+):
+    """Restore a ranked-scan searcher's checkpoint: ``(configuration,
+    next cursor, tracked benefit)``, or ``None`` when there is nothing
+    (valid) to resume."""
+    if budget is None:
+        return None
+    state = budget.restore(algorithm, budget_bytes)
+    if state is None:
+        return None
+    resolved = resolve_candidates(state.candidate_keys, candidates)
+    if resolved is None:
+        return None  # workload/data changed underneath the checkpoint
+    cursor = 0 if state.cursor is None else state.cursor + 1
+    return IndexConfiguration(resolved), cursor, state.benefit
+
+
 # ---------------------------------------------------------------------------
 # Greedy (no heuristics)
 # ---------------------------------------------------------------------------
@@ -145,17 +190,37 @@ def greedy_search(
     candidates: CandidateSet,
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Density greedy on standalone benefits; ignores interaction, so it
     happily picks redundant indexes that the optimizer will never combine."""
     telemetry = _Telemetry(evaluator)
     config = IndexConfiguration()
-    remaining = budget_bytes
-    for candidate in _positive_candidates(candidates, evaluator):
-        if candidate.size_bytes <= remaining:
-            config = config.with_candidate(candidate)
-            remaining -= candidate.size_bytes
-    return telemetry.finish("greedy", config, budget_bytes)
+    restored = _restore_scan(budget, "greedy", budget_bytes, candidates)
+    start = 0
+    if restored is not None:
+        config, start, _ = restored
+    remaining = budget_bytes - config.size_bytes()
+    truncated = _spent(budget)
+    if truncated is None:
+        ranked = _positive_candidates(candidates, evaluator)
+        for cursor in range(start, len(ranked)):
+            truncated = _spent(budget)
+            if truncated is not None:
+                break
+            candidate = ranked[cursor]
+            if candidate.size_bytes <= remaining:
+                config = config.with_candidate(candidate)
+                remaining -= candidate.size_bytes
+                if budget is not None:
+                    budget.note_best(
+                        "greedy", budget_bytes, config, cursor=cursor
+                    )
+    return telemetry.finish(
+        "greedy", config, budget_bytes,
+        truncated=truncated, resumed=restored is not None,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +232,8 @@ def greedy_search_with_heuristics(
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
     beta: float = DEFAULT_BETA,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Greedy search with the paper's redundancy/generality heuristics.
 
@@ -183,9 +250,32 @@ def greedy_search_with_heuristics(
     covered: Dict[Tuple, bool] = {b.key: False for b in basics}
     config = IndexConfiguration()
     current_benefit = 0.0
-    remaining = budget_bytes
+    start = 0
+    restored = _restore_scan(
+        budget, "greedy_heuristics", budget_bytes, candidates
+    )
+    if restored is not None:
+        config, start, checkpointed_benefit = restored
+        current_benefit = (
+            checkpointed_benefit
+            if checkpointed_benefit is not None
+            else evaluator.benefit(config)
+        )
+        for chosen in config:
+            for basic in basics:
+                if chosen.covers(basic) or basic.key == chosen.key:
+                    covered[basic.key] = True
+    remaining = budget_bytes - config.size_bytes()
+    truncated = _spent(budget)
 
-    for candidate in _positive_candidates(candidates, evaluator):
+    ranked = [] if truncated is not None else _positive_candidates(
+        candidates, evaluator
+    )
+    for cursor in range(start, len(ranked)):
+        truncated = _spent(budget)
+        if truncated is not None:
+            break
+        candidate = ranked[cursor]
         if candidate.size_bytes > remaining:
             continue
         covered_basics = [b for b in basics if candidate.covers(b) or b.key == candidate.key]
@@ -212,8 +302,14 @@ def greedy_search_with_heuristics(
         remaining = budget_bytes - config.size_bytes()
         for basic in covered_basics:
             covered[basic.key] = True
+        if budget is not None:
+            budget.note_best(
+                "greedy_heuristics", budget_bytes, config,
+                benefit=current_benefit, cursor=cursor,
+            )
     return telemetry.finish(
-        "greedy_heuristics", config, budget_bytes, benefit=current_benefit
+        "greedy_heuristics", config, budget_bytes, benefit=current_benefit,
+        truncated=truncated, resumed=restored is not None,
     )
 
 
@@ -226,6 +322,7 @@ def _top_down(
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
     full: bool,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     algorithm = "topdown_full" if full else "topdown_lite"
     telemetry = _Telemetry(evaluator)
@@ -246,8 +343,23 @@ def _top_down(
             survivor.sources = set(candidate.sources)
     dag = CandidateDag(surviving)
     config = IndexConfiguration(dag.roots())
+    resumed = False
+    if budget is not None:
+        state = budget.restore(algorithm, budget_bytes)
+        if state is not None:
+            resolved = resolve_candidates(state.candidate_keys, surviving)
+            if resolved is not None:
+                # The replacement loop is driven entirely by the current
+                # configuration, so re-entering it from the checkpoint
+                # is exact.
+                config = IndexConfiguration(resolved)
+                resumed = True
+    truncated = _spent(budget)
 
-    while config.size_bytes() > budget_bytes:
+    while truncated is None and config.size_bytes() > budget_bytes:
+        truncated = _spent(budget)
+        if truncated is not None:
+            break
         replaceable = [
             c for c in config if dag.children(c)
         ]
@@ -291,6 +403,8 @@ def _top_down(
             break
         children = [c for c in dag.children(best) if c not in config]
         config = config.without(best).with_candidates(children)
+        if budget is not None:
+            budget.note_best(algorithm, budget_bytes, config)
 
     if config.size_bytes() > budget_bytes:
         # Out of general candidates to replace: plain greedy over what is
@@ -311,27 +425,36 @@ def _top_down(
                 trimmed = trimmed.with_candidate(candidate)
                 remaining -= candidate.size_bytes
         config = trimmed
-    return telemetry.finish(algorithm, config, budget_bytes)
+    return telemetry.finish(
+        algorithm, config, budget_bytes,
+        truncated=truncated, resumed=resumed,
+    )
 
 
 def top_down_lite(
     candidates: CandidateSet,
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Top down search with interaction-free dB (sum of standalone
     benefits)."""
-    return _top_down(candidates, evaluator, budget_bytes, full=False)
+    return _top_down(candidates, evaluator, budget_bytes, full=False,
+                     budget=budget)
 
 
 def top_down_full(
     candidates: CandidateSet,
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Top down search evaluating every configuration's benefit through
     the optimizer (captures index interaction)."""
-    return _top_down(candidates, evaluator, budget_bytes, full=True)
+    return _top_down(candidates, evaluator, budget_bytes, full=True,
+                     budget=budget)
 
 
 # ---------------------------------------------------------------------------
@@ -347,15 +470,22 @@ def dynamic_programming_search(
     candidates: CandidateSet,
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Exact 0/1 knapsack on standalone benefits (ignores interaction --
     "optimal modulo index interactions" as the paper puts it).  Sizes are
-    quantized to :data:`DP_UNITS` buckets."""
+    quantized to :data:`DP_UNITS` buckets.  Under an anytime budget the
+    partial table's best entry is still a valid (truncated) answer."""
     telemetry = _Telemetry(evaluator)
-    items = [
-        (evaluator.standalone_benefit(c), c)
-        for c in candidates
-    ]
+    truncated = _spent(budget)
+    items = []
+    if truncated is None:
+        for c in candidates:
+            truncated = _spent(budget)
+            if truncated is not None:
+                break
+            items.append((evaluator.standalone_benefit(c), c))
     items = [(b, c) for b, c in items if b > 0 and c.size_bytes > 0]
     unit = max(1, budget_bytes // DP_UNITS)
     capacity = budget_bytes // unit
@@ -373,7 +503,7 @@ def dynamic_programming_search(
                 chosen[w] = chosen[w - weight] + (candidate,)
     top = max(range(capacity + 1), key=lambda w: best_benefit[w])
     config = IndexConfiguration(chosen[top])
-    return telemetry.finish("dp", config, budget_bytes)
+    return telemetry.finish("dp", config, budget_bytes, truncated=truncated)
 
 
 # ---------------------------------------------------------------------------
@@ -388,6 +518,8 @@ def exhaustive_search(
     candidates: CandidateSet,
     evaluator: ConfigurationEvaluator,
     budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
 ) -> SearchResult:
     """Try *every* configuration within the budget and return the best by
     true (interaction-aware) benefit.
@@ -407,7 +539,11 @@ def exhaustive_search(
         )
     best_config = IndexConfiguration()
     best_benefit = 0.0
+    truncated = None
     for mask in range(1, 1 << len(pool)):
+        truncated = _spent(budget)
+        if truncated is not None:
+            break
         chosen = [pool[i] for i in range(len(pool)) if mask & (1 << i)]
         if sum(c.size_bytes for c in chosen) > budget_bytes:
             continue
@@ -420,7 +556,8 @@ def exhaustive_search(
             best_config = config
             best_benefit = benefit
     return telemetry.finish(
-        "exhaustive", best_config, budget_bytes, benefit=best_benefit
+        "exhaustive", best_config, budget_bytes, benefit=best_benefit,
+        truncated=truncated,
     )
 
 

@@ -126,6 +126,9 @@ class OptimizationResult:
     plan: Optional[PlanNode] = None
     used_indexes: Tuple[str, ...] = ()
     candidates: List[EnumeratedCandidate] = field(default_factory=list)
+    #: True when the optimizer failed past retries and ``estimated_cost``
+    #: came from the heuristic fallback estimator (docs/robustness.md).
+    degraded: bool = False
 
     def explain(self) -> str:
         if self.plan is None:

@@ -59,8 +59,19 @@ from repro.optimizer.optimizer import (
 )
 from repro.optimizer.rewriter import PathRequest, extract_all_requests
 from repro.query.model import JoinQuery, Statement
+from repro.robustness.errors import (
+    DegradedEstimate,
+    FatalAdvisorError,
+    RetryableOptimizerError,
+)
+from repro.robustness.faults import maybe_inject
+from repro.robustness.policy import RetryPolicy
 from repro.storage.catalog import IndexDefinition
 from repro.storage.database import Database
+
+#: Cap on the per-session log of degraded estimates (the *count* keeps
+#: going in the counters; the samples stop accumulating here).
+DEGRADED_LOG_LIMIT = 100
 
 #: An index's identity for caching purposes: collection, pattern text, and
 #: key-type value.  Names deliberately do not participate -- two virtual
@@ -86,6 +97,12 @@ class InstrumentationCounters:
     cache_misses: int = 0
     evaluations: int = 0
     invalidations: int = 0
+    #: Failed optimizer attempts that were retried under the session's
+    #: :class:`~repro.robustness.policy.RetryPolicy`.
+    retries: int = 0
+    #: Costs answered by the heuristic fallback estimator after retries
+    #: ran out (see docs/robustness.md).
+    degraded_estimates: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -104,6 +121,8 @@ class InstrumentationCounters:
             "cache_hit_ratio": round(self.cache_hit_ratio, 4),
             "evaluations": self.evaluations,
             "invalidations": self.invalidations,
+            "retries": self.retries,
+            "degraded_estimates": self.degraded_estimates,
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in self.phase_seconds.items()
@@ -159,10 +178,21 @@ class WhatIfSession:
         constants: Optional[CostConstants] = None,
         *,
         optimizer: Optional[Optimizer] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fallback_estimator=None,
     ) -> None:
         self.database = database
         self.optimizer = optimizer or Optimizer(database, constants)
         self.counters = InstrumentationCounters()
+        #: Retry/timeout policy around every optimizer round-trip.
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Heuristic (optimizer-free) cost estimator used when retries
+        #: run out; built lazily from the decoupled baseline's cost
+        #: model unless one is supplied.
+        self._fallback_estimator = fallback_estimator
+        #: Bounded sample log of degraded estimates (the counter keeps
+        #: the true total).
+        self.degraded: List[DegradedEstimate] = []
         self._generation = getattr(database, "modification_count", 0)
         # (statement_id, mode value, projected index-key frozenset) -> result
         self._result_cache: Dict[Tuple, OptimizationResult] = {}
@@ -300,6 +330,96 @@ class WhatIfSession:
         return projected
 
     # ------------------------------------------------------------------
+    # Resilience: retries and graceful degradation
+    # ------------------------------------------------------------------
+    @property
+    def is_degraded(self) -> bool:
+        """True once any estimate this session served was a fallback."""
+        return self.counters.degraded_estimates > 0
+
+    def _fallback(self):
+        if self._fallback_estimator is None:
+            # Imported here: the baselines package imports the evaluator,
+            # which imports this module.
+            from repro.baselines.decoupled import HeuristicCostModel
+
+            self._fallback_estimator = HeuristicCostModel(self.database)
+        return self._fallback_estimator
+
+    def _note_retry(self, exc: Exception) -> None:
+        self.counters.retries += 1
+
+    def _invoke(
+        self,
+        statement: Statement,
+        mode: OptimizerMode,
+        definitions: Sequence[IndexDefinition],
+        site: str,
+    ) -> OptimizationResult:
+        """One guarded optimizer round-trip: fault-injection point,
+        retry policy, and -- when retries run out -- graceful
+        degradation to the heuristic fallback estimator.
+
+        ``counters.optimizer_calls`` counts *successful* optimizations
+        only (a retried fault fails before the optimizer runs), so
+        zero-fault runs report exactly the traffic they always did.
+        """
+
+        def call() -> OptimizationResult:
+            maybe_inject(site)
+            return self.optimizer.optimize(statement, mode, definitions)
+
+        try:
+            result = self.retry_policy.run(call, on_retry=self._note_retry)
+        except RetryableOptimizerError as exc:
+            return self._degrade(statement, mode, definitions, site, exc)
+        self.counters.optimizer_calls += 1
+        return result
+
+    def _degrade(
+        self,
+        statement: Statement,
+        mode: OptimizerMode,
+        definitions: Sequence[IndexDefinition],
+        site: str,
+        cause: Exception,
+    ) -> OptimizationResult:
+        """Answer from the fallback estimator and tag the result.  The
+        advisor keeps searching on degraded estimates rather than dying;
+        only a failure of the fallback itself is fatal."""
+        try:
+            if mode is OptimizerMode.ENUMERATE:
+                # No heuristic can guess the optimizer's candidate
+                # patterns; degrade to "no candidates from this
+                # statement" and keep going.
+                cost = 0.0
+                result = OptimizationResult(
+                    statement, mode, cost, degraded=True
+                )
+            else:
+                cost = self._fallback().estimate_cost(statement, definitions)
+                result = OptimizationResult(
+                    statement, mode, cost, degraded=True
+                )
+        except Exception as inner:
+            raise FatalAdvisorError(
+                f"optimizer failed past retries and the fallback estimator "
+                f"also failed: {inner} (original failure: {cause})",
+                phase=site,
+            ) from inner
+        self.counters.degraded_estimates += 1
+        if len(self.degraded) < DEGRADED_LOG_LIMIT:
+            self.degraded.append(
+                DegradedEstimate(
+                    site=site,
+                    statement=statement.describe()[:120],
+                    estimated_cost=cost,
+                    reason=str(cause),
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
     # Optimizer entry points
     # ------------------------------------------------------------------
     def evaluate(
@@ -323,10 +443,9 @@ class WhatIfSession:
                 self.counters.cache_hits += 1
                 return cached
             self.counters.cache_misses += 1
-        result = self.optimizer.optimize(
-            statement, OptimizerMode.EVALUATE, projected
+        result = self._invoke(
+            statement, OptimizerMode.EVALUATE, projected, "optimizer.evaluate"
         )
-        self.counters.optimizer_calls += 1
         self._result_cache[key] = result
         return result
 
@@ -351,8 +470,9 @@ class WhatIfSession:
             self.counters.cache_hits += 1
             return cached
         self.counters.cache_misses += 1
-        result = self.optimizer.optimize(statement, OptimizerMode.NORMAL)
-        self.counters.optimizer_calls += 1
+        result = self._invoke(
+            statement, OptimizerMode.NORMAL, (), "optimizer.plan"
+        )
         self._result_cache[key] = result
         return result
 
@@ -366,8 +486,9 @@ class WhatIfSession:
             self.counters.cache_hits += 1
             return cached
         self.counters.cache_misses += 1
-        result = self.optimizer.optimize(statement, OptimizerMode.ENUMERATE)
-        self.counters.optimizer_calls += 1
+        result = self._invoke(
+            statement, OptimizerMode.ENUMERATE, (), "optimizer.enumerate"
+        )
         self._result_cache[key] = result
         return result
 
@@ -412,4 +533,8 @@ class WhatIfSession:
         snapshot = self.counters.to_dict()
         snapshot["cached_results"] = len(self._result_cache)
         snapshot["generation"] = self._generation
+        if self.degraded:
+            snapshot["degraded_samples"] = [
+                record.to_dict() for record in self.degraded[:10]
+            ]
         return snapshot

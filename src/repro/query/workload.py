@@ -12,7 +12,9 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence, Union
 
 from repro.query.model import Statement
-from repro.query.parser import parse_statement
+from repro.query.parser import QuerySyntaxError, parse_statement
+from repro.robustness.errors import WorkloadParseError
+from repro.robustness.faults import maybe_inject
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,10 @@ class Workload:
 
     def __init__(self, entries: Iterable[WorkloadEntry] = ()) -> None:
         self.entries: List[WorkloadEntry] = list(entries)
+        #: Per-statement ingestion diagnostics (filled by lenient
+        #: :meth:`from_text`/:meth:`from_file`); the advisor copies these
+        #: onto every Recommendation it produces.
+        self.diagnostics: List[str] = []
 
     @classmethod
     def from_statements(
@@ -52,6 +58,74 @@ class Workload:
             freq = frequencies[position] if frequencies else 1.0
             entries.append(WorkloadEntry(statement, freq))
         return cls(entries)
+
+    @classmethod
+    def from_text(cls, text: str, strict: bool = False) -> "Workload":
+        """Parse workload text: statements separated by ``;`` lines.
+
+        A separator line may carry ``@ <frequency>`` (``; @ 10`` gives
+        the preceding statement frequency 10).
+
+        In the default lenient mode a malformed statement is *skipped*
+        and a diagnostic recorded in :attr:`diagnostics` (degraded
+        ingestion, docs/robustness.md); with ``strict=True`` the first
+        bad statement raises
+        :class:`~repro.robustness.errors.WorkloadParseError` naming the
+        statement number.
+        """
+        workload = cls()
+        pieces: List[tuple] = []  # (statement_text, frequency)
+        current: List[str] = []
+        for line in text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith(";"):
+                frequency_text = stripped[1:].strip()
+                statement_text = "\n".join(current).strip()
+                if statement_text:
+                    pieces.append((statement_text, frequency_text))
+                current = []
+            else:
+                current.append(line)
+        trailing = "\n".join(current).strip()
+        if trailing:
+            pieces.append((trailing, ""))
+
+        for number, (statement_text, frequency_text) in enumerate(pieces, 1):
+            try:
+                maybe_inject("workload.parse")
+                frequency = 1.0
+                if frequency_text.startswith("@"):
+                    raw = frequency_text[1:].strip()
+                    try:
+                        frequency = float(raw)
+                    except ValueError:
+                        raise QuerySyntaxError(
+                            f"bad frequency {raw!r} (expected a number "
+                            f"after '@')"
+                        ) from None
+                    if frequency <= 0:
+                        raise QuerySyntaxError(
+                            f"frequency must be positive, got {frequency}"
+                        )
+                workload.add(parse_statement(statement_text), frequency)
+            except (QuerySyntaxError, WorkloadParseError) as exc:
+                preview = " ".join(statement_text.split())[:60]
+                message = (
+                    f"statement {number} skipped ({exc}): {preview!r}"
+                )
+                if strict:
+                    raise WorkloadParseError(
+                        f"statement {number}: {exc}"
+                    ) from exc
+                workload.diagnostics.append(message)
+        return workload
+
+    @classmethod
+    def from_file(cls, path: str, strict: bool = False) -> "Workload":
+        """Read and parse a ``;``-separated workload file (see
+        :meth:`from_text`)."""
+        with open(path) as handle:
+            return cls.from_text(handle.read(), strict=strict)
 
     def add(self, statement: Union[str, Statement], frequency: float = 1.0) -> None:
         if isinstance(statement, str):

@@ -1,0 +1,77 @@
+"""Resilient advisor runtime: fault injection, retry/degradation policy,
+and deadline-bounded anytime search.
+
+The tight optimizer coupling that gives the advisor its accuracy also
+concentrates its failure surface: every phase of ``recommend()`` is a
+chain of optimizer round-trips.  This package keeps the advisor alive
+across that surface:
+
+* :mod:`repro.robustness.errors` -- the typed error taxonomy
+  (retryable / degradable / fatal) plus :class:`DegradedEstimate`.
+* :mod:`repro.robustness.faults` -- deterministic, seeded fault
+  injection at every fragile boundary (optimizer calls, statistics,
+  persistence, workload parsing).
+* :mod:`repro.robustness.policy` -- retry/timeout/backoff around the
+  session's optimizer calls.
+* :mod:`repro.robustness.budget` -- the anytime-search contract:
+  deadlines, optimizer-call budgets, best-so-far truncation.
+* :mod:`repro.robustness.checkpoint` -- crash-safe checkpoint/resume of
+  search runs.
+
+See ``docs/robustness.md`` for the full contract.
+"""
+
+from repro.robustness.budget import SearchBudget
+from repro.robustness.checkpoint import (
+    CheckpointState,
+    SearchCheckpoint,
+    resolve_candidates,
+)
+from repro.robustness.errors import (
+    AdvisorError,
+    BudgetExhausted,
+    DegradedEstimate,
+    FatalAdvisorError,
+    OptimizerTimeout,
+    PersistError,
+    RetryableOptimizerError,
+    StatisticsUnavailable,
+    WorkloadParseError,
+)
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    InjectedIOError,
+    injected,
+    install,
+    maybe_inject,
+    uninstall,
+)
+from repro.robustness.policy import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "AdvisorError",
+    "BudgetExhausted",
+    "CheckpointState",
+    "DegradedEstimate",
+    "FatalAdvisorError",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedIOError",
+    "NO_RETRY",
+    "OptimizerTimeout",
+    "PersistError",
+    "RetryPolicy",
+    "RetryableOptimizerError",
+    "SearchBudget",
+    "SearchCheckpoint",
+    "StatisticsUnavailable",
+    "WorkloadParseError",
+    "injected",
+    "install",
+    "maybe_inject",
+    "resolve_candidates",
+    "uninstall",
+]

@@ -1,0 +1,165 @@
+"""Deadline-bounded anytime search: the :class:`SearchBudget`.
+
+CoPhy's argument (Dash et al., PAPERS.md) is that an index advisor must
+stay interactive on large workloads: a time budget with a best-so-far
+answer beats an all-or-nothing search.  A :class:`SearchBudget` carries
+that contract through the searchers:
+
+* a wall-clock **deadline** (``deadline_seconds``, measured from budget
+  creation -- i.e. from ``recommend()`` entry);
+* an **optimizer-call budget** (``optimizer_call_budget``, measured as a
+  delta of the shared session's call counter);
+* an optional **checkpoint** (:class:`~repro.robustness.checkpoint.
+  SearchCheckpoint`) to which searchers publish best-so-far states,
+  making a run crash-safe and resumable.
+
+Searchers call :meth:`check` at loop boundaries; it raises
+:class:`~repro.robustness.errors.BudgetExhausted` exactly once per
+budget, and the searcher returns its current best configuration flagged
+``truncated`` with the reason.  A budget with neither limit nor
+checkpoint never raises and never touches the clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.robustness.checkpoint import CheckpointState, SearchCheckpoint
+from repro.robustness.errors import BudgetExhausted
+
+
+class SearchBudget:
+    """Wall-clock + optimizer-call limits plus checkpointing for one
+    search run."""
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        optimizer_call_budget: Optional[int] = None,
+        session=None,  # WhatIfSession; untyped to avoid a circular import
+        checkpoint: Optional[SearchCheckpoint] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if optimizer_call_budget is not None and optimizer_call_budget < 0:
+            raise ValueError("optimizer_call_budget must be non-negative")
+        if optimizer_call_budget is not None and session is None:
+            raise ValueError("optimizer_call_budget requires a session")
+        self.deadline_seconds = deadline_seconds
+        self.optimizer_call_budget = optimizer_call_budget
+        self.session = session
+        self.checkpoint = checkpoint
+        self.clock = clock
+        self._started = clock() if deadline_seconds is not None else 0.0
+        self._calls_at_start = (
+            session.counters.optimizer_calls if session is not None else 0
+        )
+        #: Set when the budget first expires; also the searcher's
+        #: ``truncated_reason``.
+        self.exhausted_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Limits
+    # ------------------------------------------------------------------
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.deadline_seconds is not None
+            or self.optimizer_call_budget is not None
+        )
+
+    def calls_used(self) -> int:
+        if self.session is None:
+            return 0
+        return self.session.counters.optimizer_calls - self._calls_at_start
+
+    def exhausted(self) -> Optional[str]:
+        """The reason the budget is spent, or ``None``."""
+        if self.exhausted_reason is not None:
+            return self.exhausted_reason
+        if (
+            self.deadline_seconds is not None
+            and self.clock() - self._started >= self.deadline_seconds
+        ):
+            self.exhausted_reason = (
+                f"deadline of {self.deadline_seconds}s expired"
+            )
+        elif (
+            self.optimizer_call_budget is not None
+            and self.calls_used() >= self.optimizer_call_budget
+        ):
+            self.exhausted_reason = (
+                f"optimizer-call budget of {self.optimizer_call_budget} spent"
+            )
+        return self.exhausted_reason
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExhausted` when a limit is spent.
+        Searchers call this at loop boundaries and catch it to return
+        best-so-far."""
+        reason = self.exhausted()
+        if reason is not None:
+            raise BudgetExhausted(reason)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def note_best(
+        self,
+        algorithm: str,
+        budget_bytes: int,
+        configuration,
+        benefit: Optional[float] = None,
+        cursor: Optional[int] = None,
+    ) -> None:
+        """Publish a best-so-far configuration to the checkpoint (no-op
+        without one)."""
+        if self.checkpoint is None:
+            return
+        self.checkpoint.write(
+            CheckpointState(
+                algorithm=algorithm,
+                budget_bytes=budget_bytes,
+                candidate_keys=[
+                    (str(c.pattern), c.value_type.value) for c in configuration
+                ],
+                benefit=benefit,
+                cursor=cursor,
+            )
+        )
+
+    def restore(
+        self, algorithm: str, budget_bytes: int
+    ) -> Optional[CheckpointState]:
+        """The stored state for *this* search (same algorithm and disk
+        budget), or ``None``.  A completed checkpoint is not resumed."""
+        if self.checkpoint is None:
+            return None
+        state = self.checkpoint.load()
+        if state is None or state.completed:
+            return None
+        if state.algorithm != algorithm or state.budget_bytes != budget_bytes:
+            return None
+        return state
+
+    def mark_completed(
+        self, algorithm: str, budget_bytes: int, configuration,
+        benefit: Optional[float] = None,
+    ) -> None:
+        """Record that the search finished (a later run with the same
+        checkpoint path starts fresh instead of resuming)."""
+        if self.checkpoint is None:
+            return
+        self.checkpoint.write(
+            CheckpointState(
+                algorithm=algorithm,
+                budget_bytes=budget_bytes,
+                candidate_keys=[
+                    (str(c.pattern), c.value_type.value) for c in configuration
+                ],
+                benefit=benefit,
+                completed=True,
+            )
+        )

@@ -1,0 +1,142 @@
+"""Crash-safe checkpoint/resume of a configuration search run.
+
+A checkpoint records the best-so-far state of one search: the algorithm,
+the disk budget, the chosen candidate keys, the tracked benefit, and (for
+scan-shaped searchers) a cursor into the ranked candidate list.  Writes
+are atomic (temp file + rename into place), so a crash mid-write leaves
+the previous checkpoint intact; a corrupt or foreign checkpoint file is
+reported as a :class:`~repro.robustness.errors.PersistError` rather than
+a raw ``JSONDecodeError``.
+
+Resume semantics per algorithm (see ``docs/robustness.md``):
+
+* ``greedy`` / ``greedy_heuristics`` restart the ranked-candidate scan at
+  the checkpoint's cursor with the checkpointed configuration already
+  accepted (work between the last checkpoint and the crash is redone --
+  checkpoints are written on acceptance, so redoing rejections is
+  idempotent).
+* ``topdown_lite`` / ``topdown_full`` re-enter the replacement loop from
+  the checkpointed configuration (the loop is driven entirely by the
+  current configuration, so this is exact).
+* ``dp`` and ``exhaustive`` are single-shot and do not checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.robustness.errors import PersistError
+from repro.robustness.faults import maybe_inject
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class CheckpointState:
+    """The serializable best-so-far state of one search run."""
+
+    algorithm: str
+    budget_bytes: int
+    candidate_keys: List[Tuple[str, str]]  # (pattern text, value-type value)
+    benefit: Optional[float] = None
+    cursor: Optional[int] = None
+    completed: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": _CHECKPOINT_VERSION,
+            "algorithm": self.algorithm,
+            "budget_bytes": self.budget_bytes,
+            "candidate_keys": [list(key) for key in self.candidate_keys],
+            "benefit": self.benefit,
+            "cursor": self.cursor,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CheckpointState":
+        return cls(
+            algorithm=data["algorithm"],
+            budget_bytes=data["budget_bytes"],
+            candidate_keys=[tuple(key) for key in data["candidate_keys"]],
+            benefit=data.get("benefit"),
+            cursor=data.get("cursor"),
+            completed=bool(data.get("completed", False)),
+        )
+
+
+class SearchCheckpoint:
+    """Atomic on-disk persistence of a :class:`CheckpointState`."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.writes = 0
+
+    def write(self, state: CheckpointState) -> None:
+        """Write atomically: serialize to ``<path>.tmp`` then rename into
+        place, so readers only ever see a complete checkpoint."""
+        tmp_path = self.path + ".tmp"
+        try:
+            maybe_inject("persist.save")
+            with open(tmp_path, "w") as handle:
+                json.dump(state.to_dict(), handle, indent=2)
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            raise PersistError(
+                f"cannot write search checkpoint: {exc}", path=self.path
+            ) from exc
+        self.writes += 1
+
+    def load(self) -> Optional[CheckpointState]:
+        """The stored state, or ``None`` if no checkpoint exists yet.
+        Corrupt/truncated files raise :class:`PersistError` with the
+        path."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            maybe_inject("persist.load")
+            with open(self.path) as handle:
+                data = json.load(handle)
+            if data.get("version") != _CHECKPOINT_VERSION:
+                raise PersistError(
+                    f"unsupported checkpoint version {data.get('version')!r}",
+                    path=self.path,
+                )
+            return CheckpointState.from_dict(data)
+        except PersistError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise PersistError(
+                f"corrupt search checkpoint: {exc}", path=self.path
+            ) from exc
+
+    def clear(self) -> None:
+        """Remove the checkpoint (after a completed run)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def resolve_candidates(
+    candidate_keys: List[Tuple[str, str]], candidates
+) -> Optional[List]:
+    """Map stored (pattern, value-type) keys back to live
+    :class:`~repro.core.candidates.CandidateIndex` objects from
+    ``candidates``.  Returns ``None`` when any key no longer resolves
+    (workload or data changed since the checkpoint) -- the caller then
+    falls back to a fresh search."""
+    by_key = {
+        (str(candidate.pattern), candidate.value_type.value): candidate
+        for candidate in candidates
+    }
+    resolved = []
+    for key in candidate_keys:
+        candidate = by_key.get(tuple(key))
+        if candidate is None:
+            return None
+        resolved.append(candidate)
+    return resolved

@@ -1,0 +1,107 @@
+"""Retry/timeout/backoff policy for optimizer round-trips.
+
+One :class:`RetryPolicy` guards every optimizer call the
+:class:`~repro.optimizer.session.WhatIfSession` makes.  Transient
+failures (:class:`~repro.robustness.errors.RetryableOptimizerError`,
+including injected faults and per-call timeouts) are retried with
+exponential backoff; when attempts run out the error propagates to the
+session, which degrades to the heuristic fallback estimator instead of
+failing the run.
+
+Backoff delays are tiny by default (the "optimizer" here is in-process;
+the policy exists for the protocol, not for politeness to a remote
+server) and the sleep/clock functions are injectable so tests run the
+whole retry ladder in microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.robustness.errors import OptimizerTimeout, RetryableOptimizerError
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff and a per-call timeout.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    call plus at most two retries.  ``call_timeout_seconds`` (if set)
+    converts an overlong *successful* call into an
+    :class:`OptimizerTimeout` -- synchronous Python cannot interrupt a
+    stalled call mid-flight, but flagging it keeps a stalling dependency
+    from silently eating the whole run, and the anytime-search deadline
+    bounds the total damage.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.001
+    backoff_multiplier: float = 2.0
+    max_delay_seconds: float = 0.05
+    call_timeout_seconds: Optional[float] = None
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay before each retry (``max_attempts - 1``
+        values)."""
+        delay = self.base_delay_seconds
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_delay_seconds)
+            delay *= self.backoff_multiplier
+
+    def run(
+        self,
+        call: Callable[[], T],
+        on_retry: Optional[Callable[[Exception], None]] = None,
+    ) -> T:
+        """Invoke ``call`` under this policy.
+
+        Retries on :class:`RetryableOptimizerError`; re-raises the last
+        failure when attempts are exhausted.  ``on_retry`` is invoked
+        once per *failed* attempt (the session counts these)."""
+        delays = self.delays()
+        while True:
+            started = self.clock()
+            try:
+                result = call()
+            except RetryableOptimizerError as exc:
+                if on_retry is not None:
+                    on_retry(exc)
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise exc
+                if delay > 0:
+                    self.sleep(delay)
+                continue
+            if (
+                self.call_timeout_seconds is not None
+                and self.clock() - started > self.call_timeout_seconds
+            ):
+                timeout = OptimizerTimeout(
+                    f"optimizer call exceeded {self.call_timeout_seconds}s"
+                )
+                if on_retry is not None:
+                    on_retry(timeout)
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise timeout
+                if delay > 0:
+                    self.sleep(delay)
+                continue
+            return result
+
+
+#: Policy used when resilience is explicitly disabled: one attempt, no
+#: timeout -- failures propagate immediately (ablations, debugging).
+NO_RETRY = RetryPolicy(max_attempts=1)

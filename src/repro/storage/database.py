@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.robustness.faults import maybe_inject
 from repro.storage.catalog import Catalog, IndexDefinition
 from repro.storage.index import PathIndex
 from repro.storage.statistics import DataStatistics, collect_statistics
@@ -176,6 +177,7 @@ class Database:
         statistics are *derived* from these, never from index contents.
         """
         if collection_name not in self._statistics:
+            maybe_inject("statistics.runstats")
             self._statistics[collection_name] = collect_statistics(
                 self.collection(collection_name)
             )

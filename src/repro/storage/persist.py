@@ -11,14 +11,26 @@ Virtual index definitions are advisor-session state and are not
 persisted.  Real indexes are rebuilt from their definitions at load time
 (an index is derived state; rebuilding keeps the format trivial and
 always consistent).  Document ids are re-assigned densely on load.
+
+Robustness (docs/robustness.md): every file is written to a temporary
+sibling and atomically renamed into place, so a crash mid-save never
+leaves a truncated JSON or document file behind.  Corrupt or incomplete
+on-disk state surfaces as :class:`~repro.robustness.errors.PersistError`
+carrying the offending path instead of a raw ``KeyError`` or
+``JSONDecodeError``.  A missing database root still raises
+``FileNotFoundError`` and an unknown format version ``ValueError`` --
+those are caller errors, not storage corruption.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Dict, List
 
+from repro.robustness.errors import PersistError
+from repro.robustness.faults import maybe_inject
 from repro.storage.catalog import IndexDefinition
 from repro.storage.database import Database
 from repro.storage.index import IndexValueType
@@ -28,16 +40,42 @@ from repro.xpath.patterns import parse_pattern
 _FORMAT_VERSION = 1
 
 
+def _atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + atomic rename."""
+    directory = os.path.dirname(path) or "."
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, prefix=".tmp_", suffix="~", delete=False
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except OSError as exc:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise PersistError(f"failed to write: {exc}", path=path) from exc
+
+
 def save_database(db: Database, root: str) -> None:
-    """Write ``db`` under directory ``root`` (created if missing)."""
-    os.makedirs(root, exist_ok=True)
+    """Write ``db`` under directory ``root`` (created if missing).
+
+    Every file is written atomically; raises
+    :class:`~repro.robustness.errors.PersistError` on I/O failure."""
+    try:
+        maybe_inject("persist.save")
+        os.makedirs(root, exist_ok=True)
+    except OSError as exc:
+        raise PersistError(f"cannot create directory: {exc}", path=root) from exc
     meta = {
         "format_version": _FORMAT_VERSION,
         "name": db.name,
         "collections": sorted(db.collections),
     }
-    with open(os.path.join(root, "database.json"), "w") as handle:
-        json.dump(meta, handle, indent=2)
+    _atomic_write(
+        os.path.join(root, "database.json"), json.dumps(meta, indent=2)
+    )
 
     catalog: List[Dict] = [
         {
@@ -49,29 +87,55 @@ def save_database(db: Database, root: str) -> None:
         for definition in db.catalog.all_definitions()
         if not definition.virtual
     ]
-    with open(os.path.join(root, "catalog.json"), "w") as handle:
-        json.dump(catalog, handle, indent=2)
+    _atomic_write(
+        os.path.join(root, "catalog.json"), json.dumps(catalog, indent=2)
+    )
 
     for name, collection in db.collections.items():
         directory = os.path.join(root, "collections", name)
-        os.makedirs(directory, exist_ok=True)
-        # wipe stale documents from a previous save
-        for stale in os.listdir(directory):
-            if stale.startswith("doc_") and stale.endswith(".xml"):
-                os.unlink(os.path.join(directory, stale))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # wipe stale documents from a previous save
+            for stale in os.listdir(directory):
+                if stale.startswith("doc_") and stale.endswith(".xml"):
+                    os.unlink(os.path.join(directory, stale))
+        except OSError as exc:
+            raise PersistError(
+                f"cannot prepare collection directory: {exc}", path=directory
+            ) from exc
         for position, document in enumerate(collection):
             path = os.path.join(directory, f"doc_{position:08d}.xml")
-            with open(path, "w") as handle:
-                handle.write(serialize(document.root))
+            _atomic_write(path, serialize(document.root))
+
+
+def _load_json(path: str):
+    """Read and parse a JSON file, converting failures to PersistError."""
+    try:
+        maybe_inject("persist.load")
+        with open(path) as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise PersistError(f"corrupt JSON: {exc}", path=path) from exc
+    except OSError as exc:
+        raise PersistError(f"cannot read: {exc}", path=path) from exc
 
 
 def load_database(root: str) -> Database:
-    """Load a database previously written by :func:`save_database`."""
+    """Load a database previously written by :func:`save_database`.
+
+    Raises ``FileNotFoundError`` when ``root`` holds no database,
+    ``ValueError`` on a format-version mismatch, and
+    :class:`~repro.robustness.errors.PersistError` (with the offending
+    path) on corrupt or incomplete on-disk state."""
     meta_path = os.path.join(root, "database.json")
     if not os.path.exists(meta_path):
         raise FileNotFoundError(f"no database at {root!r} (missing database.json)")
-    with open(meta_path) as handle:
-        meta = json.load(handle)
+    meta = _load_json(meta_path)
+    if not isinstance(meta, dict) or "collections" not in meta:
+        raise PersistError(
+            "malformed database metadata (missing 'collections')",
+            path=meta_path,
+        )
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported database format {meta.get('format_version')!r}"
@@ -85,13 +149,23 @@ def load_database(root: str) -> Database:
         for filename in sorted(os.listdir(directory)):
             if not (filename.startswith("doc_") and filename.endswith(".xml")):
                 continue
-            with open(os.path.join(directory, filename)) as handle:
-                db.insert_document(name, handle.read())
+            document_path = os.path.join(directory, filename)
+            try:
+                with open(document_path) as handle:
+                    db.insert_document(name, handle.read())
+            except OSError as exc:
+                raise PersistError(
+                    f"cannot read document: {exc}", path=document_path
+                ) from exc
+            except ValueError as exc:
+                raise PersistError(
+                    f"corrupt document: {exc}", path=document_path
+                ) from exc
 
     catalog_path = os.path.join(root, "catalog.json")
     if os.path.exists(catalog_path):
-        with open(catalog_path) as handle:
-            for item in json.load(handle):
+        for item in _load_json(catalog_path):
+            try:
                 db.create_index(
                     IndexDefinition(
                         name=item["name"],
@@ -101,4 +175,9 @@ def load_database(root: str) -> Database:
                         virtual=False,
                     )
                 )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PersistError(
+                    f"malformed catalog entry {item!r}: {exc}",
+                    path=catalog_path,
+                ) from exc
     return db

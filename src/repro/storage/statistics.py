@@ -23,6 +23,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.robustness.faults import maybe_inject
 from repro.storage.index import (
     ENTRY_OVERHEAD_BYTES,
     NUMERIC_KEY_BYTES,
@@ -223,6 +224,7 @@ class DataStatistics:
     ) -> IndexStatistics:
         """Virtual-index statistics for ``pattern`` (Section III: 'we derive
         the required index statistics ... from these data statistics')."""
+        maybe_inject("statistics.derive")
         entries = 0
         distinct = 0
         key_bytes = 0.0

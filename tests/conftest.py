@@ -2,10 +2,40 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro import Database, IndexAdvisor, Workload
 from repro.workloads import synthetic, tpox, xmark
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    """SIGALRM-based per-test timeout, enabled by REPRO_TEST_TIMEOUT=<s>.
+
+    The CI chaos-smoke job prefers pytest-timeout when it is installed;
+    this fallback keeps a stalling injected fault from hanging the suite
+    in environments without the plugin.  No-op unless the variable is
+    set (and on platforms without SIGALRM)."""
+    seconds = int(os.environ.get("REPRO_TEST_TIMEOUT", "0"))
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={seconds}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

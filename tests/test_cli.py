@@ -217,3 +217,95 @@ class TestWhatifCommand:
         out = capsys.readouterr().out
         assert "total benefit" in out
         assert "unused indexes" in out  # the Bid index serves nothing
+
+
+class TestRecommendValidation:
+    """Robustness satellite: actionable input validation and the
+    anytime/checkpoint flags."""
+
+    def write_workload(self, tmp_path, text=None):
+        path = tmp_path / "wl.xq"
+        path.write_text(
+            text
+            if text is not None
+            else "for $s in X('SDOC')/Security return $s/Symbol\n;\n"
+        )
+        return str(path)
+
+    def test_zero_budget_is_rejected_with_hint(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--budget must be a positive" in err
+        assert "--budget 200000" in err  # actionable example
+
+    def test_negative_budget_is_rejected(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "-5"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_bad_deadline_is_rejected(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--deadline", "-1"]) == 2
+        assert "--deadline" in capsys.readouterr().err
+
+    def test_empty_workload_is_rejected_with_hint(self, dbdir, tmp_path, capsys):
+        workload = self.write_workload(tmp_path, text="\n\n")
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000"]) == 2
+        err = capsys.readouterr().err
+        assert "no parseable statements" in err
+
+    def test_malformed_statement_warns_and_continues(
+        self, dbdir, tmp_path, capsys
+    ):
+        workload = self.write_workload(
+            tmp_path,
+            text="not a statement at all\n;\n"
+                 "for $s in X('SDOC')/Security return $s/Symbol\n;\n",
+        )
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: statement 1 skipped" in captured.err
+        assert "Diagnostic" in captured.out
+
+    def test_strict_mode_fails_on_malformed_statement(
+        self, dbdir, tmp_path, capsys
+    ):
+        workload = self.write_workload(
+            tmp_path,
+            text="not a statement at all\n;\n"
+                 "for $s in X('SDOC')/Security return $s/Symbol\n;\n",
+        )
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--strict"]) == 1
+        assert "statement 1" in capsys.readouterr().err
+
+    def test_anytime_flags_flow_through(self, dbdir, tmp_path, capsys):
+        import json as json_module
+
+        workload = self.write_workload(tmp_path)
+        checkpoint = str(tmp_path / "search.ckpt")
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--deadline", "60",
+                     "--call-budget", "100000",
+                     "--checkpoint", checkpoint, "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["truncated"] is False
+        assert payload["degraded"] is False
+        assert os.path.exists(checkpoint)
+
+    def test_tiny_call_budget_reports_truncation(self, dbdir, tmp_path, capsys):
+        import json as json_module
+
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--call-budget", "0",
+                     "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["truncated"] is True
+        assert "optimizer-call budget" in payload["truncated_reason"]

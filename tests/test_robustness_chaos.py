@@ -1,0 +1,107 @@
+"""Chaos property test (ISSUE satellite): under ANY seeded fault
+schedule, ``recommend()`` either returns a valid :class:`Recommendation`
+or raises a typed :class:`FatalAdvisorError` -- never an unhandled
+exception."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import IndexAdvisor, Recommendation
+from repro.optimizer.session import WhatIfSession
+from repro.query.workload import Workload
+from repro.robustness.errors import FatalAdvisorError
+from repro.robustness.faults import FaultInjector, FaultRule, injected
+from repro.robustness.policy import RetryPolicy
+from repro.workloads import tpox
+
+FAST_RETRIES = RetryPolicy(sleep=lambda seconds: None)
+BUDGET = 50_000
+
+SITES = st.sampled_from(
+    [
+        "optimizer",
+        "optimizer.evaluate",
+        "optimizer.enumerate",
+        "optimizer.plan",
+        "statistics",
+        "statistics.runstats",
+        "statistics.derive",
+    ]
+)
+
+RULES = st.builds(
+    FaultRule,
+    site=SITES,
+    rate=st.floats(min_value=0.0, max_value=1.0),
+)
+
+ALGORITHMS = st.sampled_from(
+    ["greedy", "greedy_heuristics", "topdown_full", "dp"]
+)
+
+
+def small_database():
+    return tpox.build_database(
+        num_securities=12, num_orders=12, num_customers=6, seed=7
+    )
+
+
+SMALL_WORKLOAD = tpox.tpox_workload(num_securities=12, seed=7).subset(6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rules=st.lists(RULES, min_size=1, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    algorithm=ALGORITHMS,
+)
+def test_recommend_never_raises_unhandled(rules, seed, algorithm):
+    database = small_database()
+    advisor = IndexAdvisor(
+        database,
+        Workload(SMALL_WORKLOAD.entries),
+        session=WhatIfSession(database, retry_policy=FAST_RETRIES),
+    )
+    with injected(FaultInjector(rules, seed=seed)):
+        try:
+            recommendation = advisor.recommend(BUDGET, algorithm=algorithm)
+        except FatalAdvisorError:
+            return  # the one allowed failure mode
+    assert isinstance(recommendation, Recommendation)
+    assert recommendation.search.size_bytes <= BUDGET
+    assert recommendation.search.benefit >= 0.0 or recommendation.degraded
+    json.dumps(recommendation.to_dict())  # always serializable
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    algorithm=ALGORITHMS,
+)
+def test_chaos_schedules_replay_deterministically(seed, algorithm):
+    """The same fault seed must reproduce the same outcome -- the
+    property that makes chaos failures debuggable."""
+    def run():
+        database = small_database()
+        advisor = IndexAdvisor(
+            database,
+            Workload(SMALL_WORKLOAD.entries),
+            session=WhatIfSession(database, retry_policy=FAST_RETRIES),
+        )
+        rules = [FaultRule(site="optimizer", rate=0.2)]
+        with injected(FaultInjector(rules, seed=seed)):
+            try:
+                recommendation = advisor.recommend(BUDGET, algorithm=algorithm)
+            except FatalAdvisorError as exc:
+                return ("fatal", str(exc))
+        return (
+            "ok",
+            recommendation.search.benefit,
+            recommendation.session_stats["retries"],
+            recommendation.session_stats["degraded_estimates"],
+            [str(c.pattern) for c in recommendation.configuration],
+        )
+
+    assert run() == run()

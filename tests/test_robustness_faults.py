@@ -1,0 +1,436 @@
+"""Unit tests for the fault-injection harness, retry policy, search
+checkpoint, and search budget (src/repro/robustness)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.candidates import FALLBACK_CANDIDATE_SIZE, CandidateSet
+from repro.robustness.budget import SearchBudget
+from repro.robustness.checkpoint import (
+    CheckpointState,
+    SearchCheckpoint,
+    resolve_candidates,
+)
+from repro.robustness.errors import (
+    BudgetExhausted,
+    FatalAdvisorError,
+    OptimizerTimeout,
+    PersistError,
+    RetryableOptimizerError,
+    StatisticsUnavailable,
+    WorkloadParseError,
+)
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    InjectedIOError,
+    from_env,
+    injected,
+    maybe_inject,
+)
+from repro.robustness.policy import NO_RETRY, RetryPolicy
+from repro.storage.index import IndexValueType
+from repro.xpath.patterns import parse_pattern
+
+
+# ---------------------------------------------------------------------------
+# FaultRule / FaultInjector
+# ---------------------------------------------------------------------------
+
+class TestFaultRule:
+    def test_exact_and_prefix_matching(self):
+        rule = FaultRule(site="optimizer")
+        assert rule.matches("optimizer")
+        assert rule.matches("optimizer.evaluate")
+        assert not rule.matches("optimizers")
+        assert not rule.matches("statistics.runstats")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="optimizer", rate=1.5)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="optimizer", kind="explode")
+
+
+class TestFaultInjector:
+    def test_exact_schedule_with_at(self):
+        injector = FaultInjector([FaultRule(site="optimizer", at={1, 3})])
+        outcomes = []
+        for _ in range(5):
+            try:
+                injector.check("optimizer.evaluate")
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "fault", "ok", "fault", "ok"]
+        assert injector.total_injected() == 2
+
+    def test_rate_schedule_is_deterministic_per_seed(self):
+        def schedule(seed):
+            injector = FaultInjector(
+                [FaultRule(site="optimizer", rate=0.5)], seed=seed
+            )
+            outcome = []
+            for _ in range(50):
+                try:
+                    injector.check("optimizer.evaluate")
+                    outcome.append(0)
+                except InjectedFault:
+                    outcome.append(1)
+            return outcome
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_schedule_is_independent_of_site_interleaving(self):
+        """The decision sequence for one site must not change when other
+        sites are called in between (per-(rule, site) RNG streams)."""
+        def run(interleave):
+            injector = FaultInjector(
+                [FaultRule(site="optimizer", rate=0.5)], seed=3
+            )
+            outcome = []
+            for i in range(30):
+                if interleave and i % 2:
+                    try:
+                        injector.check("optimizer.plan")
+                    except InjectedFault:
+                        pass
+                try:
+                    injector.check("optimizer.evaluate")
+                    outcome.append(0)
+                except InjectedFault:
+                    outcome.append(1)
+            return outcome
+
+        assert run(False) == run(True)
+
+    def test_limit_caps_injections(self):
+        injector = FaultInjector([FaultRule(site="optimizer", limit=2)])
+        faults = 0
+        for _ in range(10):
+            try:
+                injector.check("optimizer.evaluate")
+            except InjectedFault:
+                faults += 1
+        assert faults == 2
+
+    def test_stall_kind_sleeps_without_failing(self):
+        injector = FaultInjector(
+            [FaultRule(site="optimizer", kind="stall", stall_seconds=0.5)]
+        )
+        slept = []
+        injector._sleep = slept.append
+        injector.check("optimizer.evaluate")  # no exception
+        assert slept == [0.5]
+
+    def test_default_exception_maps_site_families(self):
+        injector = FaultInjector([FaultRule(site="statistics")])
+        with pytest.raises(StatisticsUnavailable):
+            injector.check("statistics.runstats")
+        injector = FaultInjector([FaultRule(site="persist")])
+        with pytest.raises(InjectedIOError):
+            injector.check("persist.save")
+        injector = FaultInjector([FaultRule(site="workload")])
+        with pytest.raises(WorkloadParseError):
+            injector.check("workload.parse")
+        injector = FaultInjector([FaultRule(site="optimizer")])
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.check("optimizer.evaluate")
+        assert isinstance(excinfo.value, RetryableOptimizerError)
+
+    def test_injected_context_manager_restores_previous(self):
+        inner = FaultInjector([FaultRule(site="optimizer")])
+        with injected(inner):
+            with pytest.raises(InjectedFault):
+                maybe_inject("optimizer.evaluate")
+        maybe_inject("optimizer.evaluate")  # no injector: no-op
+
+    def test_from_env(self):
+        injector = from_env(
+            {
+                "REPRO_FAULT_SEED": "1337",
+                "REPRO_FAULT_RATE": "0.25",
+                "REPRO_FAULT_SITES": "optimizer.evaluate, persist",
+            }
+        )
+        assert injector.seed == 1337
+        assert [rule.site for rule in injector.rules] == [
+            "optimizer.evaluate",
+            "persist",
+        ]
+        assert all(rule.rate == 0.25 for rule in injector.rules)
+
+    def test_from_env_unset_returns_none(self):
+        assert from_env({}) is None
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def _policy(self, **kwargs):
+        kwargs.setdefault("sleep", lambda seconds: None)
+        return RetryPolicy(**kwargs)
+
+    def test_succeeds_after_transient_failures(self):
+        attempts = []
+
+        def call():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RetryableOptimizerError("transient")
+            return "result"
+
+        retries = []
+        policy = self._policy(max_attempts=3)
+        assert policy.run(call, on_retry=retries.append) == "result"
+        assert len(attempts) == 3
+        assert len(retries) == 2
+
+    def test_raises_after_exhausting_attempts(self):
+        def call():
+            raise RetryableOptimizerError("always")
+
+        policy = self._policy(max_attempts=3)
+        with pytest.raises(RetryableOptimizerError):
+            policy.run(call)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        attempts = []
+
+        def call():
+            attempts.append(1)
+            raise FatalAdvisorError("boom")
+
+        policy = self._policy(max_attempts=5)
+        with pytest.raises(FatalAdvisorError):
+            policy.run(call)
+        assert len(attempts) == 1
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay_seconds=0.01,
+            backoff_multiplier=2.0,
+            max_delay_seconds=0.03,
+        )
+        assert list(policy.delays()) == [0.01, 0.02, 0.03, 0.03]
+
+    def test_overlong_call_becomes_timeout(self):
+        ticks = iter([0.0, 10.0, 10.0, 10.1])  # first call takes 10s
+        policy = self._policy(
+            max_attempts=2,
+            call_timeout_seconds=1.0,
+            clock=lambda: next(ticks),
+        )
+        calls = []
+
+        def call():
+            calls.append(1)
+            return "slow-but-ok"
+
+        retries = []
+        assert policy.run(call, on_retry=retries.append) == "slow-but-ok"
+        assert len(calls) == 2
+        assert len(retries) == 1
+        assert isinstance(retries[0], OptimizerTimeout)
+
+    def test_no_retry_policy_is_single_shot(self):
+        attempts = []
+
+        def call():
+            attempts.append(1)
+            raise RetryableOptimizerError("x")
+
+        with pytest.raises(RetryableOptimizerError):
+            NO_RETRY.run(call)
+        assert len(attempts) == 1
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# SearchCheckpoint
+# ---------------------------------------------------------------------------
+
+class TestSearchCheckpoint:
+    def _state(self, **kwargs):
+        defaults = dict(
+            algorithm="greedy",
+            budget_bytes=1000,
+            candidate_keys=[("/Security/Symbol", "string")],
+            benefit=12.5,
+            cursor=3,
+        )
+        defaults.update(kwargs)
+        return CheckpointState(**defaults)
+
+    def test_roundtrip(self, tmp_path):
+        checkpoint = SearchCheckpoint(str(tmp_path / "ckpt.json"))
+        assert checkpoint.load() is None
+        checkpoint.write(self._state())
+        loaded = checkpoint.load()
+        assert loaded == self._state()
+        assert checkpoint.writes == 1
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        checkpoint = SearchCheckpoint(str(path))
+        checkpoint.write(self._state())
+        checkpoint.write(self._state(cursor=9))
+        leftovers = [p for p in os.listdir(tmp_path) if p != "ckpt.json"]
+        assert leftovers == []
+        assert checkpoint.load().cursor == 9
+
+    def test_corrupt_checkpoint_raises_persist_error_with_path(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        with pytest.raises(PersistError) as excinfo:
+            SearchCheckpoint(str(path)).load()
+        assert str(path) in str(excinfo.value)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999, "algorithm": "greedy"}))
+        with pytest.raises(PersistError):
+            SearchCheckpoint(str(path)).load()
+
+    def test_clear(self, tmp_path):
+        checkpoint = SearchCheckpoint(str(tmp_path / "ckpt.json"))
+        checkpoint.write(self._state())
+        checkpoint.clear()
+        assert checkpoint.load() is None
+        checkpoint.clear()  # idempotent
+
+    def test_injected_save_fault_becomes_persist_error(self, tmp_path):
+        checkpoint = SearchCheckpoint(str(tmp_path / "ckpt.json"))
+        with injected(FaultInjector([FaultRule(site="persist.save")])):
+            with pytest.raises(PersistError):
+                checkpoint.write(self._state())
+
+
+class TestResolveCandidates:
+    def _candidates(self):
+        candidates = CandidateSet()
+        candidates.get_or_add(
+            parse_pattern("/Security/Symbol"), IndexValueType.STRING, "SDOC"
+        )
+        candidates.get_or_add(
+            parse_pattern("/Security/Yield"), IndexValueType.NUMERIC, "SDOC"
+        )
+        return candidates
+
+    def test_resolves_live_objects(self):
+        candidates = self._candidates()
+        resolved = resolve_candidates(
+            [("/Security/Symbol", "string")], candidates
+        )
+        assert len(resolved) == 1
+        assert str(resolved[0].pattern) == "/Security/Symbol"
+
+    def test_stale_key_returns_none(self):
+        resolved = resolve_candidates(
+            [("/Gone/Path", "string")], self._candidates()
+        )
+        assert resolved is None
+
+
+# ---------------------------------------------------------------------------
+# SearchBudget
+# ---------------------------------------------------------------------------
+
+class _FakeCounters:
+    def __init__(self):
+        self.optimizer_calls = 0
+
+
+class _FakeSession:
+    def __init__(self):
+        self.counters = _FakeCounters()
+
+
+class TestSearchBudget:
+    def test_unbounded_budget_never_exhausts(self):
+        budget = SearchBudget()
+        assert not budget.bounded
+        assert budget.exhausted() is None
+        budget.check()  # no raise
+
+    def test_deadline_expiry(self):
+        ticks = iter([0.0, 0.5, 1.5])
+        budget = SearchBudget(deadline_seconds=1.0, clock=lambda: next(ticks))
+        assert budget.exhausted() is None
+        with pytest.raises(BudgetExhausted):
+            budget.check()
+        # sticky after first expiry, without touching the clock again
+        assert "deadline" in budget.exhausted()
+
+    def test_call_budget_expiry(self):
+        session = _FakeSession()
+        session.counters.optimizer_calls = 10
+        budget = SearchBudget(optimizer_call_budget=5, session=session)
+        assert budget.exhausted() is None
+        session.counters.optimizer_calls = 15
+        assert "optimizer-call budget" in budget.exhausted()
+        assert budget.calls_used() == 5
+
+    def test_call_budget_requires_session(self):
+        with pytest.raises(ValueError):
+            SearchBudget(optimizer_call_budget=5)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            SearchBudget(deadline_seconds=0)
+        with pytest.raises(ValueError):
+            SearchBudget(optimizer_call_budget=-1, session=_FakeSession())
+
+    def test_restore_filters_algorithm_budget_and_completion(self, tmp_path):
+        checkpoint = SearchCheckpoint(str(tmp_path / "ckpt.json"))
+        budget = SearchBudget(checkpoint=checkpoint)
+        assert budget.restore("greedy", 1000) is None  # nothing stored
+        checkpoint.write(
+            CheckpointState(
+                algorithm="greedy", budget_bytes=1000, candidate_keys=[]
+            )
+        )
+        assert budget.restore("greedy", 1000) is not None
+        assert budget.restore("topdown_full", 1000) is None
+        assert budget.restore("greedy", 2000) is None
+        checkpoint.write(
+            CheckpointState(
+                algorithm="greedy",
+                budget_bytes=1000,
+                candidate_keys=[],
+                completed=True,
+            )
+        )
+        assert budget.restore("greedy", 1000) is None
+
+
+# ---------------------------------------------------------------------------
+# Degraded candidate sizing
+# ---------------------------------------------------------------------------
+
+class TestDegradedCandidateSizing:
+    def test_compute_sizes_degrades_when_statistics_unavailable(self, tpox_db):
+        candidates = CandidateSet()
+        candidates.get_or_add(
+            parse_pattern("/Security/Symbol"), IndexValueType.STRING, "SDOC"
+        )
+        degraded = []
+        with injected(FaultInjector([FaultRule(site="statistics")])):
+            candidates.compute_sizes(
+                tpox_db, on_degraded=lambda c, exc: degraded.append(c)
+            )
+        (candidate,) = list(candidates)
+        assert len(degraded) == 1
+        assert candidate.size_bytes >= FALLBACK_CANDIDATE_SIZE

@@ -1,0 +1,318 @@
+"""Integration tests of the resilient advisor runtime: graceful
+degradation, the zero-fault regression pin, anytime search, and
+checkpoint/resume (ISSUE acceptance criteria)."""
+
+import json
+import time
+
+import pytest
+
+from repro.baselines.decoupled import HeuristicCostModel
+from repro.core.advisor import IndexAdvisor, Recommendation
+from repro.optimizer.session import WhatIfSession
+from repro.query.workload import Workload
+from repro.robustness.errors import (
+    FatalAdvisorError,
+    RetryableOptimizerError,
+    WorkloadParseError,
+)
+from repro.robustness.faults import FaultInjector, FaultRule, from_env, injected
+from repro.robustness.policy import RetryPolicy
+
+FAST_RETRIES = RetryPolicy(sleep=lambda seconds: None)
+BUDGET = 200_000
+
+#: The CI chaos-smoke job runs this suite with REPRO_FAULT_* set; the
+#: zero-fault pins are meaningless there (retries legitimately occur).
+ENV_CHAOS = from_env() is not None
+no_env_chaos = pytest.mark.skipif(
+    ENV_CHAOS, reason="REPRO_FAULT_* chaos environment active"
+)
+
+
+def make_advisor(db, wl, **session_kwargs):
+    session_kwargs.setdefault("retry_policy", FAST_RETRIES)
+    return IndexAdvisor(db, wl, session=WhatIfSession(db, **session_kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Zero-fault regression pin (bit-identical to the pre-robustness seed)
+# ---------------------------------------------------------------------------
+
+class TestZeroFaultPin:
+    """With no injector installed, the robustness layer must be invisible:
+    these values were captured on the seed before the layer existed."""
+
+    PINS = {
+        "greedy": (518.4088158333333, 144483, 66, 66, 17),
+        "greedy_heuristics": (518.4088158333334, 46502, 65, 65, 12),
+        "topdown_full": (502.0308633589483, 132096, 59, 59, 6),
+    }
+
+    @no_env_chaos
+    @pytest.mark.parametrize("algorithm", sorted(PINS))
+    def test_recommendation_is_bit_identical(self, tpox_db, tpox_wl, algorithm):
+        benefit, size, calls, misses, count = self.PINS[algorithm]
+        recommendation = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET, algorithm=algorithm
+        )
+        stats = recommendation.session_stats
+        assert recommendation.search.benefit == benefit
+        assert recommendation.search.size_bytes == size
+        assert stats["optimizer_calls"] == calls
+        assert stats["cache_misses"] == misses
+        assert len(recommendation.configuration) == count
+        assert stats["retries"] == 0
+        assert stats["degraded_estimates"] == 0
+        assert not recommendation.degraded
+        assert not recommendation.truncated
+        assert recommendation.diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+class TestGracefulDegradation:
+    def test_transient_faults_are_retried_to_the_same_answer(
+        self, tpox_db, tpox_wl
+    ):
+        """A fault that clears within the retry budget must not change
+        the recommendation at all (only the retry counter)."""
+        advisor = make_advisor(tpox_db, tpox_wl)
+        rule = FaultRule(site="optimizer.evaluate", at={3, 10}, limit=2)
+        with injected(FaultInjector([rule])):
+            recommendation = advisor.recommend(
+                BUDGET, algorithm="greedy_heuristics"
+            )
+        pin = TestZeroFaultPin.PINS["greedy_heuristics"]
+        assert recommendation.search.benefit == pin[0]
+        assert recommendation.session_stats["retries"] == 2
+        assert recommendation.session_stats["degraded_estimates"] == 0
+        assert not recommendation.degraded
+
+    def test_total_evaluate_failure_still_recommends(self, tpox_db, tpox_wl):
+        """ISSUE acceptance: 100% failure on optimizer evaluations must
+        still produce a (degraded) recommendation, reported in
+        to_dict()."""
+        advisor = make_advisor(tpox_db, tpox_wl)
+        with injected(FaultInjector([FaultRule(site="optimizer.evaluate")])):
+            recommendation = advisor.recommend(
+                BUDGET, algorithm="greedy_heuristics"
+            )
+        assert isinstance(recommendation, Recommendation)
+        assert len(recommendation.configuration) > 0
+        assert recommendation.degraded
+        stats = recommendation.session_stats
+        assert stats["degraded_estimates"] > 0
+        assert stats["retries"] >= stats["degraded_estimates"]
+        assert stats["degraded_samples"]
+        payload = recommendation.to_dict()
+        assert payload["degraded"] is True
+        assert payload["session"]["degraded_estimates"] > 0
+        json.dumps(payload)  # must stay serializable
+
+    def test_degraded_costs_come_from_the_heuristic_model(self, tpox_db):
+        wl = Workload.from_statements(
+            ["for $s in X('SDOC')/Security return $s/Symbol"]
+        )
+        session = WhatIfSession(tpox_db, retry_policy=FAST_RETRIES)
+        with injected(FaultInjector([FaultRule(site="optimizer.evaluate")])):
+            result = session.evaluate(wl.entries[0].statement)
+        assert result.degraded
+        expected = HeuristicCostModel(tpox_db).estimate_cost(
+            wl.entries[0].statement
+        )
+        assert result.estimated_cost == expected
+        assert session.is_degraded
+        assert session.counters.optimizer_calls == 0  # no successful call
+
+    def test_fallback_failure_is_fatal(self, tpox_db, tpox_wl):
+        def broken_estimator(statement, definitions=()):
+            raise RuntimeError("fallback is broken too")
+
+        advisor = make_advisor(
+            tpox_db, tpox_wl, fallback_estimator=broken_estimator
+        )
+        with injected(FaultInjector([FaultRule(site="optimizer.evaluate")])):
+            with pytest.raises(FatalAdvisorError):
+                advisor.recommend(BUDGET, algorithm="greedy_heuristics")
+
+    def test_unknown_algorithm_is_still_a_value_error(self, tpox_db, tpox_wl):
+        with pytest.raises(ValueError):
+            IndexAdvisor(tpox_db, tpox_wl).recommend(BUDGET, algorithm="nope")
+
+
+# ---------------------------------------------------------------------------
+# Anytime search
+# ---------------------------------------------------------------------------
+
+class TestAnytimeSearch:
+    def test_deadline_returns_valid_truncated_recommendation(
+        self, tpox_db, tpox_wl
+    ):
+        """ISSUE acceptance: a deadline around 10% of the unbounded wall
+        time still yields a valid recommendation with
+        0 <= benefit <= unbounded benefit."""
+        started = time.monotonic()
+        unbounded = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET, algorithm="greedy_heuristics"
+        )
+        wall = time.monotonic() - started
+        bounded = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET,
+            algorithm="greedy_heuristics",
+            deadline_seconds=max(wall * 0.1, 0.001),
+        )
+        assert isinstance(bounded, Recommendation)
+        assert 0.0 <= bounded.search.benefit <= unbounded.search.benefit + 1e-9
+        assert bounded.search.size_bytes <= BUDGET
+        if bounded.truncated:
+            assert "deadline" in bounded.search.truncated_reason
+            assert "TRUNCATED" in bounded.report()
+
+    def test_call_budget_truncates(self, tpox_db, tpox_wl):
+        recommendation = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET, algorithm="greedy_heuristics", optimizer_call_budget=58
+        )
+        assert recommendation.truncated
+        assert "optimizer-call budget" in recommendation.search.truncated_reason
+        pin = TestZeroFaultPin.PINS["greedy_heuristics"]
+        assert 0.0 <= recommendation.search.benefit <= pin[0]
+        assert recommendation.search.size_bytes <= BUDGET
+        assert recommendation.to_dict()["truncated"] is True
+
+    @no_env_chaos
+    def test_generous_budget_is_not_truncated(self, tpox_db, tpox_wl):
+        recommendation = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET,
+            algorithm="greedy_heuristics",
+            deadline_seconds=600.0,
+            optimizer_call_budget=100_000,
+        )
+        pin = TestZeroFaultPin.PINS["greedy_heuristics"]
+        assert not recommendation.truncated
+        assert recommendation.search.benefit == pin[0]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy", "topdown_lite", "topdown_full", "dp"]
+    )
+    def test_every_algorithm_survives_a_tiny_deadline(
+        self, tpox_db, tpox_wl, algorithm
+    ):
+        recommendation = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET, algorithm=algorithm, deadline_seconds=0.0001
+        )
+        assert isinstance(recommendation, Recommendation)
+        assert recommendation.truncated
+        assert recommendation.search.benefit >= 0.0
+        assert recommendation.search.size_bytes <= BUDGET
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+class TestCheckpointResume:
+    def test_truncated_run_resumes_to_the_unbounded_answer(
+        self, tpox_wl, tmp_path
+    ):
+        from repro.workloads import tpox
+
+        path = str(tmp_path / "search.ckpt")
+        db1 = tpox.build_database(
+            num_securities=120, num_orders=120, num_customers=60, seed=42
+        )
+        first = IndexAdvisor(db1, tpox_wl).recommend(
+            BUDGET,
+            algorithm="greedy_heuristics",
+            optimizer_call_budget=58,
+            checkpoint_path=path,
+        )
+        assert first.truncated
+        assert len(first.configuration) > 0
+
+        db2 = tpox.build_database(
+            num_securities=120, num_orders=120, num_customers=60, seed=42
+        )
+        second = IndexAdvisor(db2, tpox_wl).recommend(
+            BUDGET, algorithm="greedy_heuristics", checkpoint_path=path
+        )
+        pin = TestZeroFaultPin.PINS["greedy_heuristics"]
+        assert second.search.resumed
+        assert not second.truncated
+        assert second.search.benefit == pytest.approx(pin[0])
+        assert second.to_dict()["resumed"] is True
+
+    def test_completed_checkpoint_is_not_resumed(self, tpox_db, tpox_wl, tmp_path):
+        path = str(tmp_path / "search.ckpt")
+        advisor = IndexAdvisor(tpox_db, tpox_wl)
+        first = advisor.recommend(
+            BUDGET, algorithm="greedy_heuristics", checkpoint_path=path
+        )
+        assert not first.truncated
+        second = advisor.recommend(
+            BUDGET, algorithm="greedy_heuristics", checkpoint_path=path
+        )
+        assert not second.search.resumed
+        assert second.search.benefit == first.search.benefit
+
+    def test_checkpoint_for_other_algorithm_is_ignored(
+        self, tpox_db, tpox_wl, tmp_path
+    ):
+        path = str(tmp_path / "search.ckpt")
+        advisor = IndexAdvisor(tpox_db, tpox_wl)
+        truncated = advisor.recommend(
+            BUDGET,
+            algorithm="greedy_heuristics",
+            optimizer_call_budget=58,
+            checkpoint_path=path,
+        )
+        assert truncated.truncated
+        other = advisor.recommend(
+            BUDGET, algorithm="greedy", checkpoint_path=path
+        )
+        assert not other.search.resumed
+
+
+# ---------------------------------------------------------------------------
+# Lenient workload ingestion
+# ---------------------------------------------------------------------------
+
+class TestWorkloadIngestion:
+    GOOD = "for $s in X('SDOC')/Security return $s/Symbol"
+    TEXT = f"{GOOD}\n;\nthis is not xquery at all\n;\n{GOOD}\n; @ 4\n"
+
+    def test_lenient_mode_skips_with_diagnostics(self):
+        workload = Workload.from_text(self.TEXT)
+        assert len(workload) == 2
+        assert len(workload.diagnostics) == 1
+        assert "statement 2" in workload.diagnostics[0]
+        assert workload.entries[1].frequency == 4.0
+
+    def test_strict_mode_raises_with_statement_number(self):
+        with pytest.raises(WorkloadParseError) as excinfo:
+            Workload.from_text(self.TEXT, strict=True)
+        assert "statement 2" in str(excinfo.value)
+
+    def test_bad_frequency_is_a_diagnostic(self):
+        workload = Workload.from_text(f"{self.GOOD}\n; @ chewy\n")
+        assert len(workload) == 0
+        assert "frequency" in workload.diagnostics[0]
+
+    def test_injected_parse_fault_skips_statement(self):
+        with injected(
+            FaultInjector([FaultRule(site="workload.parse", at={0})])
+        ):
+            workload = Workload.from_text(self.TEXT)
+        assert len(workload) == 1  # statement 1 injected, 2 malformed
+        assert len(workload.diagnostics) == 2
+
+    def test_diagnostics_flow_into_the_recommendation(self, tpox_db):
+        workload = Workload.from_text(self.TEXT)
+        recommendation = IndexAdvisor(tpox_db, workload).recommend(
+            BUDGET, algorithm="greedy_heuristics"
+        )
+        assert recommendation.diagnostics == workload.diagnostics
+        assert recommendation.to_dict()["diagnostics"] == workload.diagnostics
+        assert "Diagnostic" in recommendation.report()

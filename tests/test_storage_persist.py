@@ -1,9 +1,12 @@
 """Tests for database persistence."""
 
+import json
 import os
 
 import pytest
 
+from repro.robustness.errors import PersistError
+from repro.robustness.faults import FaultInjector, FaultRule, injected
 from repro.storage import Database, IndexDefinition, IndexValueType
 from repro.storage.persist import load_database, save_database
 from repro.xmlmodel import serialize
@@ -89,3 +92,97 @@ class TestErrors:
         )
         with pytest.raises(ValueError):
             load_database(str(root))
+
+
+class TestHardening:
+    """PersistError (with the offending path) instead of raw
+    KeyError/JSONDecodeError; atomic temp-file + rename writes."""
+
+    def test_corrupt_metadata_names_the_file(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        meta_path = os.path.join(root, "database.json")
+        with open(meta_path, "w") as handle:
+            handle.write('{"name": "trunca')  # simulated torn write
+        with pytest.raises(PersistError) as excinfo:
+            load_database(root)
+        assert meta_path in str(excinfo.value)
+
+    def test_metadata_missing_collections_key(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        meta_path = os.path.join(root, "database.json")
+        with open(meta_path, "w") as handle:
+            json.dump({"format_version": 1, "name": "x"}, handle)
+        with pytest.raises(PersistError) as excinfo:
+            load_database(root)
+        assert meta_path in str(excinfo.value)
+
+    def test_corrupt_catalog_names_the_file(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        catalog_path = os.path.join(root, "catalog.json")
+        with open(catalog_path, "w") as handle:
+            json.dump([{"name": "iy"}], handle)  # missing keys
+        with pytest.raises(PersistError) as excinfo:
+            load_database(root)
+        assert catalog_path in str(excinfo.value)
+
+    def test_corrupt_document_names_the_file(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        doc_path = os.path.join(root, "collections", "SDOC", "doc_00000000.xml")
+        with open(doc_path, "w") as handle:
+            handle.write("<Security><unclosed>")
+        with pytest.raises(PersistError) as excinfo:
+            load_database(root)
+        assert doc_path in str(excinfo.value)
+
+    def test_save_leaves_no_temp_files(self, populated_db, tmp_path):
+        root = tmp_path / "db"
+        save_database(populated_db, str(root))
+        save_database(populated_db, str(root))  # resave over existing
+        leftovers = [
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(root)
+            for name in names
+            if name.startswith(".tmp_") or name.endswith("~")
+        ]
+        assert leftovers == []
+
+    def test_injected_save_fault_becomes_persist_error(
+        self, populated_db, tmp_path
+    ):
+        with injected(FaultInjector([FaultRule(site="persist.save")])):
+            with pytest.raises(PersistError):
+                save_database(populated_db, str(tmp_path / "db"))
+
+    def test_injected_load_fault_becomes_persist_error(
+        self, populated_db, tmp_path
+    ):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        with injected(FaultInjector([FaultRule(site="persist.load")])):
+            with pytest.raises(PersistError):
+                load_database(root)
+
+    def test_load_fault_is_replayable(self, populated_db, tmp_path):
+        root = str(tmp_path / "db")
+        save_database(populated_db, root)
+        with injected(
+            FaultInjector([FaultRule(site="persist.load", rate=0.5)], seed=11)
+        ):
+            try:
+                load_database(root)
+                first = "ok"
+            except PersistError:
+                first = "fault"
+        with injected(
+            FaultInjector([FaultRule(site="persist.load", rate=0.5)], seed=11)
+        ):
+            try:
+                load_database(root)
+                second = "ok"
+            except PersistError:
+                second = "fault"
+        assert first == second
