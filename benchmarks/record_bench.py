@@ -25,12 +25,20 @@ Modes::
 ``--compare`` re-measures the smoke scenarios and exits non-zero if any
 freshly measured ``recommend`` wall time exceeds the committed one by
 more than ``--tolerance`` (fractional; default 0.25).
+
+PR 4 adds ``--workers-sweep``: end-to-end ``recommend`` per worker count
+(0/1/2/4, process pool), asserting the recommendation is bit-identical
+at every count and recording wall-time speedup plus ``meta.cpu_count``
+(``BENCH_PR4.json`` at the repo root is the committed copy).  All other
+sections are pinned serial so their figures stay comparable across
+machines regardless of ``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -38,8 +46,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import IndexAdvisor
+from repro import IndexAdvisor, ParallelWhatIfSession, WhatIfSession
 from repro.core.config import IndexConfiguration
+from repro.parallel import available_workers
 from repro.workloads import tpox, xmark
 from repro.xpath.compiled import GLOBAL_TABLE
 
@@ -254,6 +263,112 @@ def recommend_bench(name, algorithm, repeats=3):
     }
 
 
+#: Worker counts for the parallel-engine sweep (PR 4); 0 is the plain
+#: serial session.
+WORKER_COUNTS = (0, 1, 2, 4)
+
+
+def _normalized_recommendation(recommendation):
+    data = recommendation.to_dict()
+    data.pop("elapsed_seconds", None)
+    session = dict(data.get("session", {}))
+    session.pop("phase_seconds", None)
+    session.pop("workers", None)
+    data["session"] = session
+    return data
+
+
+def workers_bench(
+    name, algorithm="topdown_full", counts=WORKER_COUNTS, repeats=3
+):
+    """End-to-end ``recommend`` wall time per worker count (PR 4 sweep).
+
+    Fresh database + advisor per run (best of ``repeats``); the
+    normalized recommendation is asserted identical across every worker
+    count -- the differential harness's contract, re-checked on the
+    measured runs themselves.  ``speedup_vs_serial`` is honest wall-time
+    ratio; on a single-CPU box it sits below 1.0 because process-pool
+    dispatch only adds overhead there (see meta.cpu_count).
+    """
+    sweep = {}
+    reference = None
+    serial_seconds = None
+    for count in counts:
+        elapsed = float("inf")
+        recommendation = None
+        workers_stats = {}
+        for _ in range(repeats):
+            database, workload = build(name)
+            if count == 0:
+                session = WhatIfSession(database)
+            else:
+                session = ParallelWhatIfSession(database, workers=count)
+            advisor = IndexAdvisor(database, workload, session=session)
+            all_size = sum(c.size_bytes for c in advisor.candidates.basics())
+            budget = int(all_size * BUDGET_FRACTION)
+            start = time.perf_counter()
+            recommendation = advisor.recommend(
+                budget_bytes=budget, algorithm=algorithm
+            )
+            elapsed = min(elapsed, time.perf_counter() - start)
+            workers_stats = advisor.session.stats().get("workers", {})
+            session.close()
+        normalized = _normalized_recommendation(recommendation)
+        if reference is None:
+            reference = normalized
+        elif normalized != reference:  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"{name}: workers={count} changed the recommendation"
+            )
+        if count == 0:
+            serial_seconds = elapsed
+        entry = {
+            "seconds": elapsed,
+            "speedup_vs_serial": (
+                serial_seconds / elapsed if serial_seconds else None
+            ),
+            "optimizer_calls": recommendation.search.optimizer_calls,
+            "cache_hits": recommendation.search.cache_hits,
+            "benefit": recommendation.search.benefit,
+            "indexes": len(recommendation.configuration),
+        }
+        if workers_stats:
+            entry["parallel_batches"] = workers_stats.get("parallel_batches")
+            entry["parallel_tasks"] = workers_stats.get("parallel_tasks")
+            entry["chunks"] = workers_stats.get("chunks")
+            entry["pool_failures"] = workers_stats.get("pool_failures")
+            entry["executor"] = workers_stats.get("executor")
+        sweep[str(count)] = entry
+    return sweep
+
+
+def run_workers(smoke=False):
+    """The PR 4 workers sweep alone (``--workers-sweep``), written to
+    ``BENCH_PR4.json`` at the repo root as the committed copy."""
+    scales = SMOKE_SCALES if smoke else ("tpox_small", "xmark_small")
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "budget_fraction": BUDGET_FRACTION,
+            "worker_counts": list(WORKER_COUNTS),
+            "note": (
+                "recommendations are asserted bit-identical across all "
+                "worker counts; wall-time speedup depends on cpu_count"
+            ),
+        },
+        "workers": {},
+    }
+    for name in scales:
+        for algorithm in ALGORITHMS:
+            results["workers"][f"{name}_{algorithm}"] = workers_bench(
+                name, algorithm=algorithm
+            )
+    return results
+
+
 def run(smoke=False):
     scales = SMOKE_SCALES if smoke else tuple(SCALES)
     matcher_scales = SMOKE_SCALES if smoke else MATCHER_SCALES
@@ -314,6 +429,11 @@ def main(argv=None):
         "--smoke", action="store_true", help="quick subset (CI-sized)"
     )
     parser.add_argument(
+        "--workers-sweep",
+        action="store_true",
+        help="run only the PR 4 parallel-workers sweep (BENCH_PR4.json)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="JSON file with a frozen pre-PR capture to embed as 'before'",
@@ -330,6 +450,19 @@ def main(argv=None):
         help="allowed fractional recommend-time regression for --compare",
     )
     args = parser.parse_args(argv)
+
+    # The legacy sections (and the committed BENCH_PR2 figures they are
+    # compared to) are serial by contract; the workers sweep builds its
+    # parallel sessions explicitly, so this pin cannot mask it.
+    os.environ["REPRO_WORKERS"] = "0"
+
+    if args.workers_sweep:
+        results = run_workers(smoke=args.smoke)
+        print(json.dumps(results, indent=2))
+        if args.out:
+            Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
 
     results = run(smoke=args.smoke)
     if args.merge_before:

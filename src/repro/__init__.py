@@ -31,6 +31,7 @@ from repro.core.config import IndexConfiguration
 from repro.optimizer.executor import Executor
 from repro.optimizer.optimizer import Optimizer, OptimizerMode
 from repro.optimizer.session import InstrumentationCounters, WhatIfSession
+from repro.parallel import ParallelWhatIfSession, create_session
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
 from repro.storage.catalog import IndexDefinition
@@ -50,10 +51,12 @@ __all__ = [
     "InstrumentationCounters",
     "Optimizer",
     "OptimizerMode",
+    "ParallelWhatIfSession",
     "Recommendation",
     "WhatIfSession",
     "Workload",
     "__version__",
+    "create_session",
     "load_database",
     "parse_statement",
     "save_database",

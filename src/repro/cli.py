@@ -195,6 +195,14 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.parallel import resolve_executor, resolve_workers
+
+    try:
+        resolve_workers(args.workers)
+        resolve_executor(args.executor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     db = load_database(args.dbdir)
     workload = read_workload_file(args.workload, strict=args.strict)
     if len(workload) == 0:
@@ -205,14 +213,19 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    advisor = IndexAdvisor(db, workload)
-    recommendation = advisor.recommend(
-        budget_bytes=args.budget,
-        algorithm=args.algorithm,
-        deadline_seconds=args.deadline,
-        optimizer_call_budget=args.call_budget,
-        checkpoint_path=args.checkpoint,
+    advisor = IndexAdvisor(
+        db, workload, workers=args.workers, executor=args.executor
     )
+    try:
+        recommendation = advisor.recommend(
+            budget_bytes=args.budget,
+            algorithm=args.algorithm,
+            deadline_seconds=args.deadline,
+            optimizer_call_budget=args.call_budget,
+            checkpoint_path=args.checkpoint,
+        )
+    finally:
+        advisor.session.close()
     if args.json:
         print(json.dumps(recommendation.to_dict(), indent=2))
     else:
@@ -428,6 +441,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="fail on the first malformed workload statement instead of "
              "skipping it with a warning",
+    )
+    p.add_argument(
+        "--workers", default=None, metavar="N",
+        help="parallel what-if workers: a count, 'auto' (CPU count), or "
+             "'serial'; defaults to $REPRO_WORKERS, else serial",
+    )
+    p.add_argument(
+        "--executor", default=None, metavar="KIND",
+        help="worker executor: process (default), thread, serial, or a "
+             "start method (fork/spawn/forkserver)",
     )
     p.set_defaults(func=cmd_recommend)
 

@@ -156,6 +156,29 @@ class Recommendation:
         ]
         for name, seconds in sorted(stats.get("phase_seconds", {}).items()):
             lines.append(f"  phase {name:<12}: {seconds * 1000:.1f} ms")
+        workers = stats.get("workers")
+        if workers:
+            lines.append(
+                f"  workers           : {workers.get('requested', 0)} "
+                f"({workers.get('executor', '?')}"
+                + (
+                    f"/{workers['start_method']}"
+                    if workers.get("start_method")
+                    else ""
+                )
+                + ")"
+            )
+            lines.append(
+                f"  parallel batches  : {workers.get('parallel_batches', 0)} "
+                f"of {workers.get('batches', 0)} "
+                f"({workers.get('parallel_tasks', 0)} tasks, "
+                f"{workers.get('chunks', 0)} chunks, "
+                f"{workers.get('pool_failures', 0)} pool failures)"
+            )
+            for label, count in sorted(
+                (workers.get("per_worker_tasks") or {}).items()
+            ):
+                lines.append(f"  worker {label}: {count} tasks")
         return "\n".join(lines)
 
 
@@ -171,13 +194,28 @@ class IndexAdvisor:
         generalize: bool = True,
         naive_evaluation: bool = False,
         session: Optional[WhatIfSession] = None,
+        workers=None,
+        executor: Optional[str] = None,
     ) -> None:
         self.database = database
         self.workload = workload
         #: The advisor's entire optimizer coupling runs through this one
         #: session; pass a shared session to share its cost cache across
-        #: advisors (e.g. the generalization experiments).
-        self.session = session or WhatIfSession(database, cost_constants)
+        #: advisors (e.g. the generalization experiments).  ``workers``
+        #: selects the parallel session (``None`` consults
+        #: ``REPRO_WORKERS``; 0/"serial" stays serial).
+        if session is None:
+            from repro.parallel import create_session
+
+            session = create_session(
+                database, cost_constants, workers=workers, executor=executor
+            )
+        self.session = session
+        # Ship the workload statements with the worker snapshot so batch
+        # tasks can travel as small index references (no-op serially).
+        self.session.register_statements(
+            entry.statement for entry in workload
+        )
         self.generalize = generalize
         self.maintenance_constants = maintenance_constants
         self.naive_evaluation = naive_evaluation

@@ -158,10 +158,11 @@ class ConfigurationEvaluator:
         self._refresh()
         if self._base_costs is None:
             with self.session.phase("base-costs"):
-                with self.session.evaluating(()) as scope:
-                    self._base_costs = [
-                        scope.cost(entry.statement) for entry in self.workload
-                    ]
+                # One batch: the parallel session shards the whole
+                # workload's base costing across its workers.
+                self._base_costs = self.session.cost_batch(
+                    [(entry.statement, ()) for entry in self.workload]
+                )
             self._generation = getattr(self.database, "modification_count", 0)
         return self._base_costs
 
@@ -201,6 +202,75 @@ class ConfigurationEvaluator:
             )
         return self._standalone_cache[key]
 
+    def prefetch_standalone(self, candidates: Iterable[CandidateIndex]) -> None:
+        """Batch-compute standalone benefits for a frontier of candidates.
+
+        Performs exactly the computation the serial per-candidate
+        :meth:`standalone_benefit` loop would -- same session probes,
+        same cache writes, same ``evaluations`` accounting -- but
+        collects every uncached candidate's group costing into **one**
+        session batch, which the parallel session fans out across
+        workers.  Candidates already cached (standalone or as a cached
+        single-index sub-configuration) are skipped/settled without
+        touching the session, exactly as the serial path would."""
+        self._refresh()
+        pending = [
+            candidate
+            for candidate in candidates
+            if candidate.key not in self._standalone_cache
+        ]
+        if not pending:
+            return
+        if self.naive:
+            # Naive mode re-optimizes the whole workload per candidate;
+            # each call is itself a (cache-bypassing) batch, so the
+            # serial candidate loop is already the right shape.
+            for candidate in pending:
+                self.standalone_benefit(candidate)
+            return
+        base_costs: Optional[List[float]] = None
+        tasks: List = []
+        spans: List[Tuple[CandidateIndex, int, List[int], Optional[float]]] = []
+        for candidate in pending:
+            group_key = frozenset((candidate.key,))
+            cached = self._subconfig_cache.get(group_key)
+            if cached is not None:
+                spans.append((candidate, 0, [], cached))
+                continue
+            if base_costs is None:
+                # Serial order: the first uncached group computes base
+                # costs before its own probes (_evaluate_group does the
+                # same).
+                base_costs = self.base_costs
+            positions = sorted(self.affected_set(candidate))
+            definitions = self.session.definitions_for([candidate])
+            start = len(tasks)
+            tasks.extend(
+                (self.workload.entries[position].statement, definitions)
+                for position in positions
+            )
+            spans.append((candidate, start, positions, None))
+        new_costs = self.session.cost_batch(tasks) if tasks else []
+        for candidate, start, positions, cached in spans:
+            if cached is None:
+                saved = sum(
+                    (
+                        self.workload.entries[position].frequency
+                        * (base_costs[position] - new_costs[start + offset])
+                        for offset, position in enumerate(positions)
+                    ),
+                    0.0,
+                )
+                self._subconfig_cache[frozenset((candidate.key,))] = saved
+                group_benefit = saved
+            else:
+                group_benefit = cached
+            self.evaluations += 1
+            self.session.note_evaluation()
+            self._standalone_cache[candidate.key] = (
+                group_benefit - self.candidate_maintenance(candidate)
+            )
+
     def ranked_positive_candidates(self, candidates) -> List[CandidateIndex]:
         """Candidates with positive standalone benefit, densest
         (benefit/size) first -- the scan order every searcher starts
@@ -216,6 +286,10 @@ class ConfigurationEvaluator:
         cached = self._ranked_cache.get(candidates)
         if cached is not None and cached[0] == len(candidates):
             return cached[1]
+        # Score the whole frontier in one session fan-out.  Only
+        # candidates the serial scan below would score (size > 0) are
+        # prefetched, so counters match the plain loop exactly.
+        self.prefetch_standalone(c for c in candidates if c.size_bytes > 0)
         positive = [
             (self.standalone_benefit(c), c)
             for c in candidates
@@ -441,16 +515,29 @@ class ConfigurationEvaluator:
     ) -> float:
         """Optimize the affected statements with the group installed as
         virtual indexes; return the frequency-weighted savings.  Costing
-        is delegated to the session (bypassing its cache in naive mode so
-        the ablation keeps measuring real optimizer traffic)."""
+        is delegated to the session as one batch -- the per-statement
+        fan-out the parallel session shards across workers (bypassing
+        the cache in naive mode so the ablation keeps measuring real
+        optimizer traffic).  The savings sum runs in position order, so
+        the float result is independent of how the batch was computed."""
         base_costs = self.base_costs
-        saved = 0.0
-        with self.session.evaluating(group, use_cache=not self.naive) as scope:
-            for position in statement_positions:
-                entry = self.workload.entries[position]
-                new_cost = scope.cost(entry.statement)
-                saved += entry.frequency * (base_costs[position] - new_cost)
-        return saved
+        positions = list(statement_positions)
+        definitions = self.session.definitions_for(group)
+        new_costs = self.session.cost_batch(
+            [
+                (self.workload.entries[position].statement, definitions)
+                for position in positions
+            ],
+            use_cache=not self.naive,
+        )
+        return sum(
+            (
+                self.workload.entries[position].frequency
+                * (base_costs[position] - new_cost)
+                for position, new_cost in zip(positions, new_costs)
+            ),
+            0.0,
+        )
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:

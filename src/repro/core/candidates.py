@@ -171,18 +171,24 @@ def enumerate_basic_candidates(coupling, workload: Workload) -> CandidateSet:
     (preferred -- enumeration results are cached per statement) or a bare
     :class:`Optimizer` (tests, backward compatibility).
     """
-    if isinstance(coupling, Optimizer):
-        enumerate_statement = lambda stmt: coupling.optimize(  # noqa: E731
-            stmt, OptimizerMode.ENUMERATE
-        )
-    else:
-        enumerate_statement = coupling.enumerate
     candidates = CandidateSet()
-    for position, entry in enumerate(workload):
-        statement = entry.statement
-        if not hasattr(statement, "collection"):
-            continue
-        result = enumerate_statement(statement)
+    eligible = [
+        (position, entry.statement)
+        for position, entry in enumerate(workload)
+        if hasattr(entry.statement, "collection")
+    ]
+    if isinstance(coupling, Optimizer):
+        results = [
+            coupling.optimize(statement, OptimizerMode.ENUMERATE)
+            for _, statement in eligible
+        ]
+    else:
+        # Sessions expose a batch entry point so a parallel session can
+        # fan the whole workload out in one dispatch.
+        results = coupling.enumerate_batch(
+            [statement for _, statement in eligible]
+        )
+    for (position, _), result in zip(eligible, results):
         for enumerated in result.candidates:
             candidate = candidates.get_or_add(
                 enumerated.pattern,

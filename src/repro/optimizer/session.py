@@ -459,6 +459,67 @@ class WhatIfSession:
         pair -- the workhorse of benefit evaluation."""
         return self.evaluate(statement, definitions, use_cache).estimated_cost
 
+    # ------------------------------------------------------------------
+    # Batch entry points
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self,
+        tasks: Sequence[Tuple[Statement, Sequence[IndexDefinition]]],
+        use_cache: bool = True,
+    ) -> List[OptimizationResult]:
+        """Evaluate many (statement, definitions) pairs.
+
+        The serial implementation is exactly a loop over
+        :meth:`evaluate`; :class:`~repro.parallel.ParallelWhatIfSession`
+        overrides it to fan uncached pairs out to a worker pool while
+        reproducing this loop's cache traffic and counters bit for bit.
+        Callers that have a whole frontier of costs to collect should
+        prefer this over per-pair calls so the parallel session can see
+        the batch.
+        """
+        return [
+            self.evaluate(statement, definitions, use_cache)
+            for statement, definitions in tasks
+        ]
+
+    def cost_batch(
+        self,
+        tasks: Sequence[Tuple[Statement, Sequence[IndexDefinition]]],
+        use_cache: bool = True,
+    ) -> List[float]:
+        """Costs of many (statement, definitions) pairs (see
+        :meth:`evaluate_batch`)."""
+        return [
+            result.estimated_cost
+            for result in self.evaluate_batch(tasks, use_cache)
+        ]
+
+    def enumerate_batch(
+        self, statements: Sequence[Statement]
+    ) -> List[OptimizationResult]:
+        """Enumerate-Indexes mode over many statements (see
+        :meth:`evaluate_batch` for the batching contract)."""
+        return [self.enumerate(statement) for statement in statements]
+
+    # ------------------------------------------------------------------
+    # Parallel-session hooks (no-ops on the serial session)
+    # ------------------------------------------------------------------
+    def register_statements(self, statements: Iterable[Statement]) -> None:
+        """Hint that ``statements`` will be costed repeatedly.  The
+        parallel session ships registered statements to its workers once
+        (in the snapshot) instead of pickling them into every task; here
+        it is a no-op."""
+
+    def close(self) -> None:
+        """Release any resources the session holds.  The serial session
+        holds none; the parallel session shuts down its worker pool."""
+
+    def __enter__(self) -> "WhatIfSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def plan(self, statement: Statement) -> OptimizationResult:
         """NORMAL-mode planning (real indexes only), memoized.  Index DDL
         bumps the database's modification counter, so cached plans never

@@ -1,0 +1,117 @@
+"""Read-only state shipped to parallel what-if workers.
+
+The parallel engine sends each worker one :class:`EvaluationSnapshot` --
+the database (documents, statistics, catalog), the optimizer's cost
+constants, the registered workload statements, and a sanitized retry
+policy -- via the pool initializer, *once per worker*.  After that,
+tasks are tiny: a statement reference (an index into the snapshot's
+statement tuple, or an inline statement for late arrivals), the
+projected virtual index definitions, and a task id for the deterministic
+merge.
+
+Everything here must pickle cleanly across a spawn boundary:
+
+* :class:`~repro.xpath.patterns.PathPattern` pickles as its canonical
+  text, so workers re-intern paths against their own process-local
+  ``GLOBAL_TABLE`` instead of inheriting stale bitmap ids;
+* :class:`~repro.storage.statistics.DataStatistics` drops its interned
+  id caches on pickle for the same reason;
+* :class:`~repro.robustness.policy.RetryPolicy` carries injectable
+  ``sleep``/``clock`` callables (tests pass lambdas), so the snapshot
+  stores a :func:`sanitize_retry_policy` copy with the default
+  callables and the same numeric schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.optimizer.cost import CostConstants
+from repro.optimizer.optimizer import OptimizationResult
+from repro.query.model import Statement
+from repro.robustness.policy import RetryPolicy
+from repro.storage.catalog import IndexDefinition
+from repro.storage.database import Database
+
+#: Task modes a worker understands (values of
+#: :class:`~repro.optimizer.optimizer.OptimizerMode` restricted to the
+#: two what-if modes the engine shards).
+EVALUATE_MODE = "evaluate"
+ENUMERATE_MODE = "enumerate"
+
+
+def sanitize_retry_policy(policy: RetryPolicy) -> RetryPolicy:
+    """A picklable copy of ``policy``: same numeric schedule, default
+    ``sleep``/``clock`` (test-injected lambdas do not cross process
+    boundaries)."""
+    return RetryPolicy(
+        max_attempts=policy.max_attempts,
+        base_delay_seconds=policy.base_delay_seconds,
+        backoff_multiplier=policy.backoff_multiplier,
+        max_delay_seconds=policy.max_delay_seconds,
+        call_timeout_seconds=policy.call_timeout_seconds,
+    )
+
+
+@dataclass
+class EvaluationSnapshot:
+    """The read-only world one worker costs statements against."""
+
+    database: Database
+    constants: Optional[CostConstants]
+    statements: Tuple[Statement, ...]
+    retry_policy: Optional[RetryPolicy] = None
+
+
+@dataclass
+class WorkerTask:
+    """One (statement, projected definitions) costing request.
+
+    ``statement_ref`` indexes the snapshot's statement tuple;
+    ``statement`` is the inline fallback for statements registered after
+    the snapshot was shipped (or never registered).
+    """
+
+    task_id: int
+    mode: str  # EVALUATE_MODE | ENUMERATE_MODE
+    statement_ref: int = -1
+    statement: Optional[Statement] = None
+    definitions: Tuple[IndexDefinition, ...] = ()
+
+
+@dataclass
+class WorkerChunk:
+    """A contiguous slice of a batch, dispatched as one pool task."""
+
+    chunk_id: int
+    tasks: List[WorkerTask] = field(default_factory=list)
+
+
+@dataclass
+class TaskOutcome:
+    """A worker's answer for one task.
+
+    ``result`` carries the full :class:`OptimizationResult` with its
+    ``statement`` stripped (the parent owns the statement object and
+    restores it at merge time).  ``fatal`` is set when both the
+    optimizer and the heuristic fallback failed -- the parent raises
+    :class:`~repro.robustness.errors.FatalAdvisorError`, exactly as the
+    serial session would have.
+    """
+
+    task_id: int
+    result: Optional[OptimizationResult] = None
+    degraded: bool = False
+    retries: int = 0
+    reason: Optional[str] = None
+    fatal: Optional[str] = None
+
+
+@dataclass
+class ChunkOutcome:
+    """All of one chunk's outcomes plus the worker that produced them."""
+
+    chunk_id: int
+    worker: str
+    outcomes: List[TaskOutcome] = field(default_factory=list)

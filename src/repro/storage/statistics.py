@@ -141,6 +141,18 @@ class DataStatistics:
         #: lazily whenever paths were added since the last pattern probe.
         self._path_ids: List[Tuple[int, Tuple[str, ...]]] = []
 
+    def __getstate__(self):
+        # ``_path_ids`` holds ids interned in *this* process's
+        # GLOBAL_TABLE; in another process (a spawned what-if worker)
+        # those ids would silently mismatch its table and corrupt
+        # pattern matching.  ``_matching_cache`` entries were computed
+        # through those ids, so both are dropped and rebuilt lazily on
+        # the receiving side.
+        state = self.__dict__.copy()
+        state["_path_ids"] = []
+        state["_matching_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Collection-side (used by collect_statistics)
     # ------------------------------------------------------------------

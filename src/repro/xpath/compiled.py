@@ -34,6 +34,7 @@ property test that the two agree on random patterns and paths.
 from __future__ import annotations
 
 import re
+import threading
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -93,7 +94,7 @@ class PathTable:
     table built from a dict of paths preserves its iteration order.
     """
 
-    __slots__ = ("_ids", "_paths", "_encoded")
+    __slots__ = ("_ids", "_paths", "_encoded", "_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Tuple[str, ...], int] = {}
@@ -101,6 +102,12 @@ class PathTable:
         #: Encoded form per id; ``None`` marks an unencodable path that
         #: matchers must check with the NFA instead.
         self._encoded: List[Optional[str]] = []
+        #: Guards id assignment: two threads interning the same new path
+        #: must agree on its id (thread-pool what-if workers intern
+        #: concurrently).  The hit path stays lock-free -- ``_ids`` is
+        #: published last, so a visible id always has its path/encoding
+        #: in place.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._paths)
@@ -110,10 +117,13 @@ class PathTable:
         path = tuple(tag_path)
         path_id = self._ids.get(path)
         if path_id is None:
-            path_id = len(self._paths)
-            self._ids[path] = path_id
-            self._paths.append(path)
-            self._encoded.append(encode_tag_path(path))
+            with self._lock:
+                path_id = self._ids.get(path)
+                if path_id is None:
+                    path_id = len(self._paths)
+                    self._paths.append(path)
+                    self._encoded.append(encode_tag_path(path))
+                    self._ids[path] = path_id
         return path_id
 
     def path(self, path_id: int) -> Tuple[str, ...]:

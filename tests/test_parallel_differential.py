@@ -1,0 +1,239 @@
+"""Differential harness pinning the parallel engine to the serial one.
+
+The contract (ISSUE PR 4): for every worker count and executor,
+``IndexAdvisor.recommend()`` through a :class:`ParallelWhatIfSession`
+must be **bit-identical** to the serial :class:`WhatIfSession` run --
+same configuration, same costs, same instrumentation counters -- with
+only timing and the scheduling-dependent ``workers`` stats block
+excluded.  Every run builds its own database from the same seed so
+catalog name counters match too.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import IndexAdvisor
+from repro.optimizer.session import WhatIfSession
+from repro.parallel import ParallelWhatIfSession
+from repro.query.workload import Workload
+from repro.workloads import synthetic, tpox, xmark
+
+BUDGET = 250_000
+
+#: Fields that legitimately differ between runs: wall-clock timing and
+#: the per-worker scheduling stats.
+TIMING_KEYS = ("elapsed_seconds",)
+SESSION_TIMING_KEYS = ("phase_seconds", "workers")
+
+#: The matrix the ISSUE pins: serial session, then 1/2/4 workers.
+WORKER_COUNTS = (None, 1, 2, 4)
+
+
+def normalized(recommendation) -> dict:
+    """``to_dict()`` minus timing and worker-scheduling fields."""
+    data = recommendation.to_dict()
+    for key in TIMING_KEYS:
+        data.pop(key, None)
+    session = dict(data.get("session", {}))
+    for key in SESSION_TIMING_KEYS:
+        session.pop(key, None)
+    data["session"] = session
+    return data
+
+
+def build_tpox():
+    db = tpox.build_database(
+        num_securities=40, num_orders=40, num_customers=20, seed=7
+    )
+    return db, tpox.tpox_workload(num_securities=40, seed=7)
+
+
+def build_synthetic():
+    db = tpox.build_database(
+        num_securities=40, num_orders=40, num_customers=20, seed=7
+    )
+    workload = Workload([])
+    for query in synthetic.random_path_queries(db, "SDOC", 8, seed=5):
+        workload.add(query)
+    return db, workload
+
+
+def build_xmark():
+    db = xmark.build_database(
+        num_items=30, num_persons=30, num_auctions=30, seed=7
+    )
+    return db, xmark.xmark_workload(seed=7)
+
+
+BENCHMARKS = {
+    "tpox": build_tpox,
+    "synthetic": build_synthetic,
+    "xmark": build_xmark,
+}
+
+
+def run_recommendation(
+    build, workers, algorithm="topdown_full", executor="thread", **kwargs
+):
+    """One full advisor run over a freshly built database."""
+    database, workload = build()
+    if workers is None:
+        session = WhatIfSession(database)
+    else:
+        session = ParallelWhatIfSession(
+            database, workers=workers, executor=executor, **kwargs
+        )
+    advisor = IndexAdvisor(database, workload, session=session)
+    try:
+        return normalized(advisor.recommend(BUDGET, algorithm=algorithm))
+    finally:
+        session.close()
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+def test_worker_counts_are_bit_identical(bench_name):
+    build = BENCHMARKS[bench_name]
+    baseline = run_recommendation(build, None)
+    for workers in WORKER_COUNTS[1:]:
+        assert run_recommendation(build, workers) == baseline, (
+            f"{bench_name}: workers={workers} diverged from serial"
+        )
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["greedy", "greedy_heuristics", "dp", "topdown_lite"]
+)
+def test_algorithms_are_bit_identical_at_two_workers(algorithm):
+    build = BENCHMARKS["tpox"]
+    serial = run_recommendation(build, None, algorithm=algorithm)
+    parallel = run_recommendation(build, 2, algorithm=algorithm)
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_executors_are_bit_identical(executor):
+    """Every executor kind -- including a real process pool with snapshot
+    shipping -- reproduces the serial recommendation."""
+    build = BENCHMARKS["tpox"]
+    baseline = run_recommendation(build, None)
+    assert run_recommendation(build, 2, executor=executor) == baseline
+
+
+def test_counters_match_serial_exactly():
+    """Spell out the counter identity (the subtle part of the contract)
+    rather than relying only on the dict comparison."""
+    build = BENCHMARKS["tpox"]
+    serial = run_recommendation(build, None)
+    parallel = run_recommendation(build, 4, min_batch=1)
+    for key in (
+        "optimizer_calls",
+        "cache_hits",
+        "cache_misses",
+        "benefit",
+        "workload_cost_before",
+        "workload_cost_after",
+    ):
+        assert parallel[key] == serial[key], key
+    assert parallel["session"] == serial["session"]
+
+
+def test_recommendation_is_json_serializable_with_workers():
+    build = BENCHMARKS["tpox"]
+    database, workload = build()
+    advisor = IndexAdvisor(database, workload, workers=2, executor="thread")
+    try:
+        recommendation = advisor.recommend(BUDGET)
+        payload = json.loads(json.dumps(recommendation.to_dict()))
+    finally:
+        advisor.session.close()
+    workers = payload["session"]["workers"]
+    assert workers["requested"] == 2
+    assert workers["executor"] == "thread"
+    assert workers["parallel_tasks"] >= 0
+    assert workers["pool_failures"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Property: random workloads and budgets, parallel == serial
+# ---------------------------------------------------------------------------
+
+_PROPERTY_DB = tpox.build_database(
+    num_securities=16, num_orders=16, num_customers=8, seed=11
+)
+_PROPERTY_WL = tpox.tpox_workload(num_securities=16, seed=11)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(_PROPERTY_WL.entries) - 1),
+        min_size=1,
+        max_size=6,
+    ),
+    budget=st.integers(min_value=10_000, max_value=500_000),
+    workers=st.sampled_from([1, 2, 4]),
+    algorithm=st.sampled_from(["greedy", "topdown_full"]),
+)
+def test_random_workloads_parallel_equals_serial(
+    picks, budget, workers, algorithm
+):
+    """For ANY workload subset (duplicates allowed -- they exercise the
+    cache-hit accounting) and ANY disk budget, the parallel session's
+    costs and counters equal the serial session's."""
+    entries = [_PROPERTY_WL.entries[i] for i in picks]
+
+    def run(session_factory):
+        database = tpox.build_database(
+            num_securities=16, num_orders=16, num_customers=8, seed=11
+        )
+        session = session_factory(database)
+        advisor = IndexAdvisor(
+            database, Workload(list(entries)), session=session
+        )
+        try:
+            return normalized(advisor.recommend(budget, algorithm=algorithm))
+        finally:
+            session.close()
+
+    serial = run(WhatIfSession)
+    parallel = run(
+        lambda db: ParallelWhatIfSession(
+            db, workers=workers, executor="thread", min_batch=1
+        )
+    )
+    assert parallel == serial
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(_PROPERTY_WL.entries) - 1),
+        min_size=1,
+        max_size=5,
+    ),
+    workers=st.sampled_from([2, 3]),
+)
+def test_batch_costs_equal_serial_costs(picks, workers):
+    """Session-level property: ``cost_batch`` through the parallel
+    engine returns exactly the serial per-call costs, and leaves the
+    counters in the same state."""
+    statements = [_PROPERTY_WL.entries[i].statement for i in picks]
+
+    serial = WhatIfSession(_PROPERTY_DB)
+    serial_costs = [serial.cost(s) for s in statements]
+
+    parallel = ParallelWhatIfSession(
+        _PROPERTY_DB, workers=workers, executor="thread", min_batch=1
+    )
+    try:
+        batch_costs = parallel.cost_batch([(s, ()) for s in statements])
+    finally:
+        parallel.close()
+
+    assert batch_costs == serial_costs
+    assert parallel.counters.optimizer_calls == serial.counters.optimizer_calls
+    assert parallel.counters.cache_hits == serial.counters.cache_hits
+    assert parallel.counters.cache_misses == serial.counters.cache_misses
