@@ -32,6 +32,14 @@ at every count and recording wall-time speedup plus ``meta.cpu_count``
 (``BENCH_PR4.json`` at the repo root is the committed copy).  All other
 sections are pinned serial so their figures stay comparable across
 machines regardless of ``REPRO_WORKERS``.
+
+PR 5 adds ``--dml-sweep``: the incremental storage engine under an
+interleaved insert/delete stream with statistics probes after every
+operation -- synopsis deltas vs forced full rescans -- plus scan-heavy
+query execution through the synopsis bitmap vs the reference tree walk
+(``BENCH_PR5.json`` at the repo root is the committed copy).  Probe
+values, final statistics, and query outputs are asserted identical
+between the fast and reference engines on the measured runs themselves.
 """
 
 from __future__ import annotations
@@ -49,7 +57,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import IndexAdvisor, ParallelWhatIfSession, WhatIfSession
 from repro.core.config import IndexConfiguration
 from repro.parallel import available_workers
+from repro.storage.index import IndexValueType
+from repro.storage.statistics import collect_statistics_rescan
 from repro.workloads import tpox, xmark
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
 from repro.xpath.compiled import GLOBAL_TABLE
 
 SCALES = {
@@ -274,6 +286,9 @@ def _normalized_recommendation(recommendation):
     session = dict(data.get("session", {}))
     session.pop("phase_seconds", None)
     session.pop("workers", None)
+    # Storage counters depend on the executor kind (process workers
+    # rebuild summaries in their own database copies), not on the result.
+    session.pop("storage", None)
     data["session"] = session
     return data
 
@@ -340,6 +355,216 @@ def workers_bench(
             entry["executor"] = workers_stats.get("executor")
         sweep[str(count)] = entry
     return sweep
+
+
+# ---------------------------------------------------------------------------
+# PR 5: incremental storage engine (synopsis deltas vs forced rescans)
+# ---------------------------------------------------------------------------
+
+DML_PROBE_PATTERNS = ("/Security/Symbol", "/Security/SecInfo/*/Sector")
+
+
+def _probe_statistics(database):
+    """One statistics consumer round: the quantities the optimizer reads
+    between DML operations (forces targeted summary rebuilds when dirty)."""
+    stats = database.runstats("SDOC")
+    out = []
+    for text in DML_PROBE_PATTERNS:
+        pattern = parse_pattern(text)
+        derived = stats.derive_index_statistics(pattern, IndexValueType.STRING)
+        out.append(
+            (
+                derived.entry_count,
+                derived.size_bytes,
+                stats.document_frequency(pattern),
+                stats.selectivity(pattern, ">=", Literal("M")),
+            )
+        )
+    return out
+
+
+def _assert_stats_identity(database):
+    """The delta-vs-rescan equivalence gate, asserted on the measured run
+    itself: the delta-maintained statistics must equal a from-scratch
+    reference rescan on every probed quantity."""
+    live = database.runstats("SDOC")
+    reference = collect_statistics_rescan(database.collection("SDOC"))
+    if (
+        live.doc_count != reference.doc_count
+        or live.total_nodes != reference.total_nodes
+        or live.total_elements != reference.total_elements
+        or list(live.path_counts) != list(reference.path_counts)
+        or live.path_counts != reference.path_counts
+        or live.path_doc_counts != reference.path_doc_counts
+    ):  # pragma: no cover - contract breach
+        raise AssertionError("delta statistics diverged from rescan (exact)")
+    for text in DML_PROBE_PATTERNS:
+        pattern = parse_pattern(text)
+        for value_type in IndexValueType:
+            if live.derive_index_statistics(
+                pattern, value_type
+            ) != reference.derive_index_statistics(pattern, value_type):
+                # pragma: no cover - contract breach
+                raise AssertionError(
+                    f"derived statistics diverged on {text} ({value_type})"
+                )
+        if live.selectivity(
+            pattern, ">=", Literal("M")
+        ) != reference.selectivity(pattern, ">=", Literal("M")):
+            # pragma: no cover - contract breach
+            raise AssertionError(f"selectivity diverged on {text}")
+
+
+def _dml_run(name, num_ops, rng_seed, force_rescan):
+    """One measured DML sweep: interleaved inserts/deletes on SDOC with a
+    statistics probe after every operation, under real index maintenance.
+
+    ``force_rescan`` models the pre-synopsis engine by invalidating the
+    cached statistics after each DML, so every probe pays a full
+    collection rescan instead of absorbing the change as a delta.
+    """
+    import random
+
+    from repro.storage.catalog import IndexDefinition
+
+    database, _ = build(name)
+    database.create_index(
+        IndexDefinition(
+            "sym", "SDOC", parse_pattern("/Security/Symbol"),
+            IndexValueType.STRING,
+        )
+    )
+    database.create_index(
+        IndexDefinition(
+            "yld", "SDOC", parse_pattern("/Security/Yield"),
+            IndexValueType.NUMERIC,
+        )
+    )
+    _probe_statistics(database)  # prime the cached statistics
+    rng = random.Random(rng_seed)
+    doc_rng = random.Random(rng_seed)
+    collection = database.collection("SDOC")
+    probes = []
+    start = time.perf_counter()
+    for i in range(num_ops):
+        live = [d.doc_id for d in collection]
+        if rng.random() < 0.35 and len(live) > 10:
+            database.delete_document("SDOC", live[rng.randrange(len(live))])
+        else:
+            database.insert_document(
+                "SDOC", tpox.security_document(10_000 + i, doc_rng)
+            )
+        if force_rescan:
+            database.invalidate_statistics("SDOC")
+        probes.append(_probe_statistics(database))
+    elapsed = time.perf_counter() - start
+    _assert_stats_identity(database)
+    return elapsed, probes, database
+
+
+def dml_bench(name, num_ops=150, rng_seed=5):
+    """Delta maintenance vs forced rescans over one identical DML+probe
+    stream.  The probe values themselves are asserted identical between
+    the two engines (the rescan side IS the reference), and the delta
+    side must finish the sweep without a single statistics rescan."""
+    delta_seconds, delta_probes, delta_db = _dml_run(
+        name, num_ops, rng_seed, force_rescan=False
+    )
+    rescan_seconds, rescan_probes, rescan_db = _dml_run(
+        name, num_ops, rng_seed, force_rescan=True
+    )
+    if delta_probes != rescan_probes:  # pragma: no cover - contract breach
+        raise AssertionError("delta probes diverged from rescan probes")
+    delta_storage = delta_db.storage_stats()
+    rescan_storage = rescan_db.storage_stats()
+    if delta_storage["stats_rescans"] != 1:  # pragma: no cover
+        raise AssertionError(
+            f"delta engine rescanned {delta_storage['stats_rescans']}x "
+            "(expected only the priming pass)"
+        )
+    return {
+        "dml_ops": num_ops,
+        "probes_per_op": len(DML_PROBE_PATTERNS),
+        "delta_seconds": delta_seconds,
+        "delta_ops_per_s": num_ops / delta_seconds,
+        "delta_storage": delta_storage,
+        "rescan_seconds": rescan_seconds,
+        "rescan_ops_per_s": num_ops / rescan_seconds,
+        "rescan_storage": rescan_storage,
+        "speedup": rescan_seconds / delta_seconds,
+    }
+
+
+def scan_bench(name, repeats=5):
+    """Scan-heavy query execution: synopsis bitmap resolution vs the
+    reference tree walk, on identical databases with identical results."""
+    from repro.optimizer.executor import Executor
+    from repro.query import parse_statement
+
+    statements = [
+        parse_statement("COLLECTION('SDOC')/Security/SecInfo/*/Sector"),
+        parse_statement("COLLECTION('SDOC')/Security/Symbol"),
+        parse_statement("COLLECTION('ODOC')//Order/Value"),
+    ]
+
+    def run(use_synopsis):
+        database, _ = build(name)
+        executor = Executor(database, use_synopsis=use_synopsis)
+        best = float("inf")
+        outputs = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outputs = [
+                (r.rows, r.docs_examined, tuple(r.output))
+                for r in (
+                    executor.execute(s, collect_output=True)
+                    for s in statements
+                )
+            ]
+            best = min(best, time.perf_counter() - start)
+        return best, outputs
+
+    walk_seconds, walk_outputs = run(use_synopsis=False)
+    synopsis_seconds, synopsis_outputs = run(use_synopsis=True)
+    if synopsis_outputs != walk_outputs:  # pragma: no cover - breach
+        raise AssertionError("synopsis executor diverged from tree walk")
+    rows = sum(out[0] for out in walk_outputs)
+    return {
+        "statements": len(statements),
+        "rows": rows,
+        "walk_seconds": walk_seconds,
+        "synopsis_seconds": synopsis_seconds,
+        "speedup": walk_seconds / synopsis_seconds,
+    }
+
+
+def run_dml(smoke=False):
+    """The PR 5 storage-engine sweep (``--dml-sweep``), written to
+    ``BENCH_PR5.json`` at the repo root as the committed copy.  The
+    delta-vs-rescan identity is asserted *in-run*: a divergence fails the
+    bench (this is the CI perf-smoke gate)."""
+    num_ops = 40 if smoke else 150
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "dml_ops": num_ops,
+            "note": (
+                "probe values and final statistics are asserted identical "
+                "between the delta engine and forced full rescans; the "
+                "delta side must finish with exactly one (priming) rescan"
+            ),
+        },
+        "dml": {},
+        "scan": {},
+    }
+    scales = SMOKE_SCALES if smoke else ("tpox_small", "tpox_medium")
+    for name in scales:
+        results["dml"][name] = dml_bench(name, num_ops=num_ops)
+        results["scan"][name] = scan_bench(name, repeats=3 if smoke else 5)
+    return results
 
 
 def run_workers(smoke=False):
@@ -434,6 +659,11 @@ def main(argv=None):
         help="run only the PR 4 parallel-workers sweep (BENCH_PR4.json)",
     )
     parser.add_argument(
+        "--dml-sweep",
+        action="store_true",
+        help="run only the PR 5 storage-engine sweep (BENCH_PR5.json)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="JSON file with a frozen pre-PR capture to embed as 'before'",
@@ -456,8 +686,11 @@ def main(argv=None):
     # parallel sessions explicitly, so this pin cannot mask it.
     os.environ["REPRO_WORKERS"] = "0"
 
-    if args.workers_sweep:
-        results = run_workers(smoke=args.smoke)
+    if args.workers_sweep or args.dml_sweep:
+        if args.workers_sweep:
+            results = run_workers(smoke=args.smoke)
+        else:
+            results = run_dml(smoke=args.smoke)
         print(json.dumps(results, indent=2))
         if args.out:
             Path(args.out).write_text(json.dumps(results, indent=2) + "\n")

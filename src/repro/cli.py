@@ -90,6 +90,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     stats = db.runstats(args.collection)
     print(f"collection {args.collection}: {stats.doc_count} documents, "
           f"{stats.total_nodes} nodes, {len(stats.path_counts)} distinct paths")
+    storage = db.storage_stats()
+    print(f"storage engine: {storage['stats_rescans']} stats rescans, "
+          f"{storage['stats_delta_applies']} delta applies, "
+          f"{storage['summary_rebuilds']} summary rebuilds")
     if args.tree:
         from repro.storage.schema import (
             build_dataguide,

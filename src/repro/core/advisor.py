@@ -156,6 +156,14 @@ class Recommendation:
         ]
         for name, seconds in sorted(stats.get("phase_seconds", {}).items()):
             lines.append(f"  phase {name:<12}: {seconds * 1000:.1f} ms")
+        storage = stats.get("storage")
+        if storage:
+            lines.append(
+                f"  storage engine    : "
+                f"{storage.get('stats_rescans', 0)} stats rescans, "
+                f"{storage.get('stats_delta_applies', 0)} delta applies, "
+                f"{storage.get('summary_rebuilds', 0)} summary rebuilds"
+            )
         workers = stats.get("workers")
         if workers:
             lines.append(

@@ -42,7 +42,7 @@ including to newly generated patterns -- until no new pattern appears.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.candidates import CandidateIndex, CandidateSet
 from repro.xpath.ast import Axis
@@ -198,13 +198,26 @@ def generalize_candidates(candidates: CandidateSet) -> int:
     Every pair of same-type candidates (basic and previously generated
     general ones) is generalized; new patterns join the set and take part
     in later rounds.  Returns the number of general candidates added.
+
+    After the first round only pairs touching the *frontier* (patterns
+    added in the previous round) are generalized.  This is exactly
+    output-identical, not just an approximation: a pair of two
+    pre-frontier candidates was already enumerated in an earlier round,
+    so every pattern it generalizes to is in the set by now and would be
+    filtered by the membership check -- contributing neither a new
+    candidate nor a source edge.  Pair order is preserved, so candidates
+    are still created in the same order (stable downstream naming).
     """
     added = 0
+    frontier: Optional[set] = None  # None = first round, pair everything
     for _ in range(MAX_ROUNDS):
         current = list(candidates)
         new_patterns: List[Tuple[PathPattern, CandidateIndex, CandidateIndex]] = []
         for i, left in enumerate(current):
+            left_old = frontier is not None and left.key not in frontier
             for right in current[i + 1 :]:
+                if left_old and right.key not in frontier:
+                    continue
                 if left.value_type is not right.value_type:
                     continue
                 if left.collection != right.collection:
@@ -214,6 +227,7 @@ def generalize_candidates(candidates: CandidateSet) -> int:
                         new_patterns.append((pattern, left, right))
         if not new_patterns:
             break
+        frontier = set()
         for pattern, left, right in new_patterns:
             key = (str(pattern), left.value_type)
             existing = candidates.get(key)
@@ -222,6 +236,7 @@ def generalize_candidates(candidates: CandidateSet) -> int:
                     pattern, left.value_type, left.collection, general=True
                 )
                 added += 1
+                frontier.add(candidate.key)
             else:
                 candidate = existing
             candidate.sources.add(left.key)

@@ -9,7 +9,9 @@ virtual indexes cannot be used for query execution").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Set, Tuple
 
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
@@ -30,9 +32,11 @@ from repro.query.model import (
     Statement,
     WhereClause,
 )
+from repro.storage.synopsis import pattern_nodes
 from repro.xmlmodel.nodes import XmlDocument, XmlNode
 from repro.xpath.ast import Literal
 from repro.xpath.evaluator import compare_value, evaluate_path
+from repro.xpath.patterns import pattern_from_path
 
 
 @dataclass
@@ -60,6 +64,7 @@ class Executor:
         database,
         optimizer: Optional[Optimizer] = None,
         session: Optional[WhatIfSession] = None,
+        use_synopsis: Optional[bool] = None,
     ) -> None:
         self.database = database
         if session is None:
@@ -71,6 +76,15 @@ class Executor:
         #: All planning goes through the session: NORMAL-mode plans are
         #: cached per statement and invalidated on database modification.
         self.session = session
+        #: Resolve predicate-free absolute paths through the per-document
+        #: path synopsis (matcher bitmap + node-id lookup) instead of a
+        #: tree walk.  Results are bit-identical either way (pinned by
+        #: tests/test_executor_synopsis.py); the toggle exists for the
+        #: differential harness and as an escape hatch
+        #: (``REPRO_SYNOPSIS_EXEC=0``).
+        if use_synopsis is None:
+            use_synopsis = os.environ.get("REPRO_SYNOPSIS_EXEC", "1") != "0"
+        self.use_synopsis = use_synopsis
         self._entries_scanned = 0
 
     @property
@@ -114,7 +128,7 @@ class Executor:
                     continue
         for document in documents:
             docs_examined += 1
-            for node in _binding_nodes(document, query):
+            for node in _binding_nodes(document, query, self.use_synopsis):
                 rows += 1
                 if collect_output:
                     output.append(_render_result(node, query))
@@ -205,7 +219,7 @@ class Executor:
                     continue
         for document in outer_documents:
             docs_examined += 1
-            for node in _binding_nodes(document, outer_query):
+            for node in _binding_nodes(document, outer_query, self.use_synopsis):
                 keys = _join_keys(node, variant.left_join_path)
                 if keys:
                     outer_rows.append((node, keys))
@@ -237,7 +251,7 @@ class Executor:
                             docs_examined += 1
                             probed_docs[doc_id] = [
                                 (n, _join_keys(n, variant.right_join_path))
-                                for n in _binding_nodes(document, inner_query)
+                                for n in _binding_nodes(document, inner_query, self.use_synopsis)
                             ]
                         matches.extend(probed_docs[doc_id])
                 seen = set()
@@ -251,7 +265,7 @@ class Executor:
             by_key: dict = {}
             for document in inner_collection:
                 docs_examined += 1
-                for node in _binding_nodes(document, inner_query):
+                for node in _binding_nodes(document, inner_query, self.use_synopsis):
                     node_keys = _join_keys(node, variant.right_join_path)
                     for key in node_keys:
                         by_key.setdefault(key, []).append((node, node_keys))
@@ -310,7 +324,7 @@ class Executor:
             except KeyError:
                 continue
             docs_examined += 1
-            if _delete_matches(document, statement):
+            if _delete_matches(document, statement, self.use_synopsis):
                 victims.append(doc_id)
         for doc_id in victims:
             self.database.delete_document(statement.collection, doc_id)
@@ -334,10 +348,43 @@ def _join_keys(node: XmlNode, join_path) -> frozenset:
     )
 
 
-def _binding_nodes(document: XmlDocument, query: Query) -> List[XmlNode]:
+@lru_cache(maxsize=4096)
+def _synopsis_eligible(path) -> bool:
+    """Whether a location path can be resolved through the synopsis: an
+    absolute, predicate-free path is exactly a linear pattern, so the set
+    of nodes it reaches is the set of nodes whose rooted tag path belongs
+    to the pattern's language."""
+    return bool(
+        path.absolute
+        and path.steps
+        and all(not step.predicates for step in path.steps)
+    )
+
+
+def _path_nodes(
+    document: XmlDocument, path, use_synopsis: bool
+) -> List[XmlNode]:
+    """Nodes ``path`` reaches from the document root, in document order --
+    through the synopsis bitmap when enabled and eligible, else the
+    reference tree walk."""
+    if use_synopsis and _synopsis_eligible(path):
+        return pattern_nodes(document, _path_pattern(path))
+    return evaluate_path(document, path)
+
+
+@lru_cache(maxsize=4096)
+def _path_pattern(path):
+    """Cached linear pattern of a path (reuses the compiled matcher
+    across documents)."""
+    return pattern_from_path(path)
+
+
+def _binding_nodes(
+    document: XmlDocument, query: Query, use_synopsis: bool = False
+) -> List[XmlNode]:
     """Binding-variable nodes of ``query`` in ``document`` that satisfy all
     where clauses."""
-    nodes = evaluate_path(document, query.binding_path)
+    nodes = _path_nodes(document, query.binding_path, use_synopsis)
     if not query.where:
         return nodes
     return [
@@ -359,8 +406,12 @@ def _clause_holds(node: XmlNode, clause: WhereClause) -> bool:
     )
 
 
-def _delete_matches(document: XmlDocument, statement: DeleteStatement) -> bool:
-    targets = evaluate_path(document, statement.selector_path)
+def _delete_matches(
+    document: XmlDocument,
+    statement: DeleteStatement,
+    use_synopsis: bool = False,
+) -> bool:
+    targets = _path_nodes(document, statement.selector_path, use_synopsis)
     if statement.op is None:
         return bool(targets)
     return any(

@@ -194,6 +194,13 @@ class WhatIfSession:
         #: the true total).
         self.degraded: List[DegradedEstimate] = []
         self._generation = getattr(database, "modification_count", 0)
+        #: Snapshot of the database's per-collection epochs: when the
+        #: modification counter moves, the epochs that moved with it name
+        #: the touched collections, and only cache entries of statements
+        #: depending on those collections are dropped.
+        self._collection_epochs: Dict[str, int] = dict(
+            getattr(database, "collection_epochs", {})
+        )
         # (statement_id, mode value, projected index-key frozenset) -> result
         self._result_cache: Dict[Tuple, OptimizationResult] = {}
         self._statement_ids: Dict[Statement, int] = {}
@@ -279,17 +286,57 @@ class WhatIfSession:
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every cached optimization result.  Called automatically
-        when the database's modification counter moves (statistics or
-        index visibility changed underneath us)."""
+        """Drop every cached optimization result.  Called explicitly, or
+        automatically when the database's modification counter moves
+        without per-collection epoch information to scope the drop."""
         self._result_cache.clear()
         self._projection_cache.clear()
         self.counters.invalidations += 1
         self._generation = getattr(self.database, "modification_count", 0)
+        self._collection_epochs = dict(
+            getattr(self.database, "collection_epochs", {})
+        )
+
+    def _invalidate_collections(self, collections: FrozenSet[str]) -> None:
+        """Scoped invalidation: drop only cache entries of statements
+        that depend on one of the touched ``collections`` (statement
+        dependencies are recorded by :meth:`statement_id`).  Entries for
+        untouched collections survive the DML.  Counts as one
+        invalidation, exactly like a full drop."""
+        affected = {
+            sid
+            for sid, deps in self._statement_collections.items()
+            if deps & collections
+        }
+        if affected:
+            for cache in (self._result_cache, self._projection_cache):
+                for key in [k for k in cache if k[0] in affected]:
+                    del cache[key]
+        self.counters.invalidations += 1
+        self._generation = getattr(self.database, "modification_count", 0)
+        self._collection_epochs = dict(
+            getattr(self.database, "collection_epochs", {})
+        )
 
     def _sync(self) -> None:
         current = getattr(self.database, "modification_count", 0)
-        if current != self._generation:
+        if current == self._generation:
+            return
+        epochs = getattr(self.database, "collection_epochs", None)
+        if not epochs:
+            self.invalidate()
+            return
+        changed = {
+            name
+            for name, epoch in epochs.items()
+            if self._collection_epochs.get(name, 0) != epoch
+        }
+        changed.update(
+            name for name in self._collection_epochs if name not in epochs
+        )
+        if changed:
+            self._invalidate_collections(frozenset(changed))
+        else:  # counter moved but no epoch did: be conservative
             self.invalidate()
 
     # ------------------------------------------------------------------
@@ -594,6 +641,9 @@ class WhatIfSession:
         snapshot = self.counters.to_dict()
         snapshot["cached_results"] = len(self._result_cache)
         snapshot["generation"] = self._generation
+        storage_stats = getattr(self.database, "storage_stats", None)
+        if storage_stats is not None:
+            snapshot["storage"] = storage_stats()
         if self.degraded:
             snapshot["degraded_samples"] = [
                 record.to_dict() for record in self.degraded[:10]

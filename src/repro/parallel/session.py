@@ -352,10 +352,21 @@ class ParallelWhatIfSession(WhatIfSession):
 
     def invalidate(self) -> None:
         super().invalidate()
+        self._drop_stale_workers()
+
+    def _invalidate_collections(self, collections) -> None:
+        # The scoped drop keeps cache entries for untouched collections,
+        # but worker *state* is all-or-nothing: process workers hold a
+        # copy of the whole database (every collection), so any DML makes
+        # the shipped snapshot stale.
+        super()._invalidate_collections(collections)
+        self._drop_stale_workers()
+
+    def _drop_stale_workers(self) -> None:
         # Process workers hold a *copy* of the database; a modification
         # makes that copy stale, so the snapshot and pool are rebuilt on
         # next use.  The in-process runtime reads the live database (its
-        # statistics invalidate themselves), so it stays.
+        # statistics absorb DML deltas in place), so it stays.
         self._snapshot_payload = None
         if self.executor_kind == "process":
             self._discard_pool()

@@ -15,7 +15,12 @@ Everything here must pickle cleanly across a spawn boundary:
   text, so workers re-intern paths against their own process-local
   ``GLOBAL_TABLE`` instead of inheriting stale bitmap ids;
 * :class:`~repro.storage.statistics.DataStatistics` drops its interned
-  id caches on pickle for the same reason;
+  id caches (and its process-local lock) on pickle for the same reason;
+* :class:`~repro.xmlmodel.nodes.XmlDocument` drops its cached
+  :class:`~repro.storage.synopsis.DocumentSynopsis` on pickle -- the
+  synopsis caches interned path ids and is cheap to rebuild, so workers
+  derive their own coherent copies lazily from the shipped trees
+  instead of inheriting ids minted in the parent process;
 * :class:`~repro.robustness.policy.RetryPolicy` carries injectable
   ``sleep``/``clock`` callables (tests pass lambdas), so the snapshot
   stores a :func:`sanitize_retry_policy` copy with the default

@@ -13,6 +13,7 @@ from repro.robustness.faults import maybe_inject
 from repro.storage.catalog import Catalog, IndexDefinition
 from repro.storage.index import PathIndex
 from repro.storage.statistics import DataStatistics, collect_statistics
+from repro.storage.synopsis import get_synopsis
 from repro.xmlmodel.nodes import XmlDocument, XmlNode
 from repro.xmlmodel.parser import parse_document
 
@@ -90,12 +91,31 @@ class Database:
         #: Bumped by every data or index-DDL change; what-if sessions
         #: compare it against their cached generation and invalidate.
         self.modification_count = 0
+        #: Per-collection change epochs: sessions that know which
+        #: collections a cached result depends on invalidate only the
+        #: entries whose epochs moved.
+        self.collection_epochs: Dict[str, int] = {}
+        #: Storage-engine counters (``storage_stats()``): full statistics
+        #: rescans vs. DML absorbed as synopsis deltas.
+        self.stats_rescans = 0
+        self.stats_delta_applies = 0
 
-    def touch(self) -> None:
+    def touch(self, collection_name: Optional[str] = None) -> None:
         """Record a modification (data, statistics, or index visibility
         changed); cached optimizer results keyed on the old state must be
-        invalidated by whoever holds them."""
+        invalidated by whoever holds them.  Scoped to one collection's
+        epoch when ``collection_name`` is given; a bare ``touch()`` is a
+        global change and bumps every epoch."""
         self.modification_count += 1
+        if collection_name is not None:
+            self.collection_epochs[collection_name] = (
+                self.collection_epochs.get(collection_name, 0) + 1
+            )
+        else:
+            for name in self.collections:
+                self.collection_epochs[name] = (
+                    self.collection_epochs.get(name, 0) + 1
+                )
 
     # ------------------------------------------------------------------
     # Collections
@@ -106,6 +126,7 @@ class Database:
             raise ValueError(f"collection {name!r} already exists")
         collection = Collection(name)
         self.collections[name] = collection
+        self.collection_epochs.setdefault(name, 0)
         return collection
 
     def collection(self, name: str) -> Collection:
@@ -114,24 +135,42 @@ class Database:
         return self.collections[name]
 
     def insert_document(self, collection_name: str, text: str) -> int:
-        """Insert XML text into a collection, maintaining real indexes."""
+        """Insert XML text into a collection, maintaining real indexes.
+
+        The document's synopsis is built once (one shared walk) and feeds
+        every index on the collection plus a +delta into live statistics;
+        cached statistics are only invalidated when they predate the
+        synopsis engine and cannot absorb deltas.
+        """
         collection = self.collection(collection_name)
         doc_id = collection.insert_xml(text)
         document = collection.get(doc_id)
+        synopsis = get_synopsis(document)
         for index in self._indexes_on(collection_name):
             index.insert_document(document)
-        self.invalidate_statistics(collection_name)
-        self.touch()
+        stats = self._statistics.get(collection_name)
+        if stats is not None and stats.supports_deltas:
+            stats.apply_insert(synopsis)
+            self.stats_delta_applies += 1
+        else:
+            self.invalidate_statistics(collection_name)
+        self.touch(collection_name)
         return doc_id
 
     def delete_document(self, collection_name: str, doc_id: int) -> None:
         """Delete a document from a collection, maintaining real indexes."""
         collection = self.collection(collection_name)
         document = collection.delete(doc_id)
+        synopsis = get_synopsis(document)
         for index in self._indexes_on(collection_name):
             index.remove_document(document)
-        self.invalidate_statistics(collection_name)
-        self.touch()
+        stats = self._statistics.get(collection_name)
+        if stats is not None and stats.supports_deltas:
+            stats.apply_delete(synopsis)
+            self.stats_delta_applies += 1
+        else:
+            self.invalidate_statistics(collection_name)
+        self.touch(collection_name)
 
     # ------------------------------------------------------------------
     # Indexes
@@ -142,13 +181,14 @@ class Database:
         index = PathIndex(definition)
         index.bulk_load(self.collection(definition.collection))
         self.indexes[definition.name] = index
-        self.touch()
+        self.touch(definition.collection)
         return index
 
     def drop_index(self, name: str) -> None:
+        definition = self.catalog.get(name)
         self.catalog.remove(name)
         self.indexes.pop(name, None)
-        self.touch()
+        self.touch(definition.collection)
 
     def drop_all_indexes(self) -> None:
         for name in [d.name for d in self.catalog.all_definitions()]:
@@ -178,6 +218,7 @@ class Database:
         """
         if collection_name not in self._statistics:
             maybe_inject("statistics.runstats")
+            self.stats_rescans += 1
             self._statistics[collection_name] = collect_statistics(
                 self.collection(collection_name)
             )
@@ -185,6 +226,17 @@ class Database:
 
     def invalidate_statistics(self, collection_name: str) -> None:
         self._statistics.pop(collection_name, None)
+
+    def storage_stats(self) -> Dict[str, int]:
+        """Storage-engine counters: full statistics rescans, DML absorbed
+        as synopsis deltas, and targeted per-path summary rebuilds."""
+        return {
+            "stats_rescans": self.stats_rescans,
+            "stats_delta_applies": self.stats_delta_applies,
+            "summary_rebuilds": sum(
+                stats.summary_rebuilds for stats in self._statistics.values()
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -19,6 +19,7 @@ import enum
 import math
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro.storage.synopsis import get_synopsis
 from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
 from repro.xpath.ast import Literal
 
@@ -66,21 +67,58 @@ class PathIndex:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _document_entries(
+        self, document: XmlDocument
+    ) -> List[Tuple[object, int, int, Tuple[str, ...]]]:
+        """All index entries ``document`` contributes, derived from its
+        shared path synopsis (matcher bitmap over the document's interned
+        path ids) instead of a per-index tree walk."""
+        synopsis = get_synopsis(document)
+        path_ids = synopsis.path_ids()  # intern before the matcher scans
+        matched = self.definition.pattern.matcher.matching_ids()
+        numeric = self.definition.value_type is IndexValueType.NUMERIC
+        doc_id = document.doc_id
+        entries: List[Tuple[object, int, int, Tuple[str, ...]]] = []
+        for slot, path_id in enumerate(path_ids):
+            if path_id not in matched:
+                continue
+            tag_path = synopsis.tag_paths[slot]
+            for node_id, text in zip(
+                synopsis.node_ids[slot], synopsis.values[slot]
+            ):
+                if numeric:
+                    try:
+                        key: object = float(text.strip())
+                    except ValueError:
+                        continue
+                else:
+                    key = text
+                entries.append((key, doc_id, node_id, tag_path))
+        return entries
+
     def insert_document(self, document: XmlDocument) -> int:
-        """Index all nodes of ``document`` matching the pattern.  Returns
-        the number of entries added."""
-        added = 0
-        for node, tag_path in _walk_with_paths(document):
-            if not self.definition.pattern.matches(tag_path):
-                continue
-            key = self._key_for(node)
-            if key is None:
-                continue
-            bisect.insort(
-                self.entries, (key, document.doc_id, node.node_id, tag_path)
-            )
-            added += 1
-        return added
+        """Index all nodes of ``document`` matching the pattern, merging
+        the document's sorted entry batch into the entry list in one pass
+        (instead of an O(n) ``insort`` per entry).  Returns the number of
+        entries added."""
+        new_entries = self._document_entries(document)
+        if not new_entries:
+            return 0
+        new_entries.sort()
+        entries = self.entries
+        if not entries or entries[-1] <= new_entries[0]:
+            entries.extend(new_entries)
+            return len(new_entries)
+        merged: List[Tuple[object, int, int, Tuple[str, ...]]] = []
+        pos = 0
+        for entry in new_entries:
+            idx = bisect.bisect_left(entries, entry, pos)
+            merged.extend(entries[pos:idx])
+            merged.append(entry)
+            pos = idx
+        merged.extend(entries[pos:])
+        self.entries = merged
+        return len(new_entries)
 
     def bulk_load(self, documents) -> int:
         """Build the index over many documents with one final sort
@@ -88,24 +126,42 @@ class PathIndex:
         of entries added."""
         added = 0
         for document in documents:
-            for node, tag_path in _walk_with_paths(document):
-                if not self.definition.pattern.matches(tag_path):
-                    continue
-                key = self._key_for(node)
-                if key is None:
-                    continue
-                self.entries.append(
-                    (key, document.doc_id, node.node_id, tag_path)
-                )
-                added += 1
+            batch = self._document_entries(document)
+            self.entries.extend(batch)
+            added += len(batch)
         self.entries.sort()
         return added
 
     def remove_document(self, document: XmlDocument) -> int:
-        """Remove all entries of ``document``.  Returns entries removed."""
-        before = len(self.entries)
-        self.entries = [e for e in self.entries if e[1] != document.doc_id]
-        return before - len(self.entries)
+        """Remove all entries of ``document``.
+
+        The document's entry batch is re-derived from its synopsis and
+        located by bisection; runs of adjacent positions are deleted as
+        spans (right to left), so the cost scales with the document's own
+        entries and the spans they occupy -- not with the total entry
+        count.  Returns entries removed."""
+        doc_entries = self._document_entries(document)
+        if not doc_entries:
+            return 0
+        doc_entries.sort()
+        entries = self.entries
+        positions: List[int] = []
+        pos = 0
+        for entry in doc_entries:
+            idx = bisect.bisect_left(entries, entry, pos)
+            if idx < len(entries) and entries[idx] == entry:
+                positions.append(idx)
+                pos = idx + 1
+            else:
+                pos = idx  # entry absent (index never saw this doc state)
+        end = len(positions)
+        while end > 0:
+            start = end - 1
+            while start > 0 and positions[start - 1] == positions[start] - 1:
+                start -= 1
+            del entries[positions[start] : positions[end - 1] + 1]
+            end = start
+        return len(positions)
 
     def _key_for(self, node: XmlNode) -> Optional[object]:
         text = node.string_value()

@@ -14,11 +14,31 @@ indexes are never populated.  This module implements both halves:
   that pattern would have.
 * :meth:`DataStatistics.selectivity` estimates predicate selectivities the
   optimizer's cost model needs.
+
+Since the incremental storage engine (docs/performance.md), statistics are
+*merged* from per-document :class:`~repro.storage.synopsis.DocumentSynopsis`
+objects and maintained under DML by exact +/- deltas
+(:meth:`DataStatistics.apply_insert` / :meth:`DataStatistics.apply_delete`)
+instead of being dropped and rescanned.  The equivalence contract:
+
+* Exact quantities (counts, doc counts, numeric counts, string bytes) are
+  always identical to a from-scratch rescan.
+* Bounded structures (value samples, distinct sets, string frequencies,
+  min/max) are maintained exactly while provably rescan-identical; once a
+  delete retracts values or a sample hits its cap they mark themselves
+  ``dirty`` and are rebuilt -- targeted, per path, from the live synopses
+  -- the next time a probe touches them.  A rebuild restreams that path's
+  values in document order, which is exactly the rescan stream, so the
+  cleaned summary equals the rescan summary field for field.
+
+:func:`collect_statistics_rescan` keeps the original node-by-node scan as
+the differential reference.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -31,6 +51,7 @@ from repro.storage.index import (
     IndexValueType,
     estimate_levels,
 )
+from repro.storage.synopsis import DocumentSynopsis, get_synopsis
 from repro.xmlmodel.nodes import NodeKind, XmlDocument, XmlNode
 from repro.xpath.ast import Literal
 from repro.xpath.compiled import GLOBAL_TABLE
@@ -56,6 +77,10 @@ class PathValueSummary:
     string_freq: Counter = field(default_factory=Counter)
     _distinct: set = field(default_factory=set)
     _sample_stride_state: int = 0
+    #: Bounded structures (samples, distinct set, string frequencies,
+    #: min/max) no longer match a from-scratch rescan; exact aggregates
+    #: are still maintained.  Cleared by a targeted rebuild.
+    dirty: bool = False
 
     def observe(self, text: str) -> None:
         """Record one node value."""
@@ -95,6 +120,60 @@ class PathValueSummary:
         self.numeric_sample.sort()
         self.string_sample.sort()
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance (post-finalize)
+    # ------------------------------------------------------------------
+    def extend(self, values: Iterable[str]) -> None:
+        """Stream inserted values into a finalized summary.
+
+        Exact aggregates (count, numeric count, string bytes) are always
+        maintained.  Bounded structures stay exactly rescan-identical as
+        long as every sample append lands below ``MAX_SAMPLE``: appends
+        into the sorted sample produce the same sorted multiset a rescan's
+        append-then-sort would.  The moment a sample would need the
+        systematic stride replacement (which operates on the *unsorted*
+        build-time list and cannot be replayed post-sort), the summary
+        marks itself ``dirty`` and leaves bounded state to a rebuild.
+        """
+        for text in values:
+            self.count += 1
+            self.total_string_bytes += len(text)
+            number: Optional[float] = None
+            try:
+                number = float(text.strip())
+            except ValueError:
+                number = None
+            if number is not None:
+                self.numeric_count += 1
+            if self.dirty:
+                continue
+            if len(self._distinct) < MAX_SAMPLE:
+                self._distinct.add(text)
+            if number is not None:
+                if self.numeric_min is None or number < self.numeric_min:
+                    self.numeric_min = number
+                if self.numeric_max is None or number > self.numeric_max:
+                    self.numeric_max = number
+                sample: List[object] = self.numeric_sample
+                value: object = number
+            else:
+                sample = self.string_sample
+                value = text
+            if len(sample) >= MAX_SAMPLE:
+                self.dirty = True
+                continue
+            bisect.insort(sample, value)
+            if len(self.string_freq) < MAX_STRING_FREQ or text in self.string_freq:
+                self.string_freq[text] += 1
+
+    def retract(self, count: int, numeric_count: int, string_bytes: int) -> None:
+        """Subtract a deleted document's exact delta.  Values cannot be
+        un-sampled, so the bounded structures go dirty."""
+        self.count -= count
+        self.numeric_count -= numeric_count
+        self.total_string_bytes -= string_bytes
+        self.dirty = True
+
     @property
     def distinct(self) -> int:
         return max(1, len(self._distinct))
@@ -124,6 +203,34 @@ class IndexStatistics:
         return self.entry_count / self.distinct_keys
 
 
+class _SummaryMap(dict):
+    """``summaries`` mapping that repairs dirty summaries on access.
+
+    Keyed access (``stats.summaries[path]`` / ``.get(path)``) is the
+    probe boundary of the rebuild-on-dirty contract: a summary whose
+    bounded structures were invalidated by DML is rebuilt -- targeted,
+    from the live synopses -- the moment any consumer reads it.  Plain
+    iteration does not clean (maintenance code uses ``dict`` methods
+    directly to stay re-entrant).
+    """
+
+    def __init__(self, stats: Optional["DataStatistics"] = None) -> None:
+        super().__init__()
+        self._stats = stats
+
+    def __getitem__(self, key):
+        summary = dict.__getitem__(self, key)
+        if summary.dirty and self._stats is not None:
+            self._stats._clean_summary(key, summary)
+        return summary
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
 class DataStatistics:
     """Statistics for one collection, produced by :func:`collect_statistics`."""
 
@@ -135,11 +242,17 @@ class DataStatistics:
         self.path_counts: Dict[Tuple[str, ...], int] = {}
         #: distinct documents containing each path at least once
         self.path_doc_counts: Dict[Tuple[str, ...], int] = {}
-        self.summaries: Dict[Tuple[str, ...], PathValueSummary] = {}
+        self.summaries: Dict[Tuple[str, ...], PathValueSummary] = _SummaryMap(self)
         self._matching_cache: Dict[str, List[Tuple[Tuple[str, ...], int]]] = {}
         #: (interned id, path) pairs mirroring ``path_counts``; rebuilt
         #: lazily whenever paths were added since the last pattern probe.
         self._path_ids: List[Tuple[int, Tuple[str, ...]]] = []
+        #: Backing collection when built through the synopsis engine;
+        #: required for delta maintenance and targeted rebuilds.
+        self._collection = None
+        #: Targeted per-path summary rebuilds performed (storage counter).
+        self.summary_rebuilds = 0
+        self._lock = threading.Lock()
 
     def __getstate__(self):
         # ``_path_ids`` holds ids interned in *this* process's
@@ -147,11 +260,134 @@ class DataStatistics:
         # those ids would silently mismatch its table and corrupt
         # pattern matching.  ``_matching_cache`` entries were computed
         # through those ids, so both are dropped and rebuilt lazily on
-        # the receiving side.
+        # the receiving side.  The lock is process-local.
         state = self.__dict__.copy()
         state["_path_ids"] = []
         state["_matching_cache"] = {}
+        state.pop("_lock", None)
         return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (synopsis deltas)
+    # ------------------------------------------------------------------
+    @property
+    def supports_deltas(self) -> bool:
+        """True when these statistics can absorb DML deltas (built by the
+        synopsis engine, with the backing collection attached)."""
+        return self._collection is not None
+
+    def apply_insert(self, synopsis: DocumentSynopsis) -> None:
+        """Merge one inserted document's synopsis into live statistics.
+
+        New paths append to ``path_counts`` in the document's first-seen
+        order -- exactly where a rescan over the grown collection would
+        put them -- so pattern aggregation order (and therefore float
+        summation order) stays rescan-identical.
+        """
+        with self._lock:
+            self.doc_count += 1
+            self.total_nodes += synopsis.node_count
+            self.total_elements += synopsis.element_count
+            summaries = self.summaries
+            for slot, tag_path in enumerate(synopsis.tag_paths):
+                count = synopsis.deltas[slot][0]
+                self.path_counts[tag_path] = (
+                    self.path_counts.get(tag_path, 0) + count
+                )
+                self.path_doc_counts[tag_path] = (
+                    self.path_doc_counts.get(tag_path, 0) + 1
+                )
+                summary = dict.get(summaries, tag_path)
+                if summary is None:
+                    summary = PathValueSummary()
+                    dict.__setitem__(summaries, tag_path, summary)
+                summary.extend(synopsis.values[slot])
+            self._path_ids = []
+            self._matching_cache.clear()
+
+    def apply_delete(self, synopsis: DocumentSynopsis) -> None:
+        """Retract one deleted document's synopsis from live statistics.
+
+        Exact aggregates are subtracted; the touched summaries go dirty
+        (rebuilt on next probe).  Key order of the path dictionaries is
+        then re-canonicalized to first-seen order over the *remaining*
+        documents -- a counts-only pass over the live synopses, never a
+        value rescan -- because a rescan of the shrunken collection may
+        see surviving paths in a different first-seen order.
+        """
+        with self._lock:
+            self.doc_count -= 1
+            self.total_nodes -= synopsis.node_count
+            self.total_elements -= synopsis.element_count
+            summaries = self.summaries
+            for slot, tag_path in enumerate(synopsis.tag_paths):
+                count, numeric_count, string_bytes = synopsis.deltas[slot]
+                summary = dict.get(summaries, tag_path)
+                if summary is not None:
+                    summary.retract(count, numeric_count, string_bytes)
+            self._canonicalize()
+            self._path_ids = []
+            self._matching_cache.clear()
+
+    def _canonicalize(self) -> None:
+        """Rebuild the path dictionaries in rescan (first-seen over live
+        documents) order from the per-document deltas, dropping paths
+        whose count reached zero.  O(total paths across documents); no
+        value streaming.  Caller holds the lock."""
+        counts: Dict[Tuple[str, ...], int] = {}
+        doc_counts: Dict[Tuple[str, ...], int] = {}
+        for document in self._collection:
+            synopsis = get_synopsis(document)
+            for slot, tag_path in enumerate(synopsis.tag_paths):
+                counts[tag_path] = (
+                    counts.get(tag_path, 0) + synopsis.deltas[slot][0]
+                )
+                doc_counts[tag_path] = doc_counts.get(tag_path, 0) + 1
+        summaries = _SummaryMap(self)
+        for tag_path in counts:
+            summary = dict.get(self.summaries, tag_path)
+            if summary is None:  # pragma: no cover - defensive
+                summary = PathValueSummary(dirty=True)
+            dict.__setitem__(summaries, tag_path, summary)
+        self.path_counts = counts
+        self.path_doc_counts = doc_counts
+        self.summaries = summaries
+
+    def _clean_summary(self, tag_path: Tuple[str, ...], summary: PathValueSummary) -> None:
+        """Targeted rebuild of one dirty summary: restream that path's
+        values from the live synopses in document order -- exactly the
+        stream a rescan would feed it -- and swap the state in place."""
+        collection = self._collection
+        if collection is None:
+            return
+        with self._lock:
+            if not summary.dirty:
+                return
+            rebuilt = PathValueSummary()
+            for document in collection:
+                synopsis = get_synopsis(document)
+                slot = synopsis.slot_of(tag_path)
+                if slot is None:
+                    continue
+                for text in synopsis.values[slot]:
+                    rebuilt.observe(text)
+            rebuilt.finalize()
+            summary.count = rebuilt.count
+            summary.numeric_count = rebuilt.numeric_count
+            summary.numeric_min = rebuilt.numeric_min
+            summary.numeric_max = rebuilt.numeric_max
+            summary.total_string_bytes = rebuilt.total_string_bytes
+            summary.numeric_sample = rebuilt.numeric_sample
+            summary.string_sample = rebuilt.string_sample
+            summary.string_freq = rebuilt.string_freq
+            summary._distinct = rebuilt._distinct
+            summary._sample_stride_state = rebuilt._sample_stride_state
+            self.summary_rebuilds += 1
+            summary.dirty = False
 
     # ------------------------------------------------------------------
     # Collection-side (used by collect_statistics)
@@ -400,11 +636,46 @@ def _string_selectivity(
 
 
 def collect_statistics(collection) -> DataStatistics:
-    """One pass over a collection producing :class:`DataStatistics`.
+    """Produce :class:`DataStatistics` by merging per-document synopses.
 
     ``collection`` is a :class:`repro.storage.database.Collection`; typed as
     ``object`` here to avoid an import cycle.
+
+    Bit-identical to :func:`collect_statistics_rescan`: each path's value
+    stream (preorder within a document, documents in collection order) is
+    preserved by the synopsis, and path dictionary keys appear in the same
+    global first-seen order.  The resulting statistics carry the backing
+    collection and therefore absorb later DML as deltas.
     """
+    stats = DataStatistics(collection.name)
+    stats._collection = collection
+    summaries = stats.summaries
+    for document in collection:
+        synopsis = get_synopsis(document)
+        stats.doc_count += 1
+        stats.total_nodes += synopsis.node_count
+        stats.total_elements += synopsis.element_count
+        for slot, tag_path in enumerate(synopsis.tag_paths):
+            stats.path_counts[tag_path] = (
+                stats.path_counts.get(tag_path, 0) + synopsis.deltas[slot][0]
+            )
+            stats.path_doc_counts[tag_path] = (
+                stats.path_doc_counts.get(tag_path, 0) + 1
+            )
+            summary = dict.get(summaries, tag_path)
+            if summary is None:
+                summary = PathValueSummary()
+                dict.__setitem__(summaries, tag_path, summary)
+            for text in synopsis.values[slot]:
+                summary.observe(text)
+    stats._finalize()
+    return stats
+
+
+def collect_statistics_rescan(collection) -> DataStatistics:
+    """The original node-by-node scan, kept as the differential reference
+    for the synopsis engine (tests and the bench identity gate compare
+    delta-maintained statistics against this)."""
     stats = DataStatistics(collection.name)
     for document in collection:
         stats.doc_count += 1

@@ -164,7 +164,7 @@ class XmlDocument:
     the document.
     """
 
-    __slots__ = ("doc_id", "document_node", "nodes")
+    __slots__ = ("doc_id", "document_node", "nodes", "_synopsis")
 
     def __init__(self, root_element: XmlNode, doc_id: int = -1) -> None:
         if root_element.kind is not NodeKind.ELEMENT:
@@ -173,6 +173,20 @@ class XmlDocument:
         self.document_node = XmlNode(NodeKind.DOCUMENT)
         self.document_node.append_child(root_element)
         self.nodes: List[XmlNode] = []
+        #: Cached per-document path synopsis (see
+        #: :mod:`repro.storage.synopsis`); built lazily, derived data only.
+        self._synopsis = None
+        self._assign_node_ids()
+
+    def __getstate__(self):
+        # ``nodes`` is rebuilt from the tree and the synopsis is derived
+        # data whose cached interned path ids are process-local; shipping
+        # either across a process boundary would be redundant or wrong.
+        return (self.doc_id, self.document_node)
+
+    def __setstate__(self, state) -> None:
+        self.doc_id, self.document_node = state
+        self._synopsis = None
         self._assign_node_ids()
 
     def _assign_node_ids(self) -> None:

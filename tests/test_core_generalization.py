@@ -169,3 +169,93 @@ def test_generalizations_cover_both_inputs(a, b):
 def test_generalization_is_symmetric(a, b):
     pa, pb = to_pattern(a), to_pattern(b)
     assert generalize_pair(pa, pb) == generalize_pair(pb, pa)
+
+
+# ---------------------------------------------------------------------------
+# Frontier pruning is output-identical to the naive fixed point
+# ---------------------------------------------------------------------------
+
+def naive_generalize_candidates(candidates: CandidateSet) -> int:
+    """The pre-frontier reference loop: EVERY pair re-enumerated in every
+    round.  ``generalize_candidates`` prunes old x old pairs after round
+    one and must stay exactly output-identical to this."""
+    from repro.core.generalization import MAX_ROUNDS
+
+    added = 0
+    for _ in range(MAX_ROUNDS):
+        current = list(candidates)
+        new_patterns = []
+        for i, left in enumerate(current):
+            for right in current[i + 1 :]:
+                if left.value_type is not right.value_type:
+                    continue
+                if left.collection != right.collection:
+                    continue
+                for pattern in generalize_pair(left.pattern, right.pattern):
+                    if (str(pattern), left.value_type) not in candidates:
+                        new_patterns.append((pattern, left, right))
+        if not new_patterns:
+            break
+        for pattern, left, right in new_patterns:
+            key = (str(pattern), left.value_type)
+            existing = candidates.get(key)
+            if existing is None:
+                candidate = candidates.get_or_add(
+                    pattern, left.value_type, left.collection, general=True
+                )
+                added += 1
+            else:
+                candidate = existing
+            candidate.sources.add(left.key)
+            candidate.sources.add(right.key)
+    candidates.propagate_affected_sets()
+    return added
+
+
+FRONTIER_NAMES = ("a", "b", "k", "*")
+FRONTIER_PATHS = st.lists(
+    st.builds(
+        lambda parts: "".join(parts),
+        st.lists(
+            st.tuples(st.sampled_from(("/", "//")), st.sampled_from(FRONTIER_NAMES)).map(
+                lambda ax_name: ax_name[0] + ax_name[1]
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+    ),
+    min_size=2,
+    max_size=5,
+    unique=True,
+)
+
+
+def build_set(paths, types):
+    candidates = CandidateSet()
+    for position, (text, numeric) in enumerate(zip(paths, types)):
+        value_type = IndexValueType.NUMERIC if numeric else IndexValueType.STRING
+        candidate = candidates.get_or_add(parse_pattern(text), value_type, "C")
+        candidate.affected.add(position)
+    return candidates
+
+
+def snapshot(candidates):
+    return [
+        (c.key, c.general, sorted(c.sources), sorted(c.affected))
+        for c in candidates
+    ]
+
+
+@given(
+    paths=FRONTIER_PATHS,
+    types=st.lists(st.booleans(), min_size=5, max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_frontier_pruning_is_output_identical(paths, types):
+    """For ANY candidate set: same added count, same candidates in the
+    same creation order, same general flags, sources, and affected sets
+    as the naive every-pair fixed point."""
+    pruned = build_set(paths, types)
+    naive = build_set(paths, types)
+    assert generalize_candidates(pruned) == naive_generalize_candidates(naive)
+    assert snapshot(pruned) == snapshot(naive)

@@ -23,10 +23,12 @@ from repro.workloads import synthetic, tpox, xmark
 
 BUDGET = 250_000
 
-#: Fields that legitimately differ between runs: wall-clock timing and
-#: the per-worker scheduling stats.
+#: Fields that legitimately differ between runs: wall-clock timing, the
+#: per-worker scheduling stats, and the storage-engine counters (process
+#: workers rebuild summaries in their own database copies, so the
+#: parent's rebuild counter depends on the executor kind).
 TIMING_KEYS = ("elapsed_seconds",)
-SESSION_TIMING_KEYS = ("phase_seconds", "workers")
+SESSION_TIMING_KEYS = ("phase_seconds", "workers", "storage")
 
 #: The matrix the ISSUE pins: serial session, then 1/2/4 workers.
 WORKER_COUNTS = (None, 1, 2, 4)
@@ -154,6 +156,61 @@ def test_recommendation_is_json_serializable_with_workers():
     assert workers["executor"] == "thread"
     assert workers["parallel_tasks"] >= 0
     assert workers["pool_failures"] == 0
+
+
+#: Mid-run DML applied between two advisor runs over one session: an
+#: insert into SDOC and the delete of its first document.  Statistics
+#: absorb both as synopsis deltas; the session invalidates only the
+#: SDOC-dependent cache entries (epoch-scoped).
+def _apply_dml(database):
+    database.insert_document(
+        "SDOC",
+        "<Security><Symbol>ZZ9999</Symbol><Yield>9.9</Yield></Security>",
+    )
+    database.delete_document("SDOC", 0)
+
+
+def run_recommendation_after_dml(build, workers, executor="thread"):
+    """Two advisor runs over ONE session with DML in between; returns both
+    normalized recommendations."""
+    database, workload = build()
+    if workers is None:
+        session = WhatIfSession(database)
+    else:
+        session = ParallelWhatIfSession(
+            database, workers=workers, executor=executor
+        )
+    try:
+        first = normalized(
+            IndexAdvisor(database, workload, session=session).recommend(BUDGET)
+        )
+        _apply_dml(database)
+        second = normalized(
+            IndexAdvisor(database, workload, session=session).recommend(BUDGET)
+        )
+        return first, second
+    finally:
+        session.close()
+
+
+def test_mid_run_dml_stays_bit_identical_across_workers():
+    """After DML lands between two runs on the same session -- delta
+    statistics, epoch-scoped invalidation, stale-snapshot drop -- every
+    worker count still reproduces the serial pair exactly."""
+    build = BENCHMARKS["tpox"]
+    baseline = run_recommendation_after_dml(build, None)
+    assert baseline[0] != baseline[1]  # the DML must actually matter
+    for workers in WORKER_COUNTS[1:]:
+        assert run_recommendation_after_dml(build, workers) == baseline, (
+            f"workers={workers} diverged from serial after mid-run DML"
+        )
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_mid_run_dml_executors_are_bit_identical(executor):
+    build = BENCHMARKS["tpox"]
+    baseline = run_recommendation_after_dml(build, None)
+    assert run_recommendation_after_dml(build, 2, executor=executor) == baseline
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage import Database, IndexDefinition, IndexValueType
-from repro.storage.statistics import PathValueSummary
+from repro.storage.statistics import (
+    PathValueSummary,
+    _string_selectivity,
+    _summary_selectivity,
+)
 from repro.xpath import parse_pattern
 from repro.xpath.ast import Literal
 
@@ -47,14 +51,20 @@ class TestCollection:
         stats = make_db(['<S id="a"/>', '<S id="b"/>']).runstats("C")
         assert stats.path_counts[("S", "@id")] == 2
 
-    def test_statistics_cached_and_invalidated(self):
+    def test_statistics_cached_and_delta_maintained(self):
         db = make_db(SAMPLE_DOCS)
         first = db.runstats("C")
         assert db.runstats("C") is first
+        rescans_before = db.stats_rescans
         db.insert_document("C", "<S><Y>99</Y></S>")
+        # DML is absorbed as a synopsis delta into the *live* statistics
+        # object -- no invalidation, no rescan on the next probe.
         second = db.runstats("C")
-        assert second is not first
+        assert second is first
         assert second.doc_count == 11
+        assert second.path_counts[("S", "Y")] == 11
+        assert db.stats_rescans == rescans_before
+        assert db.stats_delta_applies >= 1
 
 
 class TestDerivedIndexStatistics:
@@ -140,6 +150,88 @@ class TestSelectivity:
         assert stats.cardinality(
             parse_pattern("/S/Y"), ">", Literal(4.5)
         ) == pytest.approx(5.0)
+
+
+class TestStringSelectivity:
+    """Ordered / prefix / substring string predicates (the branches below
+    the equality fast path in ``_string_selectivity``)."""
+
+    WORDS = ["apple", "banana", "cherry", "date"]
+
+    def _summary(self, values):
+        summary = PathValueSummary()
+        for value in values:
+            summary.observe(value)
+        summary.finalize()
+        return summary
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", 0.25),   # strictly below "banana": apple
+            ("<=", 0.5),   # apple, banana
+            (">", 0.5),    # cherry, date
+            (">=", 0.75),  # banana, cherry, date
+        ],
+    )
+    def test_ordered_ops_pure_strings(self, op, expected):
+        summary = self._summary(self.WORDS)
+        sel = _string_selectivity(summary, op, "banana")
+        assert sel == pytest.approx(expected)
+
+    def test_ordered_ops_scaled_by_string_fraction(self):
+        """Mixed data: the sample fraction conditions on string values, so
+        the result scales by the non-numeric share of the population."""
+        summary = self._summary(self.WORDS + ["1", "2", "3", "4"])
+        # 4 of 8 values are strings; half the strings are <= "banana".
+        assert _string_selectivity(summary, "<=", "banana") == pytest.approx(
+            0.5 * 0.5
+        )
+        assert _string_selectivity(summary, ">", "banana") == pytest.approx(
+            0.5 * 0.5
+        )
+
+    def test_starts_with_counts_prefix_range(self):
+        summary = self._summary(["ab", "abc", "abd", "b", "c", "cd"])
+        assert _string_selectivity(summary, "starts-with", "ab") == (
+            pytest.approx(0.5)
+        )
+        assert _string_selectivity(summary, "starts-with", "zz") == 0.0
+
+    def test_starts_with_mixed_numeric(self):
+        summary = self._summary(["ab", "abc", "9", "10"])
+        # Both strings carry the prefix; strings are half the population.
+        assert _string_selectivity(summary, "starts-with", "ab") == (
+            pytest.approx(0.5)
+        )
+
+    def test_contains_counts_sample_hits(self):
+        summary = self._summary(["xay", "aa", "bbb", "ccc"])
+        assert _string_selectivity(summary, "contains", "a") == (
+            pytest.approx(0.5)
+        )
+        assert _string_selectivity(summary, "contains", "zz") == 0.0
+
+    def test_contains_mixed_numeric(self):
+        summary = self._summary(["xay", "bbb", "5", "6"])
+        assert _string_selectivity(summary, "contains", "a") == (
+            pytest.approx(0.5 * 0.5)
+        )
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "starts-with", "contains"])
+    def test_numeric_only_population_has_empty_string_sample(self, op):
+        summary = self._summary(["1", "2", "3"])
+        assert _string_selectivity(summary, op, "a") == 0.0
+
+    def test_empty_summary_short_circuits(self):
+        summary = PathValueSummary()
+        assert _summary_selectivity(summary, "<", Literal("a")) == 0.0
+        assert _summary_selectivity(summary, "=", Literal(1.0)) == 0.0
+
+    def test_unsupported_operator_raises(self):
+        summary = self._summary(self.WORDS)
+        with pytest.raises(ValueError):
+            _string_selectivity(summary, "~", "a")
 
 
 class TestPathValueSummary:

@@ -1,0 +1,354 @@
+"""Differential tests for the incremental storage engine (synopsis PR).
+
+The equivalence contract (docs/performance.md): delta-maintained
+:class:`DataStatistics` must agree with :func:`collect_statistics_rescan`
+-- the original node-by-node scan, kept as the reference -- after ANY
+interleaving of inserts and deletes:
+
+* exact quantities (counts, doc counts, totals) identically, always;
+* bounded summary structures (samples, distinct sets, string
+  frequencies, min/max) identically *at the probe boundary*: a keyed
+  ``stats.summaries[path]`` access repairs a dirty summary from the live
+  synopses before returning it, after which it equals the rescan summary
+  field for field;
+* ``path_counts`` key order identically (pattern aggregation order, and
+  therefore float summation order, is part of bit-identity).
+
+Real index maintenance rides the same synopses; after every DML
+operation each built index must hold exactly the entries a from-scratch
+``bulk_load`` would.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.session import WhatIfSession
+from repro.query import parse_statement
+from repro.storage import Database, IndexDefinition, IndexValueType
+from repro.storage.index import PathIndex, _walk_with_paths
+from repro.storage.statistics import collect_statistics_rescan
+from repro.storage.synopsis import build_synopsis, get_synopsis
+from repro.xmlmodel.parser import parse_document
+from repro.xpath import parse_pattern
+from repro.xpath.ast import Literal
+
+# ---------------------------------------------------------------------------
+# Random document generation (no "nan"/"inf": float("nan") would poison
+# sample-sort determinism, and neither scan path treats them specially).
+# ---------------------------------------------------------------------------
+
+TAGS = ("a", "b", "c")
+TEXTS = ("", "red", "blue", "x y", "007", "-3.5", "42", "zz9")
+
+texts = st.sampled_from(TEXTS)
+
+
+@st.composite
+def elements(draw, depth=0):
+    tag = draw(st.sampled_from(TAGS))
+    attrs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(("id", "k")), texts),
+            max_size=2,
+            unique_by=lambda item: item[0],
+        )
+    )
+    text = draw(texts)
+    children = (
+        []
+        if depth >= 2
+        else draw(st.lists(elements(depth=depth + 1), max_size=3))
+    )
+    attr_text = "".join(f' {name}="{value}"' for name, value in attrs)
+    body = text + "".join(children)
+    return f"<{tag}{attr_text}>{body}</{tag}>"
+
+
+documents = elements()
+
+ops = st.lists(
+    st.tuples(st.sampled_from(("insert", "delete")), documents, st.integers(0, 99)),
+    min_size=1,
+    max_size=8,
+)
+
+PROBE_PATTERNS = ("//a", "//b", "/a//*", "//@id")
+
+
+# ---------------------------------------------------------------------------
+# Differential assertions
+# ---------------------------------------------------------------------------
+
+def assert_summaries_equal(live, reference, tag_path):
+    """Probe one summary through the cleaning access and compare every
+    field against the rescan reference."""
+    probed = live.summaries[tag_path]  # keyed access repairs if dirty
+    expected = reference.summaries[tag_path]
+    assert probed.dirty is False
+    assert probed.count == expected.count
+    assert probed.numeric_count == expected.numeric_count
+    assert probed.numeric_min == expected.numeric_min
+    assert probed.numeric_max == expected.numeric_max
+    assert probed.total_string_bytes == expected.total_string_bytes
+    assert probed.numeric_sample == expected.numeric_sample
+    assert probed.string_sample == expected.string_sample
+    assert probed.string_freq == expected.string_freq
+    assert probed._distinct == expected._distinct
+    assert probed.distinct == expected.distinct
+    assert probed.avg_string_bytes == expected.avg_string_bytes
+
+
+def assert_stats_match_rescan(db, name="C"):
+    live = db.runstats(name)
+    reference = collect_statistics_rescan(db.collection(name))
+    assert live.doc_count == reference.doc_count
+    assert live.total_nodes == reference.total_nodes
+    assert live.total_elements == reference.total_elements
+    # Key order is part of the contract (float summation order).
+    assert list(live.path_counts) == list(reference.path_counts)
+    assert live.path_counts == reference.path_counts
+    assert live.path_doc_counts == reference.path_doc_counts
+    for tag_path in reference.path_counts:
+        assert_summaries_equal(live, reference, tag_path)
+    for text in PROBE_PATTERNS:
+        pattern = parse_pattern(text)
+        assert live.matching_paths(pattern) == reference.matching_paths(pattern)
+        assert live.document_frequency(pattern) == reference.document_frequency(
+            pattern
+        )
+        for value_type in IndexValueType:
+            assert live.derive_index_statistics(
+                pattern, value_type
+            ) == reference.derive_index_statistics(pattern, value_type)
+        for op, literal in (
+            ("=", Literal(7.0)),
+            (">=", Literal("blue")),
+            ("starts-with", Literal("x")),
+        ):
+            assert live.selectivity(pattern, op, literal) == reference.selectivity(
+                pattern, op, literal
+            )
+
+
+def assert_indexes_match_bulk_load(db, name="C"):
+    for index in db.indexes.values():
+        if index.definition.collection != name:
+            continue
+        fresh = PathIndex(index.definition)
+        fresh.bulk_load(db.collection(name))
+        assert index.entries == fresh.entries, index.definition.name
+
+
+def apply_op(db, op, name="C"):
+    kind, text, pick = op
+    collection = db.collection(name)
+    live_ids = [d.doc_id for d in collection]
+    if kind == "delete" and live_ids:
+        db.delete_document(name, live_ids[pick % len(live_ids)])
+    else:
+        db.insert_document(name, text)
+
+
+# ---------------------------------------------------------------------------
+# The hypothesis harness: random DML interleavings
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(initial=st.lists(documents, min_size=1, max_size=4), dml=ops)
+def test_dml_deltas_match_rescan(initial, dml):
+    db = Database("t")
+    db.create_collection("C")
+    for text in initial:
+        db.insert_document("C", text)
+    db.runstats("C")  # prime delta-capable statistics
+    db.create_index(
+        IndexDefinition("sx", "C", parse_pattern("//*"), IndexValueType.STRING)
+    )
+    db.create_index(
+        IndexDefinition("nx", "C", parse_pattern("//b"), IndexValueType.NUMERIC)
+    )
+    rescans_before = db.stats_rescans
+    for op in dml:
+        apply_op(db, op)
+        assert_stats_match_rescan(db)
+        assert_indexes_match_bulk_load(db)
+    # The whole interleaving was absorbed as deltas: the only rescan on
+    # record is the priming one.
+    assert db.stats_rescans == rescans_before
+    assert db.stats_delta_applies >= len(dml)
+
+
+@settings(max_examples=15, deadline=None)
+@given(initial=st.lists(documents, min_size=2, max_size=4), dml=ops)
+def test_stats_primed_after_dml_match_rescan(initial, dml):
+    """Statistics first collected AFTER the DML (one synopsis merge over
+    the surviving documents) also equal the reference rescan."""
+    db = Database("t")
+    db.create_collection("C")
+    for text in initial:
+        db.insert_document("C", text)
+    for op in dml:
+        apply_op(db, op)
+    assert_stats_match_rescan(db)
+
+
+# ---------------------------------------------------------------------------
+# The synopsis itself
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(text=documents)
+def test_synopsis_mirrors_reference_walk(text):
+    """One synopsis walk records exactly the (path, node, value) stream of
+    the reference walk, grouped by first-seen path."""
+    document = parse_document(text, 0)
+    synopsis = build_synopsis(document)
+    seen = {}
+    order = []
+    for node, tag_path in _walk_with_paths(document):
+        if tag_path not in seen:
+            seen[tag_path] = ([], [])
+            order.append(tag_path)
+        ids, values = seen[tag_path]
+        ids.append(node.node_id)
+        values.append(
+            node.string_value() if node.name == tag_path[-1] else node.value or ""
+        )
+    assert synopsis.tag_paths == order
+    for slot, tag_path in enumerate(synopsis.tag_paths):
+        ids, values = seen[tag_path]
+        assert synopsis.node_ids[slot] == ids
+        assert synopsis.node_ids[slot] == sorted(ids)  # document order
+        assert synopsis.values[slot] == values
+        count, numeric, string_bytes = synopsis.deltas[slot]
+        assert count == len(values)
+        assert string_bytes == sum(len(v) for v in values)
+    assert synopsis.node_count == document.node_count()
+
+
+def test_synopsis_pickle_roundtrip():
+    document = parse_document("<a id='7'><b>4.5</b><c>red</c></a>", 3)
+    synopsis = get_synopsis(document)
+    synopsis.path_ids()  # populate the process-local cache
+    clone = pickle.loads(pickle.dumps(synopsis))
+    assert clone.tag_paths == synopsis.tag_paths
+    assert clone.node_ids == synopsis.node_ids
+    assert clone.values == synopsis.values
+    assert clone.deltas == synopsis.deltas
+    assert clone.node_count == synopsis.node_count
+    assert clone.element_count == synopsis.element_count
+    assert clone._path_ids is None  # interned ids never cross processes
+    assert clone.slot_of(("a", "b")) == synopsis.slot_of(("a", "b"))
+    assert clone.path_ids() == synopsis.path_ids()  # same process, same table
+
+
+def test_document_pickle_drops_cached_synopsis():
+    document = parse_document("<a><b>1</b></a>", 5)
+    get_synopsis(document)
+    clone = pickle.loads(pickle.dumps(document))
+    assert clone._synopsis is None
+    assert clone.doc_id == 5
+    assert [n.node_id for n in clone.nodes] == [
+        n.node_id for n in document.nodes
+    ]
+    assert get_synopsis(clone).values == get_synopsis(document).values
+
+
+# ---------------------------------------------------------------------------
+# Rebuild-on-dirty bookkeeping
+# ---------------------------------------------------------------------------
+
+def test_delete_marks_dirty_and_probe_rebuilds_targeted():
+    db = Database("t")
+    db.create_collection("C")
+    for y in range(6):
+        db.insert_document("C", f"<a><b>{y}</b><c>w{y}</c></a>")
+    stats = db.runstats("C")
+    db.delete_document("C", 2)
+    assert dict.__getitem__(stats.summaries, ("a", "b")).dirty
+    assert db.storage_stats()["summary_rebuilds"] == 0
+    probed = stats.summaries[("a", "b")]  # probe boundary: targeted rebuild
+    assert not probed.dirty
+    assert probed.count == 5
+    assert probed.numeric_sample == [0.0, 1.0, 3.0, 4.0, 5.0]
+    assert db.storage_stats()["summary_rebuilds"] == 1
+    # Only the probed path was rebuilt; the sibling stays dirty until read.
+    assert dict.__getitem__(stats.summaries, ("a", "c")).dirty
+    assert db.storage_stats()["stats_rescans"] == 1  # the priming runstats
+
+
+def test_insert_only_dml_never_dirties_summaries():
+    db = Database("t")
+    db.create_collection("C")
+    db.insert_document("C", "<a><b>1</b></a>")
+    stats = db.runstats("C")
+    for y in range(20):
+        db.insert_document("C", f"<a><b>{y}</b></a>")
+    assert all(
+        not summary.dirty for summary in dict.values(stats.summaries)
+    )
+    assert db.storage_stats()["summary_rebuilds"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Epoch-scoped what-if cache invalidation
+# ---------------------------------------------------------------------------
+
+def _epoch_db():
+    db = Database("t")
+    db.create_collection("C")
+    db.create_collection("D")
+    for i in range(4):
+        db.insert_document("C", f"<a><b>{i}</b></a>")
+        db.insert_document("D", f"<x><y>{i}</y></x>")
+    return db
+
+
+def test_dml_invalidates_only_touched_collections():
+    db = _epoch_db()
+    session = WhatIfSession(db)
+    on_c = parse_statement("COLLECTION('C')/a/b")
+    on_d = parse_statement("COLLECTION('D')/x/y")
+    session.cost(on_c)
+    session.cost(on_d)
+    misses = session.counters.cache_misses
+    db.insert_document("C", "<a><b>9</b></a>")
+    # D's epoch did not move: its cached result must survive the sync.
+    assert session.cost(on_d) == session.cost(on_d)
+    assert session.counters.cache_misses == misses
+    # C's epoch moved: its entry was dropped and is recomputed.
+    session.cost(on_c)
+    assert session.counters.cache_misses == misses + 1
+
+
+def test_bare_touch_invalidates_everything():
+    db = _epoch_db()
+    session = WhatIfSession(db)
+    on_c = parse_statement("COLLECTION('C')/a/b")
+    on_d = parse_statement("COLLECTION('D')/x/y")
+    session.cost(on_c)
+    session.cost(on_d)
+    misses = session.counters.cache_misses
+    db.touch()  # global change: every epoch bumps
+    session.cost(on_c)
+    session.cost(on_d)
+    assert session.counters.cache_misses == misses + 2
+
+
+def test_index_ddl_scopes_to_its_collection():
+    db = _epoch_db()
+    session = WhatIfSession(db)
+    on_c = parse_statement("COLLECTION('C')/a/b")
+    on_d = parse_statement("COLLECTION('D')/x/y")
+    session.cost(on_c)
+    session.cost(on_d)
+    misses = session.counters.cache_misses
+    db.create_index(
+        IndexDefinition("cx", "C", parse_pattern("/a/b"), IndexValueType.STRING)
+    )
+    session.cost(on_d)  # untouched collection: still cached
+    assert session.counters.cache_misses == misses
+    session.cost(on_c)  # index visibility changed: recomputed
+    assert session.counters.cache_misses == misses + 1
