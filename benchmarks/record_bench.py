@@ -40,6 +40,17 @@ query execution through the synopsis bitmap vs the reference tree walk
 (``BENCH_PR5.json`` at the repo root is the committed copy).  Probe
 values, final statistics, and query outputs are asserted identical
 between the fast and reference engines on the measured runs themselves.
+
+PR 6 adds ``--cluster-sweep``: the replicated cluster layer on a mixed
+TPoX+XMark workload (``BENCH_PR6.json`` at the repo root is the
+committed copy).  Throughput uses a deterministic cost model -- each
+statement's optimizer-estimated cost at the replica the router picked,
+accumulated per replica; the makespan is the largest per-replica load
+and the throughput score is workload weight / makespan -- so the
+committed figures are machine-independent.  Two in-run gates: the
+throughput score must grow with the replica count (uniform tuning,
+load-balanced tie routing), and divergent tuning must score at least
+as high as uniform at the same topology and budget.
 """
 
 from __future__ import annotations
@@ -538,6 +549,205 @@ def scan_bench(name, repeats=5):
     }
 
 
+# ---------------------------------------------------------------------------
+# PR 6: replicated cluster (cost-routed throughput, divergent tuning)
+# ---------------------------------------------------------------------------
+
+#: Replica counts for the scaling leg (1 shard, uniform tuning).
+CLUSTER_REPLICA_COUNTS = (1, 2, 4)
+#: Replicas for the divergent-vs-uniform comparison.
+CLUSTER_COMPARE_REPLICAS = 3
+#: Tighter than the legacy 0.5 so a single uniform configuration cannot
+#: cover the whole mixed workload -- the regime divergent tuning targets.
+CLUSTER_BUDGET_FRACTION = 0.3
+
+MIXED_SCALES = {
+    "mixed_smoke": (
+        dict(num_securities=60, num_orders=60, num_customers=30, seed=42),
+        dict(num_items=50, num_persons=50, num_auctions=50, seed=7),
+    ),
+    "mixed_small": (
+        dict(num_securities=120, num_orders=120, num_customers=60, seed=42),
+        dict(num_items=100, num_persons=100, num_auctions=100, seed=7),
+    ),
+}
+
+
+def build_mixed(name):
+    """One database holding both benchmarks' collections, and the
+    concatenated TPoX+XMark workload over it -- the mixed setting where
+    one uniform configuration has to compromise."""
+    from repro.query.workload import Workload
+    from repro.xmlmodel.serializer import serialize
+
+    tpox_kwargs, xmark_kwargs = MIXED_SCALES[name]
+    database = tpox.build_database(**tpox_kwargs)
+    xmark_db = xmark.build_database(**xmark_kwargs)
+    for collection_name, collection in xmark_db.collections.items():
+        database.create_collection(collection_name)
+        for document in collection:
+            database.insert_document(collection_name, serialize(document.root))
+    workload = Workload(
+        list(
+            tpox.tpox_workload(
+                num_securities=tpox_kwargs["num_securities"],
+                seed=tpox_kwargs["seed"],
+            ).entries
+        )
+        + list(xmark.xmark_workload(seed=xmark_kwargs["seed"]).entries)
+    )
+    return database, workload
+
+
+def _mixed_budget(name):
+    """Budget in bytes shared by every topology of one scale (computed
+    once on the plain mixed database so all legs compare like-for-like)."""
+    database, workload = build_mixed(name)
+    advisor = IndexAdvisor(database, workload)
+    try:
+        all_size = sum(c.size_bytes for c in advisor.candidates.basics())
+    finally:
+        advisor.session.close()
+    return int(all_size * CLUSTER_BUDGET_FRACTION)
+
+
+def _routed_cost_profile(cluster, workload):
+    """Deterministic throughput model: route every statement, charge its
+    optimizer-estimated cost (x frequency) to the chosen replica, and
+    score the workload weight against the busiest replica (makespan)."""
+    router = cluster.router
+    loads = {}
+    total = 0.0
+    start = time.perf_counter()
+    for entry in workload:
+        for shard in range(cluster.num_shards):
+            replica = router.route(entry.statement, shard, entry.frequency)
+            cost = (
+                router.replica_cost(entry.statement, shard, replica)
+                * entry.frequency
+            )
+            label = cluster.replica_label(shard, replica)
+            loads[label] = loads.get(label, 0.0) + cost
+            total += cost
+    route_seconds = time.perf_counter() - start
+    makespan = max(loads.values())
+    weight = sum(e.frequency for e in workload) * cluster.num_shards
+    return {
+        "makespan_cost": makespan,
+        "total_routed_cost": total,
+        "throughput_score": weight / makespan,
+        "per_replica_load": {k: loads[k] for k in sorted(loads)},
+        "route_seconds": route_seconds,
+        "router": cluster.router.counters(),
+    }
+
+
+def _cluster_leg(name, budget, shards, replicas, divergent):
+    """Build a fresh mixed cluster, tune it, and profile the routing."""
+    from repro.cluster import Cluster, tune_cluster
+
+    database, workload = build_mixed(name)
+    cluster = Cluster.from_database(database, shards=shards, replicas=replicas)
+    start = time.perf_counter()
+    result = tune_cluster(cluster, workload, budget, divergent=divergent)
+    tune_seconds = time.perf_counter() - start
+    profile = _routed_cost_profile(cluster, workload)
+    profile.update(
+        {
+            "shards": shards,
+            "replicas": replicas,
+            "mode": result.mode,
+            "divergence_score": result.divergence_score,
+            "indexes_per_replica": {
+                Cluster.replica_label(t.shard, t.replica): len(
+                    t.recommendation.configuration
+                )
+                for t in result.tunings
+            },
+            "tune_seconds": tune_seconds,
+        }
+    )
+    return profile
+
+
+def cluster_bench(name):
+    """The PR 6 sweep on one mixed scale: replica scaling under uniform
+    tuning, then divergent vs uniform at a fixed topology.  Both
+    contracts are asserted on the measured runs themselves."""
+    budget = _mixed_budget(name)
+    scaling = {}
+    previous = None
+    for replicas in CLUSTER_REPLICA_COUNTS:
+        leg = _cluster_leg(name, budget, 1, replicas, divergent=False)
+        scaling[str(replicas)] = leg
+        if previous is not None and not (
+            leg["throughput_score"] >= previous * 1.05
+        ):  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"{name}: throughput did not scale at replicas={replicas} "
+                f"({leg['throughput_score']:.4f} vs {previous:.4f})"
+            )
+        previous = leg["throughput_score"]
+
+    uniform = _cluster_leg(
+        name, budget, 1, CLUSTER_COMPARE_REPLICAS, divergent=False
+    )
+    divergent = _cluster_leg(
+        name, budget, 1, CLUSTER_COMPARE_REPLICAS, divergent=True
+    )
+    if not (
+        divergent["throughput_score"] >= uniform["throughput_score"]
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"{name}: divergent tuning scored below uniform "
+            f"({divergent['throughput_score']:.4f} vs "
+            f"{uniform['throughput_score']:.4f})"
+        )
+    return {
+        "budget": budget,
+        "replica_scaling": scaling,
+        "divergent_vs_uniform": {
+            "replicas": CLUSTER_COMPARE_REPLICAS,
+            "uniform": uniform,
+            "divergent": divergent,
+            "throughput_ratio": (
+                divergent["throughput_score"] / uniform["throughput_score"]
+            ),
+            "routed_cost_ratio": (
+                divergent["total_routed_cost"] / uniform["total_routed_cost"]
+            ),
+        },
+    }
+
+
+def run_cluster(smoke=False):
+    """The PR 6 cluster sweep (``--cluster-sweep``), written to
+    ``BENCH_PR6.json`` at the repo root as the committed copy.  Both
+    contracts -- replica scaling and divergent >= uniform -- are
+    asserted in-run (this is the CI perf-smoke gate)."""
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "budget_fraction": CLUSTER_BUDGET_FRACTION,
+            "replica_counts": list(CLUSTER_REPLICA_COUNTS),
+            "note": (
+                "throughput_score = workload weight / makespan of "
+                "optimizer-estimated per-replica routed cost "
+                "(deterministic); *_seconds fields are informational "
+                "wall clock"
+            ),
+        },
+        "cluster": {},
+    }
+    scales = ("mixed_smoke",) if smoke else ("mixed_smoke", "mixed_small")
+    for name in scales:
+        results["cluster"][name] = cluster_bench(name)
+    return results
+
+
 def run_dml(smoke=False):
     """The PR 5 storage-engine sweep (``--dml-sweep``), written to
     ``BENCH_PR5.json`` at the repo root as the committed copy.  The
@@ -664,6 +874,11 @@ def main(argv=None):
         help="run only the PR 5 storage-engine sweep (BENCH_PR5.json)",
     )
     parser.add_argument(
+        "--cluster-sweep",
+        action="store_true",
+        help="run only the PR 6 cluster sweep (BENCH_PR6.json)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="JSON file with a frozen pre-PR capture to embed as 'before'",
@@ -686,11 +901,13 @@ def main(argv=None):
     # parallel sessions explicitly, so this pin cannot mask it.
     os.environ["REPRO_WORKERS"] = "0"
 
-    if args.workers_sweep or args.dml_sweep:
+    if args.workers_sweep or args.dml_sweep or args.cluster_sweep:
         if args.workers_sweep:
             results = run_workers(smoke=args.smoke)
-        else:
+        elif args.dml_sweep:
             results = run_dml(smoke=args.smoke)
+        else:
+            results = run_cluster(smoke=args.smoke)
         print(json.dumps(results, indent=2))
         if args.out:
             Path(args.out).write_text(json.dumps(results, indent=2) + "\n")

@@ -14,6 +14,8 @@ The package contains both the paper's contribution (the XML Index Advisor,
   Indexes and Evaluate Indexes modes, plus a real executor.
 * :mod:`repro.workloads`-- TPoX-like, XMark-like, and synthetic benchmark
   generators.
+* :mod:`repro.cluster`  -- sharded/replicated storage with divergent
+  per-replica tuning and cost-based statement routing.
 
 Quickstart::
 
@@ -26,22 +28,25 @@ Quickstart::
     print(advisor.recommend(budget_bytes=500_000).report())
 """
 
+from repro.cluster import Cluster, ClusterExecutor, Router, tune_cluster
 from repro.core.advisor import IndexAdvisor, Recommendation
 from repro.core.config import IndexConfiguration
-from repro.optimizer.executor import Executor
+from repro.optimizer.executor import Executor, create_executor
 from repro.optimizer.optimizer import Optimizer, OptimizerMode
 from repro.optimizer.session import InstrumentationCounters, WhatIfSession
 from repro.parallel import ParallelWhatIfSession, create_session
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
 from repro.storage.catalog import IndexDefinition
-from repro.storage.database import Database
+from repro.storage.database import Database, StorageTarget, resolve_database
 from repro.storage.index import IndexValueType
 from repro.storage.persist import load_database, save_database
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Cluster",
+    "ClusterExecutor",
     "Database",
     "Executor",
     "IndexAdvisor",
@@ -53,11 +58,16 @@ __all__ = [
     "OptimizerMode",
     "ParallelWhatIfSession",
     "Recommendation",
+    "Router",
+    "StorageTarget",
     "WhatIfSession",
     "Workload",
     "__version__",
+    "create_executor",
     "create_session",
     "load_database",
     "parse_statement",
+    "resolve_database",
     "save_database",
+    "tune_cluster",
 ]

@@ -199,11 +199,23 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.cluster import (
+        replicas_from_env,
+        resolve_replicas,
+        resolve_shards,
+        shards_from_env,
+    )
     from repro.parallel import resolve_executor, resolve_workers
 
     try:
         resolve_workers(args.workers)
         resolve_executor(args.executor)
+        shards = resolve_shards(
+            args.shards, default=shards_from_env(), option="--shards"
+        )
+        replicas = resolve_replicas(
+            args.replicas, default=replicas_from_env(), option="--replicas"
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -217,6 +229,8 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if shards > 1 or replicas > 1 or args.divergent:
+        return _recommend_cluster(args, db, workload, shards, replicas)
     advisor = IndexAdvisor(
         db, workload, workers=args.workers, executor=args.executor
     )
@@ -242,6 +256,57 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         save_database(db, args.dbdir)
         if not args.json:
             print(f"\ncreated {len(names)} indexes and saved the database")
+    return 0
+
+
+def _recommend_cluster(
+    args: argparse.Namespace,
+    db: Database,
+    workload: Workload,
+    shards: int,
+    replicas: int,
+) -> int:
+    """The ``recommend`` cluster path: reshard the loaded database,
+    tune every replica (divergent or uniform), and route the workload
+    through the cost-based router to surface its counters.  Cluster
+    topologies live in memory -- nothing is saved back to ``dbdir``."""
+    import json
+
+    from repro.cluster import Cluster, tune_cluster
+
+    cluster = Cluster.from_database(db, shards=shards, replicas=replicas)
+    result = tune_cluster(
+        cluster,
+        workload,
+        budget_bytes=args.budget,
+        divergent=args.divergent,
+        algorithm=args.algorithm,
+        workers=args.workers,
+        executor=args.executor,
+        deadline_seconds=args.deadline,
+        optimizer_call_budget=args.call_budget,
+    )
+    # Exercise the router so ``--stats`` shows real routing decisions.
+    cluster.router.route_workload(workload)
+    stats = cluster.cluster_stats()
+    result.cluster_stats = stats
+    for tuning in result.tunings:
+        tuning.recommendation.cluster_stats = dict(stats)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.report())
+    primary = result.tunings[0].recommendation
+    print()
+    print(primary.report())
+    if args.stats:
+        print()
+        print(primary.stats_report())
+    if args.create:
+        print(
+            "\nindexes were built on the in-memory cluster; cluster "
+            "topologies are not persisted to the database directory"
+        )
     return 0
 
 
@@ -455,6 +520,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", default=None, metavar="KIND",
         help="worker executor: process (default), thread, serial, or a "
              "start method (fork/spawn/forkserver)",
+    )
+    p.add_argument(
+        "--shards", default=None, metavar="S",
+        help="shard the database across S shards (in-memory cluster); "
+             "defaults to $REPRO_SHARDS, else 1",
+    )
+    p.add_argument(
+        "--replicas", default=None, metavar="R",
+        help="keep R replicas per shard; defaults to $REPRO_REPLICAS, "
+             "else 1",
+    )
+    p.add_argument(
+        "--divergent", action="store_true",
+        help="tune each replica on its own similarity-partitioned "
+             "workload slice instead of one uniform configuration",
     )
     p.set_defaults(func=cmd_recommend)
 

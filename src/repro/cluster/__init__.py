@@ -1,0 +1,66 @@
+"""Sharded, replicated storage with divergent tuning and cost routing.
+
+Public surface:
+
+* :class:`Cluster` -- S shards x R replicas of real
+  :class:`~repro.storage.database.Database` objects behind the
+  :class:`~repro.storage.database.StorageTarget` protocol (documents
+  sharded by key, DML applied to every replica of the owning shard).
+* :class:`Router` -- cost-based statement routing: each statement goes
+  to the replica whose what-if session prices it cheapest, with a
+  round-robin fallback.
+* :func:`tune_cluster` / :func:`partition_workload` -- divergent
+  tuning: the workload is partitioned by statement-signature similarity
+  and each replica column is tuned on its own slice.
+* :class:`ClusterExecutor` -- scatter-gather execution across shards
+  through the router.
+* ``resolve_shards`` / ``shards_from_env`` and the replica twins --
+  ``--shards``/``REPRO_SHARDS`` parsing, raising
+  :class:`~repro.robustness.errors.ConfigError` on junk.
+
+``Cluster(shards=1, replicas=1)`` is pinned bit-identical to a single
+``Database`` by ``tests/test_cluster_differential.py``.
+"""
+
+from repro.cluster.cluster import (
+    MAX_FANOUT,
+    REPLICAS_ENV,
+    SHARDS_ENV,
+    Cluster,
+    replicas_from_env,
+    resolve_replicas,
+    resolve_shards,
+    shard_of_key,
+    shards_from_env,
+)
+from repro.cluster.executor import ClusterExecutor, ShardExecutor
+from repro.cluster.router import Router
+from repro.cluster.tuner import (
+    ClusterTuningResult,
+    ReplicaTuning,
+    divergence,
+    partition_workload,
+    statement_signature,
+    tune_cluster,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterExecutor",
+    "ClusterTuningResult",
+    "MAX_FANOUT",
+    "REPLICAS_ENV",
+    "ReplicaTuning",
+    "Router",
+    "SHARDS_ENV",
+    "ShardExecutor",
+    "divergence",
+    "partition_workload",
+    "replicas_from_env",
+    "resolve_replicas",
+    "resolve_shards",
+    "shard_of_key",
+    "shards_from_env",
+    "statement_signature",
+    "tune_cluster",
+]

@@ -1,0 +1,419 @@
+"""Sharded, replicated storage: the :class:`Cluster`.
+
+The ROADMAP's "millions of users" scenario refactors the single-process
+:class:`~repro.storage.database.Database` into a cluster of them:
+
+* each collection's documents are sharded by **document key** (a dense
+  per-collection sequence number assigned at insert) across ``S``
+  shards -- :func:`shard_of_key` is a pure function, so the assignment
+  is stable across runs and processes;
+* every shard keeps ``R`` replicas, each a full
+  :class:`~repro.storage.database.Database` riding the incremental
+  storage engine (per-document synopses, delta statistics, collection
+  epochs).  Replicas of one shard hold identical documents -- one
+  parse, one synopsis, shared by every replica -- but may carry
+  **divergent index configurations** (:mod:`repro.cluster.tuner`);
+* DML routes through the owning shard and is applied to *all* of its
+  replicas, so per-replica delta statistics and epoch-scoped what-if
+  cache invalidation stay correct on every copy;
+* index DDL through the cluster-level :meth:`Cluster.create_index` fans
+  out to every replica (the uniform baseline); the divergent tuner uses
+  :meth:`Cluster.create_index_on` to give one replica column its own
+  configuration.
+
+The cluster implements the :class:`~repro.storage.database.StorageTarget`
+protocol, so the optimizer session, executor, and advisor accept it
+anywhere a database is accepted.  ``Cluster(shards=1, replicas=1)`` is
+pinned **bit-identical** to a single ``Database`` by
+``tests/test_cluster_differential.py`` -- recommendations, costs, and
+instrumentation counters included.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.robustness.errors import ConfigError
+from repro.storage.catalog import IndexDefinition
+from repro.storage.database import Database
+from repro.storage.statistics import DataStatistics
+from repro.xmlmodel.parser import parse_document
+
+SHARDS_ENV = "REPRO_SHARDS"
+REPLICAS_ENV = "REPRO_REPLICAS"
+
+#: Hard sanity cap: a shard/replica count past this is a typo, not a
+#: topology (each replica is a full in-process database).
+MAX_FANOUT = 1024
+
+
+def shard_of_key(doc_key: int, shards: int) -> int:
+    """The shard owning a document key: a pure, stable assignment
+    (``key mod shards``), identical across runs, processes, and
+    machines -- pinned by ``tests/test_workload_drift.py``."""
+    return doc_key % shards
+
+
+def _resolve_fanout(value, default: int, option: str) -> int:
+    """Shared shard/replica-count validation (>= 1, sane upper bound);
+    junk raises :class:`~repro.robustness.errors.ConfigError` naming the
+    flag or environment variable it came from."""
+    if value is None:
+        return default
+    if isinstance(value, bool):  # bool is an int; reject it explicitly
+        raise ConfigError(f"invalid count {value!r}", option=option)
+    if not isinstance(value, int):
+        text = str(value).strip()
+        if text == "":
+            return default
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigError(
+                f"invalid count {text!r}: expected a positive integer",
+                option=option,
+            ) from None
+    if value < 1:
+        raise ConfigError(
+            f"count must be >= 1, got {value}", option=option
+        )
+    if value > MAX_FANOUT:
+        raise ConfigError(
+            f"count {value} exceeds the sanity cap of {MAX_FANOUT}",
+            option=option,
+        )
+    return value
+
+
+def resolve_shards(value, default: int = 1, option: str = "shards") -> int:
+    """Normalize a shard-count spec (``None``/empty -> ``default``)."""
+    return _resolve_fanout(value, default, option)
+
+
+def resolve_replicas(value, default: int = 1, option: str = "replicas") -> int:
+    """Normalize a replica-count spec (``None``/empty -> ``default``)."""
+    return _resolve_fanout(value, default, option)
+
+
+def shards_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Shard count from ``REPRO_SHARDS`` (absent/empty means 1); junk
+    raises :class:`~repro.robustness.errors.ConfigError` naming the
+    variable."""
+    env = os.environ if environ is None else environ
+    return resolve_shards(env.get(SHARDS_ENV), default=1, option=SHARDS_ENV)
+
+
+def replicas_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Replica count from ``REPRO_REPLICAS`` (absent/empty means 1)."""
+    env = os.environ if environ is None else environ
+    return resolve_replicas(
+        env.get(REPLICAS_ENV), default=1, option=REPLICAS_ENV
+    )
+
+
+class Cluster:
+    """``shards x replicas`` real databases behind one storage facade.
+
+    Replica ``(s, r)`` is ``self.replicas[s][r]``; replica *column* ``r``
+    (the same index across every shard) is the unit of divergent tuning
+    -- the router can then serve any statement from any column because
+    each column covers all shards.  ``(0, 0)`` is the **primary**: the
+    database :meth:`whatif_database` resolves to, so a what-if session
+    over a 1x1 cluster is literally a session over its only database.
+    """
+
+    def __init__(
+        self,
+        name: str = "xmlcluster",
+        shards: int = 1,
+        replicas: int = 1,
+    ) -> None:
+        self.name = name
+        self.num_shards = resolve_shards(shards)
+        self.num_replicas = resolve_replicas(replicas)
+        self.replicas: List[List[Database]] = [
+            [
+                Database(f"{name}/s{s}r{r}")
+                for r in range(self.num_replicas)
+            ]
+            for s in range(self.num_shards)
+        ]
+        #: Next document key per collection (dense, never reused).
+        self._next_key: Dict[str, int] = {}
+        #: (collection, key) -> (shard, local doc id); local ids are the
+        #: replica databases' own dense ids (identical across replicas
+        #: of one shard by construction).
+        self._locations: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        #: Reverse map for shard-local DML (the executor finds delete
+        #: victims on one routed replica and applies them cluster-wide).
+        self._keys: Dict[Tuple[str, int, int], int] = {}
+        #: Cluster-level DML counters (per-shard documents routed).
+        self.documents_routed: List[int] = [0] * self.num_shards
+        #: Divergence score of the last tuning pass (0.0 = uniform);
+        #: set by :func:`repro.cluster.tuner.tune_cluster`.
+        self.divergence_score: float = 0.0
+        self.tuning_mode: Optional[str] = None
+        #: The cost-based statement router (lazily built: a fresh
+        #: cluster with no traffic carries no router sessions).
+        self._router = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Database:
+        """Shard 0, replica 0 -- the planning/statistics representative."""
+        return self.replicas[0][0]
+
+    def whatif_database(self) -> Database:
+        """See :class:`~repro.storage.database.StorageTarget`."""
+        return self.primary
+
+    def replica_database(self, shard: int, replica: int) -> Database:
+        return self.replicas[shard][replica]
+
+    @staticmethod
+    def replica_label(shard: int, replica: int) -> str:
+        return f"s{shard}r{replica}"
+
+    def all_databases(self) -> Iterator[Tuple[int, int, Database]]:
+        """Every ``(shard, replica, database)`` in deterministic order."""
+        for s, shard in enumerate(self.replicas):
+            for r, database in enumerate(shard):
+                yield s, r, database
+
+    @property
+    def router(self):
+        """The cluster's cost-based router (built on first use)."""
+        if self._router is None:
+            from repro.cluster.router import Router
+
+            self._router = Router(self)
+        return self._router
+
+    # ------------------------------------------------------------------
+    # StorageTarget: modification/epoch counters (primary's view)
+    # ------------------------------------------------------------------
+    @property
+    def modification_count(self) -> int:
+        return self.primary.modification_count
+
+    @property
+    def collection_epochs(self) -> Dict[str, int]:
+        return self.primary.collection_epochs
+
+    def touch(self, collection_name: Optional[str] = None) -> None:
+        for __, __, database in self.all_databases():
+            database.touch(collection_name)
+
+    # ------------------------------------------------------------------
+    # Collections and DML
+    # ------------------------------------------------------------------
+    @property
+    def collections(self) -> Dict[str, object]:
+        """The primary's collections (names and shard-0 contents; use
+        :meth:`total_documents` for cluster-wide counts)."""
+        return self.primary.collections
+
+    def create_collection(self, name: str):
+        for __, __, database in self.all_databases():
+            database.create_collection(name)
+        self._next_key.setdefault(name, 0)
+        return self.primary.collections[name]
+
+    def collection(self, name: str):
+        """The primary's collection (shard 0's slice of the data)."""
+        return self.primary.collection(name)
+
+    def insert_document(self, collection_name: str, text: str) -> int:
+        """Insert a document: assign the next document key, shard by the
+        key, and insert into every replica of the owning shard.  The
+        text is parsed once -- the same tree (and its cached synopsis)
+        feeds every replica.  Returns the document key."""
+        if collection_name not in self._next_key:
+            # Collections created directly on member databases (or by
+            # from_database) still key from zero.
+            self._next_key[collection_name] = 0
+        key = self._next_key[collection_name]
+        self._next_key[collection_name] = key + 1
+        shard = shard_of_key(key, self.num_shards)
+        document = parse_document(text)
+        local_id = None
+        for database in self.replicas[shard]:
+            local_id = database.insert_parsed(collection_name, document)
+        self._locations[(collection_name, key)] = (shard, local_id)
+        self._keys[(collection_name, shard, local_id)] = key
+        self.documents_routed[shard] += 1
+        return key
+
+    def delete_document(self, collection_name: str, doc_id: int) -> None:
+        """Delete by document key from every replica of the owning
+        shard."""
+        location = self._locations.pop((collection_name, doc_id), None)
+        if location is None:
+            raise KeyError(
+                f"no document {doc_id} in sharded collection "
+                f"{collection_name!r}"
+            )
+        shard, local_id = location
+        self._keys.pop((collection_name, shard, local_id), None)
+        for database in self.replicas[shard]:
+            database.delete_document(collection_name, local_id)
+
+    def key_for(self, collection_name: str, shard: int, local_id: int) -> int:
+        """The document key of a shard-local document id (the executor's
+        delete path finds victims on one replica and deletes by key)."""
+        try:
+            return self._keys[(collection_name, shard, local_id)]
+        except KeyError:
+            raise KeyError(
+                f"no document with local id {local_id} on shard {shard} "
+                f"of collection {collection_name!r}"
+            ) from None
+
+    def total_documents(self, collection_name: str) -> int:
+        """Live documents across all shards (replica 0's counts; every
+        replica of a shard holds the same documents)."""
+        return sum(
+            len(shard[0].collection(collection_name))
+            for shard in self.replicas
+        )
+
+    # ------------------------------------------------------------------
+    # Index DDL
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self):
+        """The primary's catalog (cluster-wide DDL allocates names here
+        and applies them everywhere, so names never collide)."""
+        return self.primary.catalog
+
+    def create_index(self, definition: IndexDefinition):
+        """Uniform DDL: build the index on every replica of every shard
+        (each replica builds from its own shard's documents).  Returns
+        the primary's built index."""
+        built = None
+        for s, r, database in self.all_databases():
+            index = database.create_index(definition)
+            if s == 0 and r == 0:
+                built = index
+        return built
+
+    def create_index_on(
+        self, replica: int, definition: IndexDefinition
+    ):
+        """Divergent DDL: build the index on replica column ``replica``
+        of every shard (the column covers all shards, so the column can
+        serve any statement that needs the index)."""
+        for shard in self.replicas:
+            shard[replica].create_index(definition)
+
+    def drop_index(self, name: str) -> None:
+        """Drop an index wherever it exists (uniform or divergent)."""
+        dropped = False
+        for __, __, database in self.all_databases():
+            if name in database.catalog:
+                database.drop_index(name)
+                dropped = True
+        if not dropped:
+            raise KeyError(f"no index named {name!r}")
+
+    def drop_all_indexes(self) -> None:
+        for __, __, database in self.all_databases():
+            database.drop_all_indexes()
+
+    def index(self, name: str):
+        """The primary's built index (protocol convenience)."""
+        return self.primary.index(name)
+
+    @property
+    def indexes(self) -> Dict[str, object]:
+        return self.primary.indexes
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def runstats(self, collection_name: str) -> DataStatistics:
+        """The primary replica's statistics (shard 0's slice; per-replica
+        advisors call runstats on their own replica databases)."""
+        return self.primary.runstats(collection_name)
+
+    def invalidate_statistics(self, collection_name: str) -> None:
+        for __, __, database in self.all_databases():
+            database.invalidate_statistics(collection_name)
+
+    def storage_stats(self) -> Dict[str, int]:
+        """Storage-engine counters summed across every replica."""
+        totals: Dict[str, int] = {}
+        for __, __, database in self.all_databases():
+            for key, value in database.storage_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Cluster instrumentation
+    # ------------------------------------------------------------------
+    def cluster_stats(self) -> Dict:
+        """JSON-serializable cluster counters: topology, per-shard DML
+        routing, the router's counters, and the divergence score of the
+        last tuning pass.  Surfaced by ``Recommendation.to_dict()`` and
+        ``advise --stats`` next to the session block."""
+        stats: Dict = {
+            "shards": self.num_shards,
+            "replicas": self.num_replicas,
+            "documents_routed": {
+                f"s{s}": count
+                for s, count in enumerate(self.documents_routed)
+            },
+            "divergence_score": round(self.divergence_score, 4),
+        }
+        if self.tuning_mode is not None:
+            stats["tuning_mode"] = self.tuning_mode
+        if self._router is not None:
+            stats["router"] = self._router.counters()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Construction from an existing database
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        shards: int = 1,
+        replicas: int = 1,
+        name: Optional[str] = None,
+    ) -> "Cluster":
+        """Reshard an existing single database into a cluster.
+
+        Live documents are re-keyed densely in document-id order (the
+        original insertion order), re-serialized once, and routed
+        through :meth:`insert_document`, so the shard assignment is the
+        same stable function of the key a from-scratch build would use.
+        Real (non-virtual) indexes are recreated uniformly.
+        """
+        from repro.xmlmodel.serializer import serialize
+
+        cluster = cls(
+            name=name or f"{database.name}-cluster",
+            shards=shards,
+            replicas=replicas,
+        )
+        for collection_name, collection in database.collections.items():
+            cluster.create_collection(collection_name)
+            for document in collection:
+                cluster.insert_document(
+                    collection_name, serialize(document.root)
+                )
+        for definition in database.catalog.all_definitions():
+            if not definition.virtual:
+                cluster.create_index(definition)
+        return cluster
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster {self.name!r} shards={self.num_shards} "
+            f"replicas={self.num_replicas} "
+            f"collections={list(self._next_key)}>"
+        )

@@ -1,0 +1,187 @@
+"""Cost-based statement routing across a cluster's replicas.
+
+Divergent replicas are only useful if each statement reaches the replica
+whose index configuration serves it best.  The :class:`Router` prices a
+statement on every replica of a shard through that replica's own
+:class:`~repro.optimizer.session.WhatIfSession` -- NORMAL-mode planning
+over the replica's *real* indexes, memoized per statement by the
+session's cost cache, invalidated by the replica's modification counter
+-- and routes to the cheapest one.  Ties (uniform configurations make
+every replica tie) fall to the least-loaded replica, so uniform traffic
+round-robins naturally; a costing failure falls back to an explicit
+per-shard round-robin cursor.
+
+Counters (``Router.counters()``, surfaced through ``cluster_stats`` /
+``advise --stats``): per-replica statements routed, cost-routed vs
+fallback-routed decisions, and routing cache hits (the session cache
+traffic saved by re-routing an already-priced statement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.optimizer.session import WhatIfSession
+from repro.query.model import Statement
+from repro.query.workload import Workload
+from repro.robustness.errors import AdvisorError
+
+#: Replica costs within this relative slack of the minimum are tied --
+#: the load balancer picks among them.
+TIE_EPSILON = 1e-9
+
+
+class Router:
+    """Routes statements to replicas; one per :class:`Cluster`."""
+
+    def __init__(self, cluster, policy: str = "cost") -> None:
+        if policy not in ("cost", "round_robin"):
+            raise ValueError(
+                f"unknown routing policy {policy!r}: "
+                f"choose 'cost' or 'round_robin'"
+            )
+        self.cluster = cluster
+        self.policy = policy
+        #: One planning session per replica, built lazily (a replica's
+        #: plans depend on its own real indexes, so sessions are never
+        #: shared across replicas).
+        self._sessions: Dict[Tuple[int, int], WhatIfSession] = {}
+        #: Per-shard round-robin cursors (the fallback policy).
+        self._cursors: List[int] = [0] * cluster.num_shards
+        #: Accumulated frequency-weighted estimated cost per replica --
+        #: the load signal the tie-breaker balances.
+        self.load: Dict[str, float] = {}
+        #: Statements routed per replica label.
+        self.statements_routed: Dict[str, int] = {}
+        self.cost_routed = 0
+        self.fallback_routed = 0
+        self.routing_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def session_for(self, shard: int, replica: int) -> WhatIfSession:
+        key = (shard, replica)
+        session = self._sessions.get(key)
+        if session is None:
+            session = WhatIfSession(
+                self.cluster.replica_database(shard, replica)
+            )
+            self._sessions[key] = session
+        return session
+
+    def replica_cost(
+        self, statement: Statement, shard: int, replica: int
+    ) -> float:
+        """NORMAL-mode estimated cost of ``statement`` on one replica
+        (memoized by the replica session's plan cache)."""
+        session = self.session_for(shard, replica)
+        hits_before = session.counters.cache_hits
+        cost = session.plan(statement).estimated_cost
+        self.routing_cache_hits += session.counters.cache_hits - hits_before
+        return cost
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        statement: Statement,
+        shard: int,
+        frequency: float = 1.0,
+    ) -> int:
+        """Pick the replica of ``shard`` to serve ``statement``.
+
+        Cost policy: cheapest replica; among replicas tied within
+        :data:`TIE_EPSILON` of the minimum, the least-loaded (then the
+        lowest index) wins.  Any costing failure -- and the explicit
+        ``round_robin`` policy -- falls back to the per-shard cursor.
+        """
+        replica: Optional[int] = None
+        if self.policy == "cost" and self.cluster.num_replicas > 1:
+            try:
+                replica = self._route_by_cost(statement, shard, frequency)
+                self.cost_routed += 1
+            except AdvisorError:
+                replica = None
+        elif self.policy == "cost":
+            # One replica: no decision to make, but it still counts as a
+            # cost-policy routing for the counters.
+            replica = 0
+            self.cost_routed += 1
+        if replica is None:
+            replica = self._cursors[shard]
+            self._cursors[shard] = (replica + 1) % self.cluster.num_replicas
+            self.fallback_routed += 1
+        label = self.cluster.replica_label(shard, replica)
+        self.statements_routed[label] = (
+            self.statements_routed.get(label, 0) + 1
+        )
+        return replica
+
+    def _route_by_cost(
+        self, statement: Statement, shard: int, frequency: float
+    ) -> int:
+        costs = [
+            self.replica_cost(statement, shard, replica)
+            for replica in range(self.cluster.num_replicas)
+        ]
+        cheapest = min(costs)
+        slack = abs(cheapest) * TIE_EPSILON
+        best: Optional[int] = None
+        best_load = 0.0
+        for replica, cost in enumerate(costs):
+            if cost > cheapest + slack:
+                continue
+            label = self.cluster.replica_label(shard, replica)
+            load = self.load.get(label, 0.0)
+            if best is None or load < best_load:
+                best, best_load = replica, load
+        label = self.cluster.replica_label(shard, best)
+        self.load[label] = best_load + frequency * costs[best]
+        return best
+
+    # ------------------------------------------------------------------
+    def route_statement(
+        self, statement: Statement, frequency: float = 1.0
+    ) -> List[Tuple[int, int]]:
+        """Scatter plan for one statement: the ``(shard, replica)`` pair
+        chosen for every shard (a query over a sharded collection must
+        visit each shard once)."""
+        return [
+            (shard, self.route(statement, shard, frequency))
+            for shard in range(self.cluster.num_shards)
+        ]
+
+    def route_workload(self, workload: Workload) -> List[List[Tuple[int, int]]]:
+        """Route every workload entry once (frequency-weighted load);
+        returns the per-entry scatter plans in workload order."""
+        return [
+            self.route_statement(entry.statement, entry.frequency)
+            for entry in workload
+        ]
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every routing session's cached plans (the sessions also
+        self-invalidate on their replica's modification counter)."""
+        for session in self._sessions.values():
+            session.invalidate()
+
+    def reset_counters(self) -> None:
+        self.load = {}
+        self.statements_routed = {}
+        self.cost_routed = 0
+        self.fallback_routed = 0
+        self.routing_cache_hits = 0
+        self._cursors = [0] * self.cluster.num_shards
+
+    def counters(self) -> Dict:
+        """JSON-serializable router counters."""
+        return {
+            "policy": self.policy,
+            "statements_routed": dict(sorted(self.statements_routed.items())),
+            "cost_routed": self.cost_routed,
+            "fallback_routed": self.fallback_routed,
+            "routing_cache_hits": self.routing_cache_hits,
+            "load": {
+                label: round(value, 6)
+                for label, value in sorted(self.load.items())
+            },
+        }

@@ -38,7 +38,7 @@ from repro.query.workload import Workload
 from repro.robustness.budget import SearchBudget
 from repro.robustness.checkpoint import SearchCheckpoint
 from repro.robustness.errors import AdvisorError, FatalAdvisorError
-from repro.storage.database import Database
+from repro.storage.database import Database, resolve_database
 
 
 @dataclass
@@ -60,6 +60,10 @@ class Recommendation:
     #: Per-input diagnostics collected on the way here (skipped workload
     #: statements, degraded candidate sizes, ...).
     diagnostics: List[str] = field(default_factory=list)
+    #: Cluster counters (topology, per-shard DML routing, router
+    #: decisions, divergence score) when the advisor targeted a
+    #: :class:`~repro.cluster.Cluster`; empty for a plain database.
+    cluster_stats: Dict = field(default_factory=dict)
 
     @property
     def configuration(self) -> IndexConfiguration:
@@ -92,6 +96,11 @@ class Recommendation:
             "degraded": self.degraded,
             "diagnostics": list(self.diagnostics),
             "session": dict(self.session_stats),
+            **(
+                {"cluster": dict(self.cluster_stats)}
+                if self.cluster_stats
+                else {}
+            ),
             "indexes": [
                 {
                     "pattern": str(candidate.pattern),
@@ -187,6 +196,36 @@ class Recommendation:
                 (workers.get("per_worker_tasks") or {}).items()
             ):
                 lines.append(f"  worker {label}: {count} tasks")
+        cluster = self.cluster_stats
+        if cluster:
+            lines.append(
+                f"  cluster           : {cluster.get('shards', 1)} shard(s) "
+                f"x {cluster.get('replicas', 1)} replica(s), "
+                f"divergence {cluster.get('divergence_score', 0.0):.4f}"
+                + (
+                    f" ({cluster['tuning_mode']})"
+                    if cluster.get("tuning_mode")
+                    else ""
+                )
+            )
+            for shard, count in sorted(
+                (cluster.get("documents_routed") or {}).items()
+            ):
+                lines.append(f"  shard {shard:<11}: {count} documents routed")
+            router = cluster.get("router")
+            if router:
+                lines.append(
+                    f"  router            : {router.get('policy', '?')} policy, "
+                    f"{router.get('cost_routed', 0)} cost-routed / "
+                    f"{router.get('fallback_routed', 0)} fallback, "
+                    f"{router.get('routing_cache_hits', 0)} cache hits"
+                )
+                for label, count in sorted(
+                    (router.get("statements_routed") or {}).items()
+                ):
+                    lines.append(
+                        f"  replica {label:<9}: {count} statements routed"
+                    )
         return "\n".join(lines)
 
 
@@ -205,7 +244,14 @@ class IndexAdvisor:
         workers=None,
         executor: Optional[str] = None,
     ) -> None:
-        self.database = database
+        #: The storage target as handed in -- a plain :class:`Database`
+        #: or a :class:`~repro.cluster.Cluster`.  Physical DDL
+        #: (:meth:`create_indexes` and friends) goes through this, so a
+        #: cluster fans the build out to every replica.
+        self.storage = database
+        #: The concrete database all planning and statistics run
+        #: against (a cluster resolves to its primary replica).
+        self.database = resolve_database(database)
         self.workload = workload
         #: The advisor's entire optimizer coupling runs through this one
         #: session; pass a shared session to share its cost cache across
@@ -368,6 +414,7 @@ class IndexAdvisor:
             ).ddl()
             for candidate in result.configuration
         ]
+        cluster_stats = getattr(self.storage, "cluster_stats", None)
         return Recommendation(
             search=result,
             estimated_speedup=speedup,
@@ -377,6 +424,9 @@ class IndexAdvisor:
             session_stats=self.session.stats(),
             degraded=self.session.is_degraded or self._degraded_sizes > 0,
             diagnostics=list(self.diagnostics),
+            cluster_stats=(
+                cluster_stats() if callable(cluster_stats) else {}
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -402,8 +452,8 @@ class IndexAdvisor:
         names (also remembered for :meth:`drop_created_indexes`)."""
         names = []
         for candidate in recommendation.configuration:
-            name = self.database.catalog.fresh_name(prefix)
-            self.database.create_index(candidate.definition(name, virtual=False))
+            name = self.storage.catalog.fresh_name(prefix)
+            self.storage.create_index(candidate.definition(name, virtual=False))
             names.append(name)
         self._created_index_names.extend(names)
         return names
@@ -414,8 +464,8 @@ class IndexAdvisor:
         """Physically create an arbitrary configuration's indexes."""
         names = []
         for candidate in config:
-            name = self.database.catalog.fresh_name(prefix)
-            self.database.create_index(candidate.definition(name, virtual=False))
+            name = self.storage.catalog.fresh_name(prefix)
+            self.storage.create_index(candidate.definition(name, virtual=False))
             names.append(name)
         self._created_index_names.extend(names)
         return names
@@ -424,7 +474,7 @@ class IndexAdvisor:
         """Drop every index this advisor created."""
         for name in self._created_index_names:
             try:
-                self.database.drop_index(name)
+                self.storage.drop_index(name)
             except KeyError:
                 pass
         self._created_index_names = []

@@ -32,6 +32,7 @@ from repro.query.model import (
     Statement,
     WhereClause,
 )
+from repro.storage.database import resolve_database
 from repro.storage.synopsis import pattern_nodes
 from repro.xmlmodel.nodes import XmlDocument, XmlNode
 from repro.xpath.ast import Literal
@@ -66,7 +67,11 @@ class Executor:
         session: Optional[WhatIfSession] = None,
         use_synopsis: Optional[bool] = None,
     ) -> None:
-        self.database = database
+        #: Execution reads one concrete database (a cluster handed in
+        #: here resolves to its primary replica -- scatter-gather over
+        #: every shard is :class:`repro.cluster.ClusterExecutor`'s job;
+        #: use :func:`create_executor` to pick automatically).
+        self.database = resolve_database(database)
         if session is None:
             session = (
                 WhatIfSession.adopt(optimizer)
@@ -304,8 +309,14 @@ class Executor:
     def _execute_insert(self, statement: InsertStatement) -> ExecutionResult:
         if not statement.document_text:
             raise ValueError("insert statement has no document to insert")
-        self.database.insert_document(statement.collection, statement.document_text)
+        self._insert_document(statement.collection, statement.document_text)
         return ExecutionResult(statement=statement, rows=1, docs_examined=0)
+
+    def _insert_document(self, collection_name: str, text: str) -> None:
+        """DML seam: where an insert lands.  The cluster's shard
+        executor overrides this to route through the cluster (shard by
+        document key, apply to every replica of the owning shard)."""
+        self.database.insert_document(collection_name, text)
 
     def _execute_delete(
         self, statement: DeleteStatement, optimized: OptimizationResult
@@ -326,8 +337,7 @@ class Executor:
             docs_examined += 1
             if _delete_matches(document, statement, self.use_synopsis):
                 victims.append(doc_id)
-        for doc_id in victims:
-            self.database.delete_document(statement.collection, doc_id)
+        self._delete_documents(statement.collection, victims)
         return ExecutionResult(
             statement=statement,
             rows=len(victims),
@@ -335,6 +345,28 @@ class Executor:
             used_indexes=optimized.used_indexes,
             index_entries_scanned=self._entries_scanned,
         )
+
+    def _delete_documents(
+        self, collection_name: str, doc_ids: List[int]
+    ) -> None:
+        """DML seam: apply a delete's victims (found by scanning
+        ``self.database``).  The cluster's shard executor overrides this
+        to translate local doc ids to document keys and delete from
+        every replica of the owning shard."""
+        for doc_id in doc_ids:
+            self.database.delete_document(collection_name, doc_id)
+
+
+def create_executor(target, **kwargs):
+    """The right executor for a storage target: a scatter-gather
+    :class:`~repro.cluster.ClusterExecutor` for a cluster (every shard
+    visited, DML routed through shards), a plain :class:`Executor` for a
+    database."""
+    if hasattr(target, "replica_database"):
+        from repro.cluster.executor import ClusterExecutor
+
+        return ClusterExecutor(target, **kwargs)
+    return Executor(target, **kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -67,7 +67,7 @@ from repro.robustness.errors import (
 from repro.robustness.faults import maybe_inject
 from repro.robustness.policy import RetryPolicy
 from repro.storage.catalog import IndexDefinition
-from repro.storage.database import Database
+from repro.storage.database import Database, resolve_database
 
 #: Cap on the per-session log of degraded estimates (the *count* keeps
 #: going in the counters; the samples stop accumulating here).
@@ -181,7 +181,10 @@ class WhatIfSession:
         retry_policy: Optional[RetryPolicy] = None,
         fallback_estimator=None,
     ) -> None:
-        self.database = database
+        #: Sessions plan against a concrete database: a cluster handed in
+        #: here resolves to its primary replica (see
+        #: :func:`~repro.storage.database.resolve_database`).
+        self.database = database = resolve_database(database)
         self.optimizer = optimizer or Optimizer(database, constants)
         self.counters = InstrumentationCounters()
         #: Retry/timeout policy around every optimizer round-trip.

@@ -31,6 +31,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.robustness.errors import ConfigError
+
 #: Chunks dispatched per worker per batch: >1 smooths imbalance between
 #: cheap and expensive statements without shrinking chunks to per-task
 #: dispatch overhead.
@@ -58,19 +60,24 @@ def available_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def resolve_workers(value, default: int = 0) -> int:
+def resolve_workers(value, default: int = 0, option: str = "workers") -> int:
     """Normalize a worker-count spec to an int (0 means serial).
 
     Accepts ints, digit strings, ``auto`` (CPU count), and
-    ``serial``/``off``/empty (0).  ``None`` yields ``default``.
+    ``serial``/``off``/empty (0).  ``None`` yields ``default``.  Junk
+    input raises :class:`~repro.robustness.errors.ConfigError` naming
+    the offending option (a ``ValueError`` subclass, so pre-taxonomy
+    call sites keep working).
     """
     if value is None:
         return default
     if isinstance(value, bool):  # bool is an int; reject it explicitly
-        raise ValueError(f"invalid worker count {value!r}")
+        raise ConfigError(f"invalid worker count {value!r}", option=option)
     if isinstance(value, int):
         if value < 0:
-            raise ValueError(f"worker count must be >= 0, got {value}")
+            raise ConfigError(
+                f"worker count must be >= 0, got {value}", option=option
+            )
         return value
     text = str(value).strip().lower()
     if text in ("", "serial", "none", "off"):
@@ -80,19 +87,26 @@ def resolve_workers(value, default: int = 0) -> int:
     try:
         count = int(text)
     except ValueError:
-        raise ValueError(
+        raise ConfigError(
             f"invalid worker count {value!r}: expected an integer, "
-            f"'auto', or 'serial'"
+            f"'auto', or 'serial'",
+            option=option,
         ) from None
     if count < 0:
-        raise ValueError(f"worker count must be >= 0, got {count}")
+        raise ConfigError(
+            f"worker count must be >= 0, got {count}", option=option
+        )
     return count
 
 
 def workers_from_env(environ: Optional[Mapping[str, str]] = None) -> int:
-    """Worker count from ``REPRO_WORKERS`` (0/absent means serial)."""
+    """Worker count from ``REPRO_WORKERS`` (0/absent means serial).
+    Junk values raise :class:`~repro.robustness.errors.ConfigError`
+    naming the variable."""
     env = os.environ if environ is None else environ
-    return resolve_workers(env.get(WORKERS_ENV), default=0)
+    return resolve_workers(
+        env.get(WORKERS_ENV), default=0, option=WORKERS_ENV
+    )
 
 
 def resolve_executor(
@@ -112,8 +126,9 @@ def resolve_executor(
         return "process", text
     if text in EXECUTOR_KINDS:
         return text, None
-    raise ValueError(
-        f"invalid executor {value!r}: choose from {EXECUTOR_CHOICES}"
+    raise ConfigError(
+        f"invalid executor {value!r}: choose from {EXECUTOR_CHOICES}",
+        option="executor",
     )
 
 

@@ -18,8 +18,10 @@ the stack knows exactly which failures it may absorb:
 
 Plus the edge-of-system errors: :class:`PersistError` for corrupt or
 half-written on-disk databases, :class:`WorkloadParseError` for malformed
-workload statements, and :class:`BudgetExhausted`, the internal control
-signal of deadline-bounded anytime search.
+workload statements, :class:`ConfigError` for junk configuration input
+(CLI flags and ``REPRO_*`` environment variables), and
+:class:`BudgetExhausted`, the internal control signal of
+deadline-bounded anytime search.
 """
 
 from __future__ import annotations
@@ -51,6 +53,21 @@ class StatisticsUnavailable(RetryableOptimizerError):
     other transient failure.  Direct consumers -- candidate sizing,
     maintenance charges, the fallback estimator -- catch it themselves
     and degrade to statistics-free defaults."""
+
+
+class ConfigError(AdvisorError, ValueError):
+    """An invalid configuration value: a malformed CLI flag or a junk
+    environment variable (``REPRO_WORKERS``, ``REPRO_SHARDS``, ...).
+
+    Subclasses :class:`ValueError` so call sites that predate the typed
+    taxonomy keep working, while new code can catch the typed error and
+    report the offending option by name."""
+
+    def __init__(self, message: str, *, option: Optional[str] = None) -> None:
+        if option is not None:
+            message = f"{option}: {message}"
+        super().__init__(message)
+        self.option = option
 
 
 class FatalAdvisorError(AdvisorError):

@@ -3,11 +3,19 @@
 A :class:`Database` holds named :class:`Collection` objects (the analogue of
 DB2 tables with one XML-typed column), the :class:`~repro.storage.catalog.Catalog`
 of index definitions, built real indexes, and cached data statistics.
+
+:class:`StorageTarget` is the narrow protocol every storage backend
+implements -- today the single-process :class:`Database` and the
+sharded/replicated :class:`~repro.cluster.Cluster`.  The optimizer
+session, executor, and advisor are written against the protocol, so a
+cluster can stand in anywhere a database could; components that need a
+concrete database for statistics/planning resolve one through
+:func:`resolve_database` (a cluster answers with its primary replica).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, runtime_checkable
 
 from repro.robustness.faults import maybe_inject
 from repro.storage.catalog import Catalog, IndexDefinition
@@ -16,6 +24,56 @@ from repro.storage.statistics import DataStatistics, collect_statistics
 from repro.storage.synopsis import get_synopsis
 from repro.xmlmodel.nodes import XmlDocument, XmlNode
 from repro.xmlmodel.parser import parse_document
+
+
+@runtime_checkable
+class StorageTarget(Protocol):
+    """What every storage backend guarantees the upper layers.
+
+    Deliberately narrow: DML (routed through shards on a cluster so
+    per-replica delta statistics and epoch invalidation stay correct),
+    index DDL (fanned out to every replica on a cluster), statistics,
+    the modification/epoch counters the what-if cache invalidation
+    rides, and :meth:`whatif_database` -- the concrete
+    :class:`Database` a what-if session should plan against.
+    """
+
+    name: str
+    modification_count: int
+    collection_epochs: Dict[str, int]
+
+    def create_collection(self, name: str): ...
+
+    def insert_document(self, collection_name: str, text: str) -> int: ...
+
+    def delete_document(self, collection_name: str, doc_id: int) -> None: ...
+
+    def create_index(self, definition: IndexDefinition): ...
+
+    def drop_index(self, name: str) -> None: ...
+
+    def runstats(self, collection_name: str) -> DataStatistics: ...
+
+    def touch(self, collection_name: Optional[str] = None) -> None: ...
+
+    def storage_stats(self) -> Dict[str, int]: ...
+
+    def whatif_database(self) -> "Database": ...
+
+
+def resolve_database(target) -> "Database":
+    """The concrete :class:`Database` behind a storage target.
+
+    A plain database resolves to itself; a cluster resolves to its
+    primary replica (shard 0, replica 0) -- with one shard and one
+    replica that *is* the whole data, which is what makes the cluster
+    differential harness exact.  Objects without the protocol method
+    (test doubles, adopted optimizers) pass through unchanged.
+    """
+    resolver = getattr(target, "whatif_database", None)
+    if resolver is None:
+        return target
+    return resolver()
 
 
 class Collection:
@@ -142,9 +200,17 @@ class Database:
         cached statistics are only invalidated when they predate the
         synopsis engine and cannot absorb deltas.
         """
+        return self.insert_parsed(collection_name, parse_document(text))
+
+    def insert_parsed(
+        self, collection_name: str, document: XmlDocument
+    ) -> int:
+        """Insert an already-parsed document (identical maintenance to
+        :meth:`insert_document`; a cluster parses once and feeds the same
+        tree -- and its cached synopsis -- to every replica of the
+        owning shard)."""
         collection = self.collection(collection_name)
-        doc_id = collection.insert_xml(text)
-        document = collection.get(doc_id)
+        doc_id = collection.insert(document)
         synopsis = get_synopsis(document)
         for index in self._indexes_on(collection_name):
             index.insert_document(document)
@@ -237,6 +303,12 @@ class Database:
                 stats.summary_rebuilds for stats in self._statistics.values()
             ),
         }
+
+    def whatif_database(self) -> "Database":
+        """The database a what-if session plans against: itself (see
+        :class:`StorageTarget`; a cluster answers with its primary
+        replica)."""
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -89,6 +89,97 @@ class TestDrift:
         assert drifted.entries[0].statement is workload.entries[0].statement
 
 
+class TestDriftReplay:
+    """Seeded drift is a *replayable* event stream: the same seed must
+    reproduce the same drifted statements on every run, and the cluster
+    layer underneath must assign the same documents to the same shards
+    -- otherwise drift experiments on clusters are not comparable."""
+
+    def test_seeded_replay_is_deterministic_across_replays(
+        self, tpox_db, workload
+    ):
+        replays = [
+            [
+                e.statement.describe()
+                for e in drift_workload(tpox_db, workload, seed=7)
+            ]
+            for _ in range(3)
+        ]
+        assert replays[0] == replays[1] == replays[2]
+
+    def test_drifted_workload_routes_identically_across_runs(self, workload):
+        """Two identically built clusters route the same drifted
+        workload to the same (shard, replica) pairs."""
+        from repro.cluster import Cluster
+        from repro.workloads import tpox as tpox_module
+
+        def route_once():
+            db = tpox_module.build_database(
+                num_securities=60, num_orders=60, num_customers=30, seed=9
+            )
+            cluster = Cluster.from_database(db, shards=2, replicas=2)
+            drifted = drift_workload(db, workload, seed=11)
+            return cluster.router.route_workload(drifted)
+
+        assert route_once() == route_once()
+
+
+class TestShardKeyStability:
+    """Shard assignment is a pure function of the document key -- pinned
+    golden values, and identical placement across two builds."""
+
+    def test_shard_of_key_is_pinned(self):
+        from repro.cluster import shard_of_key
+
+        assert [shard_of_key(k, 4) for k in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+        assert [shard_of_key(k, 3) for k in (0, 10, 100, 1000)] == [
+            0, 1, 1, 1,
+        ]
+
+    def test_same_build_places_documents_identically(self):
+        from repro.cluster import Cluster
+        from repro.workloads import tpox as tpox_module
+        from repro.xmlmodel.serializer import serialize
+
+        def placement():
+            db = tpox_module.build_database(
+                num_securities=30, num_orders=30, num_customers=15, seed=5
+            )
+            cluster = Cluster.from_database(db, shards=3, replicas=1)
+            return {
+                (name, shard): tuple(
+                    serialize(d.root)
+                    for d in cluster.replica_database(shard, 0).collection(name)
+                )
+                for name in db.collections
+                for shard in range(3)
+            }
+
+        assert placement() == placement()
+
+    def test_resharding_does_not_reorder_documents(self):
+        """Keys are assigned in insertion order, so shard s holds
+        exactly the documents whose original position is congruent to s
+        (mod shards), in their original relative order."""
+        from repro.cluster import Cluster
+        from repro.workloads import tpox as tpox_module
+        from repro.xmlmodel.serializer import serialize
+
+        db = tpox_module.build_database(
+            num_securities=20, num_orders=20, num_customers=10, seed=5
+        )
+        originals = [serialize(d.root) for d in db.collection("SDOC")]
+        cluster = Cluster.from_database(db, shards=2, replicas=1)
+        for shard in range(2):
+            held = [
+                serialize(d.root)
+                for d in cluster.replica_database(shard, 0).collection("SDOC")
+            ]
+            assert held == originals[shard::2]
+
+
 class TestDriftWithJoins:
     def test_join_queries_pass_through_unchanged(self, tpox_db):
         from repro.workloads import tpox as tpox_module
