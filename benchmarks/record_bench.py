@@ -51,6 +51,16 @@ committed figures are machine-independent.  Two in-run gates: the
 throughput score must grow with the replica count (uniform tuning,
 load-balanced tie routing), and divergent tuning must score at least
 as high as uniform at the same topology and budget.
+
+PR 7 adds ``--ilp-sweep``: coverage-cluster workload compression + the
+ILP cost-atom search against uncompressed greedy on a seeded
+10k-statement TPoX+XMark stream (``BENCH_PR7.json`` at the repo root is
+the committed copy).  Optimizer what-if calls are counted through the
+shared session (enumeration, atom matrix, search, and the full-workload
+reconciliation pass all included); in-run gates: >= 5x fewer calls in
+the tight-budget regime, equal-or-better reconciled benefit in every
+regime, and an absolute call budget on the compressed tight leg (the
+CI smoke gate).
 """
 
 from __future__ import annotations
@@ -748,6 +758,196 @@ def run_cluster(smoke=False):
     return results
 
 
+# ---------------------------------------------------------------------------
+# PR 7: huge-workload scaling (coverage-cluster compression + ILP search)
+# ---------------------------------------------------------------------------
+
+#: The BENCH_PR7 stream: 10k statement arrivals, seeded.
+STREAM_STATEMENTS = 10_000
+STREAM_SEED = 0
+#: Disk budgets as fractions of the total basic-candidate size (shared
+#: verbatim between the compressed and uncompressed legs of one row).
+#: ``tight`` is the headline contract regime: few indexes fit, so the
+#: reconciliation pass touches a small slice of the stream and the
+#: pipeline's call count is dominated by the 18-representative search.
+#: ``rich`` admits more indexes -- reconciliation then scales with the
+#: configuration's coverage, so only the benefit contract is gated
+#: there (the call ratio is recorded, not asserted).
+ILP_BUDGET_FRACTIONS = {"tight": 0.1, "rich": 0.25}
+#: The headline contract (tight leg): uncompressed greedy must spend at
+#: least this many times the optimizer calls of the compressed+ILP
+#: pipeline, reconciliation included.
+ILP_CALL_FACTOR = 5.0
+#: Equal-or-better benefit gate tolerance (absolute, on summed costs).
+ILP_BENEFIT_EPS = 1e-6
+#: Smoke gate: total optimizer calls the compressed+ILP tight leg may
+#: spend on the full 10k stream (enumerate + atoms + search +
+#: reconcile).  Deterministic (serial session, seeded stream).
+ILP_SMOKE_CALL_BUDGET = 1_000
+
+
+def _stream_setting():
+    """The mixed_small database plus the 10k synthetic stream over its
+    collections (finite literal pools -- the stream repeats itself)."""
+    from repro.workloads.stream import stream_profile, synthetic_stream
+
+    database, _ = build_mixed("mixed_small")
+    workload = synthetic_stream(
+        STREAM_STATEMENTS,
+        seed=STREAM_SEED,
+        num_securities=MIXED_SCALES["mixed_small"][0]["num_securities"],
+    )
+    return database, workload, stream_profile(workload)
+
+
+def _stream_total_size(database, workload):
+    """Total basic-candidate size over the compressed stream -- the base
+    every leg's byte budget is a fraction of (computed once, outside the
+    legs, so no leg's call count includes this setup)."""
+    advisor = IndexAdvisor(database, workload, compress="cluster")
+    try:
+        return sum(c.size_bytes for c in advisor.candidates.basics())
+    finally:
+        advisor.session.close()
+
+
+def _ilp_leg(database, workload, algorithm, compress, budget_bytes):
+    """One tuning run over the stream with a fresh advisor (cold what-if
+    cache -- every leg pays its own optimizer calls)."""
+    advisor = IndexAdvisor(database, workload, compress=compress)
+    try:
+        start = time.perf_counter()
+        recommendation = advisor.recommend(budget_bytes, algorithm=algorithm)
+        seconds = time.perf_counter() - start
+        calls = advisor.session.counters.optimizer_calls
+        reconciled = recommendation.compression_stats.get("reconciled")
+        leg = {
+            "algorithm": algorithm,
+            "compress": compress,
+            "optimizer_calls": calls,
+            "seconds": seconds,
+            "indexes": len(recommendation.configuration),
+            "search_benefit": recommendation.search.benefit,
+            # The apples-to-apples figure: benefit of the chosen
+            # configuration measured on the FULL raw stream.
+            "full_workload_benefit": (
+                reconciled["benefit"]
+                if reconciled is not None
+                else recommendation.search.benefit
+            ),
+            "truncated": recommendation.search.truncated,
+        }
+        if recommendation.compression_stats:
+            stats = dict(recommendation.compression_stats)
+            stats.pop("reconciled", None)
+            leg["compression"] = stats
+            if reconciled is not None:
+                leg["reconciled"] = reconciled
+        return leg
+    finally:
+        advisor.session.close()
+
+
+def ilp_bench(smoke=False):
+    """The PR 7 comparison on the 10k stream, one row per budget regime.
+
+    Each row runs the compressed pipeline (coverage clustering + ILP
+    cost-atom search + full-workload reconciliation) and -- full sweep
+    only -- plain greedy on the raw 10k statements at the same byte
+    budget.  Contracts asserted in-run: the tight row must show >=
+    ILP_CALL_FACTOR fewer optimizer calls, every row must reach
+    equal-or-better full-workload benefit, and the tight compressed leg
+    must stay inside the absolute smoke call budget.  Smoke mode runs
+    only the tight compressed leg (with that call gate)."""
+    database, workload, (arrivals, distinct) = _stream_setting()
+    total_size = _stream_total_size(database, workload)
+    record = {
+        "stream": {
+            "statements": arrivals,
+            "distinct_statements": distinct,
+            "seed": STREAM_SEED,
+        },
+        "total_basic_size": total_size,
+        "legs": {},
+    }
+    regimes = ("tight",) if smoke else ("tight", "rich")
+    for regime in regimes:
+        budget = int(total_size * ILP_BUDGET_FRACTIONS[regime])
+        compressed = _ilp_leg(
+            database, workload, "ilp", "cluster", budget
+        )
+        row = {"budget": budget, "compressed_ilp": compressed}
+        if regime == "tight" and compressed["optimizer_calls"] > (
+            ILP_SMOKE_CALL_BUDGET
+        ):  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"compressed+ILP tight leg spent "
+                f"{compressed['optimizer_calls']} optimizer calls on the "
+                f"10k stream (budget {ILP_SMOKE_CALL_BUDGET})"
+            )
+        if not smoke:
+            uncompressed = _ilp_leg(
+                database, workload, "greedy_heuristics", "off", budget
+            )
+            row["uncompressed_greedy"] = uncompressed
+            ratio = uncompressed["optimizer_calls"] / max(
+                1, compressed["optimizer_calls"]
+            )
+            row["call_ratio"] = ratio
+            row["benefit_delta"] = (
+                compressed["full_workload_benefit"]
+                - uncompressed["full_workload_benefit"]
+            )
+            if regime == "tight" and (
+                ratio < ILP_CALL_FACTOR
+            ):  # pragma: no cover - contract breach
+                raise AssertionError(
+                    f"call ratio {ratio:.2f} below the "
+                    f"{ILP_CALL_FACTOR}x contract "
+                    f"({uncompressed['optimizer_calls']} uncompressed vs "
+                    f"{compressed['optimizer_calls']} compressed)"
+                )
+            if (
+                compressed["full_workload_benefit"] + ILP_BENEFIT_EPS
+                < uncompressed["full_workload_benefit"]
+            ):  # pragma: no cover - contract breach
+                raise AssertionError(
+                    f"{regime}: compressed benefit "
+                    f"{compressed['full_workload_benefit']:.4f} below "
+                    f"uncompressed "
+                    f"{uncompressed['full_workload_benefit']:.4f}"
+                )
+        record["legs"][regime] = row
+    return record
+
+
+def run_ilp(smoke=False):
+    """The PR 7 sweep (``--ilp-sweep``), written to ``BENCH_PR7.json``
+    at the repo root as the committed copy.  Contracts are asserted
+    in-run (this is the CI perf-smoke gate): the compressed+ILP leg's
+    absolute optimizer-call spend always; the >= 5x call reduction at
+    equal-or-better full-workload benefit in the full sweep."""
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "stream_statements": STREAM_STATEMENTS,
+            "budget_fractions": dict(ILP_BUDGET_FRACTIONS),
+            "call_factor": ILP_CALL_FACTOR,
+            "smoke_call_budget": ILP_SMOKE_CALL_BUDGET,
+            "note": (
+                "optimizer_calls counts every successful what-if "
+                "optimization through the shared session (enumeration, "
+                "atom matrix, search, reconciliation); *_seconds fields "
+                "are informational wall clock"
+            ),
+        },
+        "ilp": {"stream_10k": ilp_bench(smoke=smoke)},
+    }
+
+
 def run_dml(smoke=False):
     """The PR 5 storage-engine sweep (``--dml-sweep``), written to
     ``BENCH_PR5.json`` at the repo root as the committed copy.  The
@@ -879,6 +1079,11 @@ def main(argv=None):
         help="run only the PR 6 cluster sweep (BENCH_PR6.json)",
     )
     parser.add_argument(
+        "--ilp-sweep",
+        action="store_true",
+        help="run only the PR 7 compression+ILP sweep (BENCH_PR7.json)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="JSON file with a frozen pre-PR capture to embed as 'before'",
@@ -901,11 +1106,18 @@ def main(argv=None):
     # parallel sessions explicitly, so this pin cannot mask it.
     os.environ["REPRO_WORKERS"] = "0"
 
-    if args.workers_sweep or args.dml_sweep or args.cluster_sweep:
+    if (
+        args.workers_sweep
+        or args.dml_sweep
+        or args.cluster_sweep
+        or args.ilp_sweep
+    ):
         if args.workers_sweep:
             results = run_workers(smoke=args.smoke)
         elif args.dml_sweep:
             results = run_dml(smoke=args.smoke)
+        elif args.ilp_sweep:
+            results = run_ilp(smoke=args.smoke)
         else:
             results = run_cluster(smoke=args.smoke)
         print(json.dumps(results, indent=2))

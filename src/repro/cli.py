@@ -232,7 +232,11 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     if shards > 1 or replicas > 1 or args.divergent:
         return _recommend_cluster(args, db, workload, shards, replicas)
     advisor = IndexAdvisor(
-        db, workload, workers=args.workers, executor=args.executor
+        db,
+        workload,
+        workers=args.workers,
+        executor=args.executor,
+        compress=args.compress,
     )
     try:
         recommendation = advisor.recommend(
@@ -478,7 +482,17 @@ def build_parser() -> argparse.ArgumentParser:
             "topdown_full",
             "dp",
             "exhaustive",
+            "ilp",
         ),
+    )
+    p.add_argument(
+        "--compress",
+        default="off",
+        choices=("off", "exact", "template", "cluster"),
+        help="compress the workload before tuning: exact (duplicate "
+             "texts merge, loss free), template (literal-only variants "
+             "merge), or cluster (coverage-signature clustering; the "
+             "winner is re-scored on the full workload)",
     )
     p.add_argument(
         "--create", action="store_true",

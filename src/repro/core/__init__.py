@@ -8,13 +8,25 @@
 * :mod:`repro.core.benefit` -- configuration benefit with affected sets,
   sub-configurations, and caching (Sections III, VI-C).
 * :mod:`repro.core.maintenance` -- the mc(x, s) maintenance charge.
-* :mod:`repro.core.search` -- the five search algorithms (Section VI).
+* :mod:`repro.core.search` -- the greedy/top-down/DP searchers (Section VI).
+* :mod:`repro.core.ilp` -- CoPhy-style cost-atom ILP search (LP
+  relaxation + branch and bound over the what-if session's cached atoms).
+* :mod:`repro.core.compression` -- exact/template/coverage-cluster
+  workload compression with reconciliation-ready stats.
 * :mod:`repro.core.advisor` -- the IndexAdvisor front end (Figure 1).
 """
 
 from repro.core.advisor import IndexAdvisor, Recommendation
-from repro.core.benefit import ConfigurationEvaluator
-from repro.core.compression import compress, compression_ratio
+from repro.core.benefit import ConfigurationEvaluator, reconcile_configuration
+from repro.core.compression import (
+    COMPRESSION_MODES,
+    CompressionStats,
+    compress,
+    compress_workload,
+    compression_ratio,
+    coverage_signature,
+)
+from repro.core.ilp import build_atom_matrix, ilp_search
 from repro.core.whatif import StatementImpact, WhatIfReport, analyze
 from repro.core.candidates import (
     CandidateIndex,
@@ -42,8 +54,13 @@ __all__ = [
     "StatementImpact",
     "WhatIfReport",
     "analyze",
+    "build_atom_matrix",
     "compress",
+    "compress_workload",
     "compression_ratio",
+    "coverage_signature",
+    "COMPRESSION_MODES",
+    "CompressionStats",
     "CandidateIndex",
     "CandidateSet",
     "ConfigurationEvaluator",
@@ -59,7 +76,9 @@ __all__ = [
     "generalize_pair",
     "greedy_search",
     "greedy_search_with_heuristics",
+    "ilp_search",
     "maintenance_cost",
+    "reconcile_configuration",
     "top_down_full",
     "top_down_lite",
 ]

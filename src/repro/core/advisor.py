@@ -21,11 +21,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.benefit import ConfigurationEvaluator
+from repro.core.benefit import ConfigurationEvaluator, reconcile_configuration
 from repro.core.candidates import (
     CandidateIndex,
     CandidateSet,
     enumerate_basic_candidates,
+)
+from repro.core.compression import (
+    COMPRESSION_MODES,
+    CompressionStats,
+    compress_workload,
 )
 from repro.core.config import IndexConfiguration
 from repro.core.generalization import generalize_candidates
@@ -64,6 +69,11 @@ class Recommendation:
     #: decisions, divergence score) when the advisor targeted a
     #: :class:`~repro.cluster.Cluster`; empty for a plain database.
     cluster_stats: Dict = field(default_factory=dict)
+    #: Workload-compression provenance (mode, ratio, representative
+    #: counts, and -- for the approximate template/cluster modes -- the
+    #: reconciliation pass's full-workload re-score of the winning
+    #: configuration); empty when the advisor tuned uncompressed.
+    compression_stats: Dict = field(default_factory=dict)
 
     @property
     def configuration(self) -> IndexConfiguration:
@@ -99,6 +109,11 @@ class Recommendation:
             **(
                 {"cluster": dict(self.cluster_stats)}
                 if self.cluster_stats
+                else {}
+            ),
+            **(
+                {"compression": dict(self.compression_stats)}
+                if self.compression_stats
                 else {}
             ),
             "indexes": [
@@ -196,6 +211,30 @@ class Recommendation:
                 (workers.get("per_worker_tasks") or {}).items()
             ):
                 lines.append(f"  worker {label}: {count} tasks")
+        compression = self.compression_stats
+        if compression:
+            lines.append(
+                f"  compression       : {compression.get('mode', 'off')} "
+                f"({compression.get('original_statements', 0)} statements "
+                f"-> {compression.get('representatives', 0)} "
+                f"representatives, ratio "
+                f"{compression.get('ratio', 0.0):.2%}"
+                + (
+                    ", approximate"
+                    if compression.get("approximate")
+                    else ""
+                )
+                + ")"
+            )
+            reconciled = compression.get("reconciled")
+            if reconciled:
+                lines.append(
+                    f"  reconciled        : benefit "
+                    f"{reconciled.get('benefit', 0.0):.2f} on "
+                    f"{reconciled.get('affected_statements', 0)}/"
+                    f"{reconciled.get('workload_statements', 0)} affected "
+                    f"statements (full workload)"
+                )
         cluster = self.cluster_stats
         if cluster:
             lines.append(
@@ -243,6 +282,7 @@ class IndexAdvisor:
         session: Optional[WhatIfSession] = None,
         workers=None,
         executor: Optional[str] = None,
+        compress: str = "off",
     ) -> None:
         #: The storage target as handed in -- a plain :class:`Database`
         #: or a :class:`~repro.cluster.Cluster`.  Physical DDL
@@ -252,7 +292,24 @@ class IndexAdvisor:
         #: The concrete database all planning and statistics run
         #: against (a cluster resolves to its primary replica).
         self.database = resolve_database(database)
-        self.workload = workload
+        if compress not in COMPRESSION_MODES:
+            raise ValueError(
+                f"unknown compression mode {compress!r}; "
+                f"choose from {COMPRESSION_MODES}"
+            )
+        #: The workload exactly as handed in.  Tuning runs on
+        #: :attr:`workload` (the compressed form when ``compress`` is
+        #: on); the reconciliation pass re-scores the winning
+        #: configuration against this raw stream.
+        self.raw_workload = workload
+        self.compression: CompressionStats
+        if compress == "off":
+            self.workload = workload
+            _, self.compression = compress_workload(workload, "off")
+        else:
+            self.workload, self.compression = compress_workload(
+                workload, compress
+            )
         #: The advisor's entire optimizer coupling runs through this one
         #: session; pass a shared session to share its cost cache across
         #: advisors (e.g. the generalization experiments).  ``workers``
@@ -344,7 +401,7 @@ class IndexAdvisor:
         """Search for the best configuration within ``budget_bytes``.
 
         ``algorithm`` is one of ``greedy``, ``greedy_heuristics``,
-        ``topdown_lite``, ``topdown_full``, ``dp``.
+        ``topdown_lite``, ``topdown_full``, ``dp``, ``ilp``.
 
         Anytime operation (docs/robustness.md): ``deadline_seconds`` and
         ``optimizer_call_budget`` bound the run -- the deadline clock
@@ -415,6 +472,19 @@ class IndexAdvisor:
             for candidate in result.configuration
         ]
         cluster_stats = getattr(self.storage, "cluster_stats", None)
+        compression_stats: Dict = {}
+        if self.compression.mode != "off":
+            compression_stats = self.compression.to_dict()
+            if self.compression.approximate:
+                # Reconciliation pass: tuning scored representatives, so
+                # re-score the winner on the full raw stream (affected
+                # statements only -- see reconcile_configuration).
+                compression_stats["reconciled"] = reconcile_configuration(
+                    self.session,
+                    self.raw_workload,
+                    result.configuration,
+                    self.maintenance_constants,
+                )
         return Recommendation(
             search=result,
             estimated_speedup=speedup,
@@ -427,6 +497,7 @@ class IndexAdvisor:
             cluster_stats=(
                 cluster_stats() if callable(cluster_stats) else {}
             ),
+            compression_stats=compression_stats,
         )
 
     # ------------------------------------------------------------------

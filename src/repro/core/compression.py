@@ -3,19 +3,75 @@
 Production workloads repeat the same statements many times; the paper's
 benefit formula already anticipates this by weighting each *unique*
 statement with its frequency of occurrence (Section III).  This module
-folds a raw statement stream into that form, and can additionally merge
-*template* duplicates -- statements identical up to their literal values,
-e.g. thousands of ``Symbol = "..."`` point lookups -- which exercise the
-same candidate indexes and would otherwise inflate every optimizer loop.
+folds a raw statement stream into that form, in three strengths:
+
+* **exact** -- duplicate statement texts merge, frequencies sum.  Loss
+  free: the advisor's output is invariant (pinned by tests).
+* **template** -- statements identical up to literal values merge, e.g.
+  thousands of ``Symbol = "..."`` point lookups.  Sound for candidate
+  enumeration, approximate for benefit when the literals have very
+  different selectivities.
+* **cluster** -- coverage clustering in the CoPhy spirit (PAPERS.md):
+  statements are keyed by their *distinct-request coverage signature*
+  (the set of ``(pattern, value type)`` requests the rewriter extracts --
+  exactly what drives the evaluator's affected sets), and signatures
+  within a Jaccard similarity threshold pool into one cluster.  Tuning
+  then runs on one frequency-weighted representative per cluster, and
+  the advisor reconciles the winning configuration against the full
+  workload afterwards.
+
+Representative choice is deterministic under stream reordering: groups
+are emitted in stable sorted order and each group's representative is
+picked by a stable key sort (never "first occurrence wins").
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.optimizer.rewriter import extract_path_requests
+from repro.optimizer.rewriter import extract_all_requests, extract_path_requests
 from repro.query.model import Query, Statement
 from repro.query.workload import Workload, WorkloadEntry
+
+#: Accepted ``compress=`` modes, weakest to strongest.
+COMPRESSION_MODES: Tuple[str, ...] = ("off", "exact", "template", "cluster")
+
+#: Minimum Jaccard similarity between two coverage signatures for their
+#: statements to pool into one cluster.
+DEFAULT_CLUSTER_SIMILARITY = 0.5
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Provenance of one compression pass, surfaced on the
+    recommendation (``--stats`` / ``Recommendation.to_dict``)."""
+
+    mode: str
+    #: Entry count / total frequency weight of the raw stream.
+    original_statements: int
+    original_weight: float
+    #: Entries the advisor actually tunes on.
+    representatives: int
+    #: Groups that merged more than one distinct statement.
+    merged_groups: int
+    #: Fraction of entries removed (0 = nothing merged).
+    ratio: float
+    #: True for template/cluster: representative literals stand in for
+    #: the group's, so search-time benefits are approximations and the
+    #: advisor re-scores the winner on the full workload (reconciliation).
+    approximate: bool
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "original_statements": self.original_statements,
+            "original_weight": self.original_weight,
+            "representatives": self.representatives,
+            "merged_groups": self.merged_groups,
+            "ratio": self.ratio,
+            "approximate": self.approximate,
+        }
 
 
 def _exact_key(statement: Statement) -> str:
@@ -37,29 +93,197 @@ def _template_key(statement: Statement) -> Tuple:
     return (kind, collection, binding, requests)
 
 
+def coverage_signature(statement: Statement) -> FrozenSet[Tuple[str, str]]:
+    """The statement's distinct-request coverage signature: the set of
+    ``(pattern text, value type)`` pairs the rewriter extracts (including
+    disjunction alternatives) -- the same distinct-request universe the
+    evaluator's affected sets are computed against."""
+    if not hasattr(statement, "collection"):
+        return frozenset()
+    return frozenset(
+        (str(request.pattern), request.value_type.value)
+        for request in extract_all_requests(statement)
+    )
+
+
+def _jaccard(a: FrozenSet, b: FrozenSet) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union
+
+
+def _representative(entries: List[WorkloadEntry]) -> Statement:
+    """Deterministic representative of a merged group: richest coverage
+    signature first (it preserves the most requests for candidate
+    enumeration), ties broken by the stable statement-text sort -- never
+    by stream position."""
+    return min(
+        (entry.statement for entry in entries),
+        key=lambda s: (-len(coverage_signature(s)), s.describe()),
+    )
+
+
+def compress_workload(
+    workload: Workload,
+    mode: str = "exact",
+    *,
+    cluster_similarity: float = DEFAULT_CLUSTER_SIMILARITY,
+) -> Tuple[Workload, CompressionStats]:
+    """Compress ``workload`` with the given mode; return the compressed
+    workload and a :class:`CompressionStats` record.
+
+    ``off`` returns the workload unchanged; ``exact`` merges duplicate
+    statement texts (order preserving, loss free); ``template`` merges
+    literal-only variants; ``cluster`` additionally pools statements
+    whose coverage signatures overlap by at least ``cluster_similarity``
+    (Jaccard).  Template and cluster output is emitted in stable sorted
+    group order so the result is independent of stream order.
+    """
+    if mode not in COMPRESSION_MODES:
+        raise ValueError(
+            f"unknown compression mode {mode!r}; "
+            f"choose from {COMPRESSION_MODES}"
+        )
+    original = len(workload)
+    weight = sum(entry.frequency for entry in workload)
+    if mode == "off":
+        stats = CompressionStats(
+            mode, original, weight, original, 0, 0.0, False
+        )
+        return workload, stats
+
+    if mode == "exact":
+        order: List[str] = []
+        merged: Dict[str, WorkloadEntry] = {}
+        for entry in workload:
+            key = _exact_key(entry.statement)
+            if key in merged:
+                kept = merged[key]
+                merged[key] = WorkloadEntry(
+                    kept.statement, kept.frequency + entry.frequency
+                )
+            else:
+                merged[key] = entry
+                order.append(key)
+        compressed = Workload(merged[key] for key in order)
+        seen: Dict[str, int] = {}
+        for entry in workload:
+            key = _exact_key(entry.statement)
+            seen[key] = seen.get(key, 0) + 1
+        merged_groups = sum(1 for count in seen.values() if count > 1)
+        stats = CompressionStats(
+            mode,
+            original,
+            weight,
+            len(compressed),
+            merged_groups,
+            compression_ratio(workload, compressed),
+            False,
+        )
+        return compressed, stats
+
+    if mode == "template":
+        grouped: Dict[Tuple, List[WorkloadEntry]] = {}
+        for entry in workload:
+            grouped.setdefault(
+                _template_key(entry.statement), []
+            ).append(entry)
+        group_lists = list(grouped.values())
+    else:  # cluster
+        group_lists = _cluster_groups(workload, cluster_similarity)
+
+    entries = []
+    for members in group_lists:
+        representative = _representative(members)
+        entries.append(
+            WorkloadEntry(
+                representative,
+                sum(member.frequency for member in members),
+            )
+        )
+    # Stable sorted group order: independent of stream order.
+    entries.sort(key=lambda entry: entry.statement.describe())
+    compressed = Workload(entries)
+    stats = CompressionStats(
+        mode,
+        original,
+        weight,
+        len(compressed),
+        sum(1 for members in group_lists if len(members) > 1),
+        compression_ratio(workload, compressed),
+        True,
+    )
+    return compressed, stats
+
+
+def _cluster_groups(
+    workload: Workload, similarity: float
+) -> List[List[WorkloadEntry]]:
+    """Leader clustering over distinct coverage signatures.
+
+    Statements are first bucketed by exact signature (plus kind and
+    collection -- queries never pool with updates, nor across
+    collections); buckets are then scanned in stable sorted order, each
+    joining the best existing leader with Jaccard similarity >=
+    ``similarity`` or founding a new cluster.  The sorted scan makes
+    cluster membership independent of stream order.
+    """
+    buckets: Dict[Tuple, List[WorkloadEntry]] = {}
+    signatures: Dict[Tuple, FrozenSet] = {}
+    for entry in workload:
+        statement = entry.statement
+        signature = coverage_signature(statement)
+        key = (
+            statement.kind.value,
+            str(getattr(statement, "collection", "")),
+            tuple(sorted(signature)),
+        )
+        buckets.setdefault(key, []).append(entry)
+        signatures[key] = signature
+    clusters: List[Dict] = []
+    for key in sorted(buckets):
+        kind, collection, _ = key
+        signature = signatures[key]
+        best: Optional[Dict] = None
+        best_score = 0.0
+        for cluster in clusters:
+            if cluster["kind"] != kind or cluster["collection"] != collection:
+                continue
+            score = _jaccard(signature, cluster["signature"])
+            if score >= similarity and score > best_score:
+                best = cluster
+                best_score = score
+        if best is None:
+            clusters.append(
+                {
+                    "kind": kind,
+                    "collection": collection,
+                    "signature": signature,
+                    "members": list(buckets[key]),
+                }
+            )
+        else:
+            best["members"].extend(buckets[key])
+    return [cluster["members"] for cluster in clusters]
+
+
 def compress(workload: Workload, by_template: bool = False) -> Workload:
     """Fold duplicate statements into single entries with summed
     frequencies.
 
     With ``by_template=True``, statements that differ only in literal
-    values are merged too (the first occurrence represents the group --
-    sound for candidate enumeration, approximate for benefit when the
-    literals have very different selectivities).
+    values are merged too (the group's representative is picked by a
+    stable key sort -- deterministic under stream reordering; sound for
+    candidate enumeration, approximate for benefit when the literals
+    have very different selectivities).
     """
-    keyer = _template_key if by_template else _exact_key
-    order: List = []
-    merged: Dict = {}
-    for entry in workload:
-        key = keyer(entry.statement)
-        if key in merged:
-            kept = merged[key]
-            merged[key] = WorkloadEntry(
-                kept.statement, kept.frequency + entry.frequency
-            )
-        else:
-            merged[key] = entry
-            order.append(key)
-    return Workload(merged[key] for key in order)
+    compressed, _ = compress_workload(
+        workload, "template" if by_template else "exact"
+    )
+    return compressed
 
 
 def compression_ratio(original: Workload, compressed: Workload) -> float:

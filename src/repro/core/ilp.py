@@ -1,0 +1,538 @@
+"""CoPhy-style ILP search over per-statement cost atoms.
+
+The searchers in :mod:`repro.core.search` probe configurations one
+greedy step at a time; CoPhy (Dash et al., PAPERS.md) instead phrases
+index selection as a binary program over **cost atoms** -- the cost of
+one statement under one small candidate subset, exactly the
+(statement, projected configuration) pairs the shared
+:class:`~repro.optimizer.session.WhatIfSession` already caches.  With
+the atoms in hand, search never calls the optimizer again: it reasons
+over the matrix.
+
+The program, for statements ``s``, atoms ``k`` (with saving ``w_k`` and
+member candidates ``j in k``) and candidates ``j`` (size ``size_j``,
+frequency-weighted maintenance charge ``m_j``)::
+
+    maximize   sum_k w_k x_k  -  sum_j m_j y_j
+    subject to sum_{k in atoms(s)} x_k <= 1          for every s
+               x_k <= y_j                            for every k, j in k
+               sum_j size_j y_j <= budget_bytes
+               x, y binary
+
+Atoms are built in two batched fan-outs through the session (singletons
+for every affected statement x candidate pair -- warm after candidate
+ranking -- then pairs of the per-statement top singletons, kept only
+when the optimizer actually combines them for a strict improvement).
+The relaxation is solved with a dense primal simplex (pure python, no
+dependencies), integrality restored by best-first branch and bound on
+the ``y`` variables, both under the PR 3 :class:`SearchBudget` -- an
+expiring deadline or call budget abandons the program and falls back to
+:func:`~repro.core.search.greedy_search_with_heuristics`, preserving
+anytime semantics.  The chosen configuration's *true* benefit is then
+evaluated through the optimizer and compared against a (cache-warm)
+greedy run: ``ilp`` returns whichever is better, so its benefit is
+``>=`` greedy's on every workload by construction (differentially
+pinned by ``tests/test_ilp.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.candidates import CandidateIndex, CandidateSet
+from repro.core.config import IndexConfiguration
+from repro.core.search import (
+    SearchResult,
+    _spent,
+    _Telemetry,
+    greedy_search_with_heuristics,
+)
+from repro.robustness.budget import SearchBudget
+from repro.robustness.checkpoint import resolve_candidates
+
+#: Candidate pool cap: the ILP runs over the densest ranked positives.
+MAX_POOL = 64
+#: Per statement, the top singleton atoms eligible to form pair atoms.
+PAIR_SEED_CANDIDATES = 5
+#: Branch-and-bound node cap (the LP bound is tight enough that real
+#: runs close the gap in a handful of nodes; this is the runaway stop).
+MAX_NODES = 48
+#: Simplex pivots before giving up on a node's relaxation.
+SIMPLEX_ITERATION_LIMIT = 4000
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One cost atom: statement position, member candidate indices
+    (into the ILP's candidate pool), and the frequency-weighted saving
+    over the statement's base cost."""
+
+    statement: int
+    members: Tuple[int, ...]
+    saving: float
+
+
+class _BudgetSpent(Exception):
+    """Internal: the anytime budget expired mid-program."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Atom matrix construction (batched through the session)
+# ---------------------------------------------------------------------------
+
+def build_atom_matrix(
+    pool: Sequence[CandidateIndex],
+    evaluator: ConfigurationEvaluator,
+    budget: Optional[SearchBudget] = None,
+    pair_seeds: int = PAIR_SEED_CANDIDATES,
+) -> List[Atom]:
+    """Cost atoms for ``pool`` over the evaluator's workload.
+
+    Two session fan-outs: one batch of every (affected statement,
+    singleton) cost -- deduped by the projected-key cache, so costs the
+    candidate ranking already probed are free -- and one batch of pair
+    costs for each statement's top ``pair_seeds`` singletons.  Pair
+    atoms survive only when the optimizer combines the two indexes for
+    a saving strictly better than either alone (otherwise the pair
+    column is dominated and only bloats the program).
+    """
+    session = evaluator.session
+    workload = evaluator.workload
+    base_costs = evaluator.base_costs
+    affected = [evaluator.affected_set(candidate) for candidate in pool]
+    definitions = [
+        session.definitions_for([candidate]) for candidate in pool
+    ]
+    relevant: Dict[int, List[int]] = {}
+    for j, positions in enumerate(affected):
+        for position in positions:
+            relevant.setdefault(position, []).append(j)
+
+    reason = _spent(budget)
+    if reason is not None:
+        raise _BudgetSpent(reason)
+
+    tasks = []
+    spans: List[Tuple[int, int]] = []  # parallel to tasks: (position, j)
+    for position in sorted(relevant):
+        statement = workload.entries[position].statement
+        for j in relevant[position]:
+            spans.append((position, j))
+            tasks.append((statement, definitions[j]))
+    with session.phase("ilp-atoms"):
+        costs = session.cost_batch(tasks)
+
+    singles: Dict[Tuple[int, int], float] = {}
+    for (position, j), cost in zip(spans, costs):
+        frequency = workload.entries[position].frequency
+        singles[(position, j)] = frequency * (base_costs[position] - cost)
+
+    reason = _spent(budget)
+    if reason is not None:
+        raise _BudgetSpent(reason)
+
+    pair_tasks = []
+    pair_spans: List[Tuple[int, int, int]] = []
+    pair_definitions: Dict[Tuple[int, int], Tuple] = {}
+    for position in sorted(relevant):
+        statement = workload.entries[position].statement
+        seeds = sorted(
+            (j for j in relevant[position] if singles[(position, j)] > EPS),
+            key=lambda j: (-singles[(position, j)], j),
+        )[:pair_seeds]
+        for a in range(len(seeds)):
+            for b in range(a + 1, len(seeds)):
+                first, second = sorted((seeds[a], seeds[b]))
+                pair_key = (first, second)
+                if pair_key not in pair_definitions:
+                    pair_definitions[pair_key] = session.definitions_for(
+                        [pool[first], pool[second]]
+                    )
+                pair_spans.append((position, first, second))
+                pair_tasks.append(
+                    (statement, pair_definitions[pair_key])
+                )
+    with session.phase("ilp-atoms"):
+        pair_costs = session.cost_batch(pair_tasks)
+
+    atoms: List[Atom] = [
+        Atom(position, (j,), saving)
+        for (position, j), saving in sorted(singles.items())
+        if saving > EPS
+    ]
+    for (position, first, second), cost in zip(pair_spans, pair_costs):
+        frequency = workload.entries[position].frequency
+        saving = frequency * (base_costs[position] - cost)
+        best_single = max(
+            singles[(position, first)], singles[(position, second)]
+        )
+        if saving > best_single + EPS:
+            atoms.append(Atom(position, (first, second), saving))
+    return atoms
+
+
+# ---------------------------------------------------------------------------
+# Dense primal simplex (pure python)
+# ---------------------------------------------------------------------------
+
+def solve_lp(
+    objective: Sequence[float],
+    rows: Sequence[Sequence[Tuple[int, float]]],
+    bounds: Sequence[float],
+) -> Optional[Tuple[float, List[float]]]:
+    """Maximize ``objective . v`` subject to ``A v <= bounds, v >= 0``.
+
+    ``rows`` holds each constraint as sparse ``(column, coefficient)``
+    pairs; every bound must be non-negative, so the slack basis is
+    feasible and a single-phase primal simplex suffices.  Dantzig
+    pricing with a switch to Bland's rule (which cannot cycle) once the
+    pivot count passes twice the tableau size; returns ``None`` if the
+    iteration limit is still exceeded.
+    """
+    n = len(objective)
+    m = len(rows)
+    width = n + m + 1
+    tableau = [[0.0] * width for _ in range(m + 1)]
+    for i, row in enumerate(rows):
+        line = tableau[i]
+        for column, coefficient in row:
+            line[column] = coefficient
+        line[n + i] = 1.0
+        line[width - 1] = bounds[i]
+    cost_row = tableau[m]
+    for column, coefficient in enumerate(objective):
+        cost_row[column] = -coefficient
+    basis = [n + i for i in range(m)]
+
+    bland_after = 2 * (m + n)
+    for iteration in range(SIMPLEX_ITERATION_LIMIT):
+        entering = -1
+        if iteration < bland_after:
+            most_negative = -1e-9
+            for column in range(width - 1):
+                if cost_row[column] < most_negative:
+                    most_negative = cost_row[column]
+                    entering = column
+        else:
+            for column in range(width - 1):
+                if cost_row[column] < -1e-9:
+                    entering = column
+                    break
+        if entering < 0:
+            values = [0.0] * n
+            for i, variable in enumerate(basis):
+                if variable < n:
+                    values[variable] = tableau[i][width - 1]
+            return tableau[m][width - 1], values
+        leaving = -1
+        best_ratio = float("inf")
+        for i in range(m):
+            coefficient = tableau[i][entering]
+            if coefficient > 1e-9:
+                ratio = tableau[i][width - 1] / coefficient
+                if ratio < best_ratio - 1e-12 or (
+                    abs(ratio - best_ratio) <= 1e-12
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return None  # unbounded: malformed program
+        pivot_row = tableau[leaving]
+        pivot = pivot_row[entering]
+        inverse = 1.0 / pivot
+        for column in range(width):
+            pivot_row[column] *= inverse
+        for i in range(m + 1):
+            if i == leaving:
+                continue
+            factor = tableau[i][entering]
+            if factor == 0.0:
+                continue
+            line = tableau[i]
+            for column in range(width):
+                line[column] -= factor * pivot_row[column]
+        basis[leaving] = entering
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Branch and bound over the y (candidate) variables
+# ---------------------------------------------------------------------------
+
+class _Program:
+    """The cost-atom program for one pool, shared by every node."""
+
+    def __init__(
+        self,
+        pool: Sequence[CandidateIndex],
+        atoms: Sequence[Atom],
+        maintenance: Sequence[float],
+        budget_bytes: int,
+    ) -> None:
+        self.pool = list(pool)
+        self.atoms = list(atoms)
+        self.maintenance = list(maintenance)
+        self.sizes = [candidate.size_bytes for candidate in pool]
+        self.budget_bytes = budget_bytes
+        self.by_statement: Dict[int, List[int]] = {}
+        for index, atom in enumerate(self.atoms):
+            self.by_statement.setdefault(atom.statement, []).append(index)
+
+    def objective(self, chosen: Set[int]) -> float:
+        """Model objective of an integral candidate set."""
+        total = 0.0
+        for indices in self.by_statement.values():
+            best = 0.0
+            for index in indices:
+                atom = self.atoms[index]
+                if atom.saving > best and all(
+                    j in chosen for j in atom.members
+                ):
+                    best = atom.saving
+            total += best
+        return total - sum(self.maintenance[j] for j in chosen)
+
+    def size_of(self, chosen: Set[int]) -> int:
+        return sum(self.sizes[j] for j in chosen)
+
+    # -- one node's LP relaxation ------------------------------------
+    def relax(
+        self, fixed_zero: FrozenSet[int], fixed_one: FrozenSet[int]
+    ) -> Optional[Tuple[float, Dict[int, float]]]:
+        """LP bound of the node where ``fixed_one`` candidates are
+        forced in and ``fixed_zero`` out.  Returns ``(bound, fractional
+        y values for the free candidates)``, or ``None`` when the node
+        is infeasible (forced sizes already bust the budget) or the
+        simplex gave up (callers prune conservatively)."""
+        remaining = self.budget_bytes - sum(
+            self.sizes[j] for j in fixed_one
+        )
+        if remaining < 0:
+            return None
+        constant = -sum(self.maintenance[j] for j in fixed_one)
+        usable: List[Tuple[Atom, Tuple[int, ...]]] = []
+        free_candidates: Set[int] = set()
+        for atom in self.atoms:
+            if any(j in fixed_zero for j in atom.members):
+                continue
+            free_members = tuple(
+                j for j in atom.members if j not in fixed_one
+            )
+            usable.append((atom, free_members))
+            free_candidates.update(free_members)
+        if not usable:
+            return constant, {}
+        y_order = sorted(free_candidates)
+        y_column = {j: len(usable) + slot for slot, j in enumerate(y_order)}
+
+        objective = [atom.saving for atom, _ in usable] + [
+            -self.maintenance[j] for j in y_order
+        ]
+        rows: List[List[Tuple[int, float]]] = []
+        bounds: List[float] = []
+        per_statement: Dict[int, List[int]] = {}
+        for column, (atom, _) in enumerate(usable):
+            per_statement.setdefault(atom.statement, []).append(column)
+        for statement in sorted(per_statement):
+            rows.append(
+                [(column, 1.0) for column in per_statement[statement]]
+            )
+            bounds.append(1.0)
+        for column, (_, free_members) in enumerate(usable):
+            for j in free_members:
+                rows.append([(column, 1.0), (y_column[j], -1.0)])
+                bounds.append(0.0)
+        if y_order:
+            rows.append(
+                [(y_column[j], float(self.sizes[j])) for j in y_order]
+            )
+            bounds.append(float(remaining))
+            for j in y_order:
+                rows.append([(y_column[j], 1.0)])
+                bounds.append(1.0)
+        solved = solve_lp(objective, rows, bounds)
+        if solved is None:
+            return None
+        value, values = solved
+        fractional = {
+            j: values[y_column[j]] for j in y_order
+        }
+        return value + constant, fractional
+
+    # -- rounding ----------------------------------------------------
+    def round_to_incumbent(
+        self,
+        fixed_one: FrozenSet[int],
+        fractional: Dict[int, float],
+    ) -> Set[int]:
+        """Greedy rounding of a node's LP solution into a feasible
+        integral set: forced candidates first, then free candidates by
+        descending fractional value while the budget holds."""
+        chosen = set(fixed_one)
+        remaining = self.budget_bytes - self.size_of(chosen)
+        for j in sorted(
+            fractional, key=lambda j: (-fractional[j], j)
+        ):
+            if fractional[j] <= EPS:
+                continue
+            if self.sizes[j] <= remaining:
+                chosen.add(j)
+                remaining -= self.sizes[j]
+        return chosen
+
+
+def _branch_and_bound(
+    program: _Program,
+    budget: Optional[SearchBudget],
+    seed: Optional[Set[int]] = None,
+) -> Tuple[Set[int], float]:
+    """Best-first branch and bound; returns the best integral candidate
+    set and its model objective.  Raises :class:`_BudgetSpent` when the
+    anytime budget expires mid-tree (the caller falls back)."""
+    best_set: Set[int] = set(seed or ())
+    if program.size_of(best_set) > program.budget_bytes:
+        best_set = set()
+    best_value = program.objective(best_set)
+    counter = 0
+    heap: List[Tuple[float, int, FrozenSet[int], FrozenSet[int]]] = []
+    root = program.relax(frozenset(), frozenset())
+    if root is None:
+        return best_set, best_value
+    bound, fractional = root
+    heapq.heappush(heap, (-bound, counter, frozenset(), frozenset()))
+    explored = 0
+    while heap and explored < MAX_NODES:
+        reason = _spent(budget)
+        if reason is not None:
+            raise _BudgetSpent(reason)
+        negative_bound, _, fixed_zero, fixed_one = heapq.heappop(heap)
+        if -negative_bound <= best_value + EPS:
+            continue  # the bound can no longer beat the incumbent
+        explored += 1
+        solved = program.relax(fixed_zero, fixed_one)
+        if solved is None:
+            continue
+        bound, fractional = solved
+        if bound <= best_value + EPS:
+            continue
+        incumbent = program.round_to_incumbent(fixed_one, fractional)
+        value = program.objective(incumbent)
+        if value > best_value + EPS:
+            best_value = value
+            best_set = incumbent
+        branch_on = -1
+        most_fractional = 1e-6
+        for j, value_j in sorted(fractional.items()):
+            distance = min(value_j, 1.0 - value_j)
+            if distance > most_fractional:
+                most_fractional = distance
+                branch_on = j
+        if branch_on < 0:
+            # Integral relaxation: the rounding above captured it.
+            continue
+        for child_zero, child_one in (
+            (fixed_zero | {branch_on}, fixed_one),
+            (fixed_zero, fixed_one | {branch_on}),
+        ):
+            counter += 1
+            heapq.heappush(
+                heap,
+                (-bound, counter, frozenset(child_zero), frozenset(child_one)),
+            )
+    return best_set, best_value
+
+
+# ---------------------------------------------------------------------------
+# The searcher
+# ---------------------------------------------------------------------------
+
+def ilp_search(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
+) -> SearchResult:
+    """The ``ilp`` strategy: atom matrix -> LP relaxation -> branch and
+    bound -> true-benefit comparison against greedy.
+
+    Anytime: a :class:`SearchBudget` expiring anywhere in the program
+    abandons it and runs :func:`greedy_search_with_heuristics` on the
+    warm caches instead (the result is flagged truncated with the
+    budget's reason).  Never worse than greedy: the final configuration
+    is whichever of the ILP solution and the greedy solution has the
+    higher true (optimizer-evaluated) benefit.
+    """
+    telemetry = _Telemetry(evaluator)
+
+    seed: Optional[Set[int]] = None
+    resumed = False
+    pool: List[CandidateIndex] = []
+    try:
+        reason = _spent(budget)
+        if reason is not None:
+            raise _BudgetSpent(reason)
+        pool = evaluator.ranked_positive_candidates(candidates)[:MAX_POOL]
+        pool = [c for c in pool if c.size_bytes <= budget_bytes]
+        atoms = build_atom_matrix(pool, evaluator, budget)
+        maintenance = [
+            evaluator.candidate_maintenance(candidate) for candidate in pool
+        ]
+        program = _Program(pool, atoms, maintenance, budget_bytes)
+        if budget is not None:
+            state = budget.restore("ilp", budget_bytes)
+            if state is not None:
+                resolved = resolve_candidates(state.candidate_keys, pool)
+                if resolved is not None:
+                    index_of = {c.key: j for j, c in enumerate(pool)}
+                    seed = {index_of[c.key] for c in resolved}
+                    resumed = True
+        chosen, _ = _branch_and_bound(program, budget, seed)
+        ilp_config = IndexConfiguration(
+            sorted(
+                (pool[j] for j in chosen),
+                key=lambda c: (str(c.pattern), c.value_type.value),
+            )
+        )
+        ilp_benefit = evaluator.benefit(ilp_config)
+        if budget is not None:
+            budget.note_best("ilp", budget_bytes, ilp_config, benefit=ilp_benefit)
+    except _BudgetSpent as spent:
+        # Anytime fallback: greedy on warm caches, flagged truncated.
+        fallback = greedy_search_with_heuristics(
+            candidates, evaluator, budget_bytes, budget=budget
+        )
+        return telemetry.finish(
+            "ilp",
+            fallback.configuration,
+            budget_bytes,
+            benefit=fallback.benefit,
+            truncated=spent.reason,
+            resumed=resumed,
+        )
+
+    greedy = greedy_search_with_heuristics(
+        candidates, evaluator, budget_bytes, budget=budget
+    )
+    if greedy.benefit > ilp_benefit:
+        config, benefit = greedy.configuration, greedy.benefit
+    else:
+        config, benefit = ilp_config, ilp_benefit
+    if budget is not None:
+        budget.note_best("ilp", budget_bytes, config, benefit=benefit)
+    return telemetry.finish(
+        "ilp",
+        config,
+        budget_bytes,
+        benefit=benefit,
+        truncated=greedy.truncated_reason,
+        resumed=resumed or greedy.resumed,
+    )

@@ -569,6 +569,21 @@ def exhaustive_search(
     )
 
 
+def _ilp_search(
+    candidates: CandidateSet,
+    evaluator: ConfigurationEvaluator,
+    budget_bytes: int,
+    *,
+    budget: Optional[SearchBudget] = None,
+) -> SearchResult:
+    """CoPhy-style cost-atom ILP (LP relaxation + branch and bound with
+    a greedy fallback).  Imported lazily: :mod:`repro.core.ilp` builds
+    on this module's telemetry and greedy searcher."""
+    from repro.core.ilp import ilp_search
+
+    return ilp_search(candidates, evaluator, budget_bytes, budget=budget)
+
+
 #: Registry used by the advisor front end.
 ALGORITHMS: Dict[str, Callable] = {
     "greedy": greedy_search,
@@ -577,4 +592,5 @@ ALGORITHMS: Dict[str, Callable] = {
     "topdown_full": top_down_full,
     "dp": dynamic_programming_search,
     "exhaustive": exhaustive_search,
+    "ilp": _ilp_search,
 }

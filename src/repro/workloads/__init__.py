@@ -5,9 +5,10 @@ databases with the same vocabulary and query shapes as the paper's
 evaluation (Section VII).
 """
 
-from repro.workloads import drift, recursive, synthetic, tpox, xmark
+from repro.workloads import drift, recursive, stream, synthetic, tpox, xmark
 from repro.workloads.drift import drift_workload
 from repro.workloads.recursive import recursive_workload
+from repro.workloads.stream import stream_profile, synthetic_stream
 from repro.workloads.synthetic import random_path_queries, synthetic_workload
 from repro.workloads.tpox import build_database as build_tpox_database
 from repro.workloads.tpox import tpox_queries, tpox_updates, tpox_workload
@@ -22,7 +23,10 @@ __all__ = [
     "random_path_queries",
     "recursive",
     "recursive_workload",
+    "stream",
+    "stream_profile",
     "synthetic",
+    "synthetic_stream",
     "synthetic_workload",
     "tpox",
     "tpox_queries",

@@ -185,6 +185,7 @@ class TestRegistry:
             "topdown_full",
             "dp",
             "exhaustive",
+            "ilp",
         }
 
 

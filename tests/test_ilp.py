@@ -1,0 +1,196 @@
+"""Tests for the ILP cost-atom search (PR 7).
+
+The load-bearing contract is the differential: ``ilp`` benefit is >=
+``greedy_heuristics`` benefit on every suite workload and on seeded
+random workloads -- by construction (the searcher returns the better of
+the two true benefits), so these tests pin that the construction
+actually holds end to end.
+"""
+
+import pytest
+
+from repro.core.benefit import ConfigurationEvaluator
+from repro.core.candidates import enumerate_basic_candidates
+from repro.core.generalization import generalize_candidates
+from repro.core.ilp import (
+    Atom,
+    build_atom_matrix,
+    ilp_search,
+    solve_lp,
+)
+from repro.core.search import ALGORITHMS, greedy_search_with_heuristics
+from repro.optimizer.session import WhatIfSession
+from repro.robustness.budget import SearchBudget
+from repro.workloads import synthetic, tpox, xmark
+
+
+def _inputs(database, workload):
+    """(candidates, evaluator, total basic size) over one shared
+    what-if session -- the same wiring the advisor uses."""
+    session = WhatIfSession(database)
+    candidates = enumerate_basic_candidates(session, workload)
+    generalize_candidates(candidates)
+    candidates.compute_sizes(database)
+    evaluator = ConfigurationEvaluator(database, session, workload)
+    all_size = sum(c.size_bytes for c in candidates.basics())
+    return candidates, evaluator, all_size
+
+
+@pytest.fixture()
+def tpox_inputs(tpox_db, tpox_wl):
+    return _inputs(tpox_db, tpox_wl)
+
+
+class TestSolveLp:
+    def test_simple_knapsack_relaxation(self):
+        # maximize 3x + 2y  s.t.  x + y <= 1.5, x <= 1, y <= 1
+        solved = solve_lp(
+            [3.0, 2.0],
+            [[(0, 1.0), (1, 1.0)], [(0, 1.0)], [(1, 1.0)]],
+            [1.5, 1.0, 1.0],
+        )
+        assert solved is not None
+        value, values = solved
+        assert value == pytest.approx(4.0)
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(0.5)
+
+    def test_slack_optimum_at_origin(self):
+        solved = solve_lp([-1.0, -2.0], [[(0, 1.0), (1, 1.0)]], [5.0])
+        assert solved is not None
+        value, values = solved
+        assert value == pytest.approx(0.0)
+        assert values == [0.0, 0.0]
+
+    def test_unbounded_returns_none(self):
+        assert solve_lp([1.0], [], []) is None
+
+    def test_binding_budget_row(self):
+        # maximize x + y  s.t.  2x + 2y <= 2  ->  x + y = 1
+        solved = solve_lp(
+            [1.0, 1.0], [[(0, 2.0), (1, 2.0)]], [2.0]
+        )
+        assert solved is not None
+        value, values = solved
+        assert value == pytest.approx(1.0)
+        assert sum(values) == pytest.approx(1.0)
+
+
+class TestAtomMatrix:
+    def test_atoms_reference_pool_and_save(self, tpox_inputs):
+        candidates, evaluator, _ = tpox_inputs
+        pool = evaluator.ranked_positive_candidates(candidates)[:16]
+        atoms = build_atom_matrix(pool, evaluator)
+        assert atoms, "TPoX workload must produce cost atoms"
+        positions = range(len(evaluator.workload.entries))
+        for atom in atoms:
+            assert atom.statement in positions
+            assert atom.saving > 0
+            assert all(0 <= j < len(pool) for j in atom.members)
+            assert tuple(sorted(atom.members)) == atom.members
+
+    def test_pair_atoms_dominate_their_singletons(self, tpox_inputs):
+        candidates, evaluator, _ = tpox_inputs
+        pool = evaluator.ranked_positive_candidates(candidates)[:16]
+        atoms = build_atom_matrix(pool, evaluator)
+        singles = {
+            (atom.statement, atom.members[0]): atom.saving
+            for atom in atoms
+            if len(atom.members) == 1
+        }
+        pairs = [atom for atom in atoms if len(atom.members) == 2]
+        for atom in pairs:
+            best_member = max(
+                singles.get((atom.statement, j), 0.0)
+                for j in atom.members
+            )
+            assert atom.saving > best_member
+
+    def test_deterministic(self, tpox_db, tpox_wl):
+        first = _inputs(tpox_db, tpox_wl)
+        second = _inputs(tpox_db, tpox_wl)
+        for inputs in (first, second):
+            candidates, evaluator, _ = inputs
+        pools = []
+        matrices = []
+        for candidates, evaluator, _ in (first, second):
+            pool = evaluator.ranked_positive_candidates(candidates)[:16]
+            pools.append([c.key for c in pool])
+            matrices.append(build_atom_matrix(pool, evaluator))
+        assert pools[0] == pools[1]
+        assert matrices[0] == matrices[1]
+
+
+class TestIlpSearch:
+    def test_registered(self):
+        assert "ilp" in ALGORITHMS
+
+    def test_budget_respected(self, tpox_inputs):
+        candidates, evaluator, all_size = tpox_inputs
+        for fraction in (0.2, 0.5, 1.0):
+            budget = int(all_size * fraction)
+            result = ilp_search(candidates, evaluator, budget)
+            assert result.size_bytes <= budget
+            assert result.algorithm == "ilp"
+
+    def test_zero_budget_empty_config(self, tpox_inputs):
+        candidates, evaluator, _ = tpox_inputs
+        result = ilp_search(candidates, evaluator, 0)
+        assert len(result.configuration) == 0
+        assert result.benefit == 0.0
+
+    def test_deterministic(self, tpox_db, tpox_wl):
+        results = []
+        for _ in range(2):
+            candidates, evaluator, all_size = _inputs(tpox_db, tpox_wl)
+            result = ilp_search(candidates, evaluator, all_size // 2)
+            results.append(
+                ([c.key for c in result.configuration], result.benefit)
+            )
+        assert results[0] == results[1]
+
+    def test_deadline_falls_back_to_greedy_truncated(self, tpox_inputs):
+        candidates, evaluator, all_size = tpox_inputs
+        budget = SearchBudget(deadline_seconds=1e-9)
+        result = ilp_search(
+            candidates, evaluator, all_size // 2, budget=budget
+        )
+        assert result.algorithm == "ilp"
+        assert result.truncated
+        assert "deadline" in result.truncated_reason
+
+
+class TestIlpVsGreedyDifferential:
+    """ilp benefit >= greedy benefit, on every suite workload."""
+
+    def _assert_dominates(self, database, workload, fractions=(0.2, 0.5, 1.0)):
+        candidates, evaluator, all_size = _inputs(database, workload)
+        for fraction in fractions:
+            budget = int(all_size * fraction)
+            ilp = ilp_search(candidates, evaluator, budget)
+            greedy = greedy_search_with_heuristics(
+                candidates, evaluator, budget
+            )
+            assert ilp.benefit >= greedy.benefit, (
+                f"ilp {ilp.benefit} < greedy {greedy.benefit} "
+                f"at fraction {fraction}"
+            )
+
+    def test_tpox(self, tpox_db, tpox_wl):
+        self._assert_dominates(tpox_db, tpox_wl)
+
+    def test_tpox_with_updates(self, tpox_db):
+        workload = tpox.tpox_workload(
+            num_securities=120, seed=42, include_updates=True
+        )
+        self._assert_dominates(tpox_db, workload)
+
+    def test_xmark(self, xmark_db):
+        self._assert_dominates(xmark_db, xmark.xmark_workload(seed=7))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_seeded_random_workloads(self, tpox_db, seed):
+        workload = synthetic.synthetic_workload(
+            tpox_db, "SDOC", count=10, seed=seed
+        )
+        self._assert_dominates(tpox_db, workload, fractions=(0.3, 0.8))
