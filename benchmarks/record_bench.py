@@ -948,6 +948,225 @@ def run_ilp(smoke=False):
     }
 
 
+# ---------------------------------------------------------------------------
+# PR 8: online daemon drift replay (supervised serve, convergence gates)
+# ---------------------------------------------------------------------------
+
+#: The BENCH_PR8 replay: a seeded drifting stream over the mixed
+#: database -- three phases drawing from disjoint template slices, so
+#: the coverage-signature mix is stationary inside a phase and shifts
+#: sharply at each boundary.
+SERVE_STREAM_STATEMENTS = 600
+SERVE_SMOKE_STATEMENTS = 300
+SERVE_PHASES = 3
+SERVE_SEED = 0
+SERVE_BUDGET_FRACTION = 0.3
+#: Per-cycle anytime budget -- the bounded-cycle gate asserts no tuning
+#: cycle ever exceeds it.
+SERVE_CYCLE_CALL_BUDGET = 400
+
+
+def _serve_policy(budget_bytes):
+    from repro.online import OnlinePolicy
+
+    return OnlinePolicy(
+        budget_bytes=budget_bytes,
+        algorithm="greedy_heuristics",
+        window_capacity=150,
+        cycle_interval=25,
+        drift_threshold=0.3,
+        min_relative_improvement=0.02,
+        cooldown_cycles=1,
+        cycle_call_budget=SERVE_CYCLE_CALL_BUDGET,
+        compress="template",
+        retries=1,
+    )
+
+
+def _serve_budget(database, texts):
+    """Byte budget shared by every leg: a fraction of the total
+    basic-candidate size over the whole stream (computed once)."""
+    from repro.query.workload import Workload
+
+    workload = Workload.from_statements(texts)
+    advisor = IndexAdvisor(database, workload, compress="template")
+    try:
+        all_size = sum(c.size_bytes for c in advisor.candidates.basics())
+    finally:
+        advisor.session.close()
+    return int(all_size * SERVE_BUDGET_FRACTION)
+
+
+def _serve_leg(texts, budget, journal_path=None, fault_rules=None):
+    """Replay one stream through a fresh daemon on a fresh mixed
+    database; one final forced cycle settles the last window so legs
+    are comparable by their final configuration."""
+    from repro.online import OnlineAdvisor
+    from repro.robustness.faults import FaultInjector, injected
+
+    database, _ = build_mixed("mixed_smoke")
+    daemon = OnlineAdvisor(
+        database, _serve_policy(budget), journal_path=journal_path
+    )
+    start = time.perf_counter()
+    if fault_rules:
+        with injected(FaultInjector(fault_rules)):
+            daemon.serve(texts)
+    else:
+        daemon.serve(texts)
+    daemon.run_cycle(force=True)
+    seconds = time.perf_counter() - start
+    tuned = [r for r in daemon.reports if r.cycle_optimizer_calls]
+    stats = {
+        "seconds": seconds,
+        "counters": dict(daemon.counters),
+        "tuned_cycles": len(tuned),
+        "max_cycle_optimizer_calls": max(
+            (r.cycle_optimizer_calls for r in tuned), default=0
+        ),
+        "max_flap_count": max(daemon.flap_counts.values(), default=0),
+        "frozen": list(daemon.frozen),
+        "final_configuration": daemon.configuration_keys(),
+        "window_rejected": daemon.window.rejected,
+    }
+    if daemon.journal is not None:
+        stats["journal_writes"] = daemon.journal.writes
+    return daemon, stats
+
+
+def _assert_serve_gates(label, daemon, stats):
+    """The three in-run BENCH_PR8 contracts on one leg."""
+    # 1. Bounded cycles: no tuning cycle may exceed the per-cycle
+    #    optimizer-call budget.
+    if stats["max_cycle_optimizer_calls"] > (
+        SERVE_CYCLE_CALL_BUDGET
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"{label}: a cycle spent {stats['max_cycle_optimizer_calls']} "
+            f"optimizer calls (budget {SERVE_CYCLE_CALL_BUDGET})"
+        )
+    # 2. Zero flapping: across the whole replay no index key is created
+    #    twice or dropped twice -- hysteresis must hold each phase's
+    #    configuration stable until the traffic actually moves.
+    creates = [key for r in daemon.reports for key in r.creates]
+    drops = [key for r in daemon.reports for key in r.drops]
+    if len(creates) != len(set(creates)) or len(drops) != len(
+        set(drops)
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"{label}: index flapped (creates {creates}, drops {drops})"
+        )
+    if stats["frozen"]:  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"{label}: flap freezer engaged: {stats['frozen']}"
+        )
+    # Stable traffic must actually be skipped, not re-tuned.
+    if stats["counters"]["skipped_no_drift"] == 0:  # pragma: no cover
+        raise AssertionError(f"{label}: no stable window was ever skipped")
+
+
+def serve_bench(smoke=False, journal_dir=None):
+    """The PR 8 drift-replay comparison: a clean replay, a fault-injected
+    replay (one cycle dies mid-tune, one apply dies mid-flight), and the
+    sibling/literal-drifted twin of the stream.  In-run gates: bounded
+    per-cycle optimizer calls, zero flapping under hysteresis, and the
+    fault-injected replay converging bit-identically (by candidate key)
+    to the clean replay."""
+    from repro.robustness.faults import FaultRule
+    from repro.workloads.drift import drift_texts
+    from repro.workloads.stream import drifting_stream
+
+    statements = SERVE_SMOKE_STATEMENTS if smoke else SERVE_STREAM_STATEMENTS
+    texts, boundaries = drifting_stream(
+        num_statements=statements,
+        seed=SERVE_SEED,
+        num_securities=MIXED_SCALES["mixed_smoke"][0]["num_securities"],
+        phases=SERVE_PHASES,
+    )
+    database, _ = build_mixed("mixed_smoke")
+    budget = _serve_budget(database, texts)
+    record = {
+        "stream": {
+            "statements": len(texts),
+            "phases": SERVE_PHASES,
+            "boundaries": boundaries,
+            "distinct_statements": len(set(texts)),
+            "seed": SERVE_SEED,
+        },
+        "budget": budget,
+        "policy": _serve_policy(budget).to_dict(),
+    }
+
+    clean_daemon, clean = _serve_leg(texts, budget)
+    _assert_serve_gates("clean", clean_daemon, clean)
+    record["clean"] = clean
+
+    journal_path = (
+        str(Path(journal_dir) / "serve_bench.journal")
+        if journal_dir
+        else None
+    )
+    fault_rules = [
+        FaultRule(site="online.cycle", at={0}),
+        FaultRule(site="online.apply", at={0}),
+    ]
+    faulted_daemon, faulted = _serve_leg(
+        texts, budget, journal_path=journal_path, fault_rules=fault_rules
+    )
+    faulted["fault_sites"] = sorted(
+        {rule.site for rule in fault_rules}
+    )
+    _assert_serve_gates("faulted", faulted_daemon, faulted)
+    if faulted["counters"]["failed_cycles"] < 1:  # pragma: no cover
+        raise AssertionError("fault injection never landed a failed cycle")
+    # 3. Convergence: the supervised recovery path must end on exactly
+    #    the configuration the clean replay found.
+    if faulted["final_configuration"] != (
+        clean["final_configuration"]
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"fault-injected replay diverged: "
+            f"{faulted['final_configuration']} vs "
+            f"{clean['final_configuration']}"
+        )
+    record["faulted"] = faulted
+    record["converged_identical"] = True
+
+    drifted_daemon, drifted = _serve_leg(
+        drift_texts(database, texts, seed=SERVE_SEED), budget
+    )
+    _assert_serve_gates("drifted", drifted_daemon, drifted)
+    record["drifted_replay"] = drifted
+    return record
+
+
+def run_serve(smoke=False, journal_dir=None):
+    """The PR 8 sweep (``--serve-sweep``), written to ``BENCH_PR8.json``
+    at the repo root as the committed copy.  All three contracts --
+    bounded cycles, zero flapping, fault-injected convergence -- are
+    asserted in-run (this is the CI serve-replay gate)."""
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "stream_statements": (
+                SERVE_SMOKE_STATEMENTS if smoke else SERVE_STREAM_STATEMENTS
+            ),
+            "phases": SERVE_PHASES,
+            "budget_fraction": SERVE_BUDGET_FRACTION,
+            "cycle_call_budget": SERVE_CYCLE_CALL_BUDGET,
+            "note": (
+                "cycle counts and configurations are deterministic "
+                "(seeded stream, serial session); *_seconds fields are "
+                "informational wall clock"
+            ),
+        },
+        "serve": {"drift_replay": serve_bench(smoke, journal_dir)},
+    }
+
+
 def run_dml(smoke=False):
     """The PR 5 storage-engine sweep (``--dml-sweep``), written to
     ``BENCH_PR5.json`` at the repo root as the committed copy.  The
@@ -1084,6 +1303,17 @@ def main(argv=None):
         help="run only the PR 7 compression+ILP sweep (BENCH_PR7.json)",
     )
     parser.add_argument(
+        "--serve-sweep",
+        action="store_true",
+        help="run only the PR 8 online-daemon drift replay (BENCH_PR8.json)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for the --serve-sweep cycle journal "
+        "(default: no journal; CI uploads this as an artifact)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="JSON file with a frozen pre-PR capture to embed as 'before'",
@@ -1111,6 +1341,7 @@ def main(argv=None):
         or args.dml_sweep
         or args.cluster_sweep
         or args.ilp_sweep
+        or args.serve_sweep
     ):
         if args.workers_sweep:
             results = run_workers(smoke=args.smoke)
@@ -1118,6 +1349,10 @@ def main(argv=None):
             results = run_dml(smoke=args.smoke)
         elif args.ilp_sweep:
             results = run_ilp(smoke=args.smoke)
+        elif args.serve_sweep:
+            results = run_serve(
+                smoke=args.smoke, journal_dir=args.journal_dir
+            )
         else:
             results = run_cluster(smoke=args.smoke)
         print(json.dumps(results, indent=2))

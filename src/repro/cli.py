@@ -7,6 +7,7 @@ Gives the reproduction the shape of a usable tool::
     python -m repro query DBDIR "for \\$s in X('SDOC')/Security where ..."
     python -m repro explain DBDIR "..." [--with-recommendation ...]
     python -m repro recommend DBDIR --workload workload.xq --budget 100000
+    python -m repro serve DBDIR --workload stream.xq --budget 100000
     python -m repro reproduce DBDIR fig2 table3 ...
 
 Workload files contain statements separated by lines consisting of a
@@ -185,20 +186,6 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.deadline is not None and args.deadline <= 0:
-        print(
-            f"error: --deadline must be a positive number of seconds, got "
-            f"{args.deadline}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.call_budget is not None and args.call_budget < 0:
-        print(
-            f"error: --call-budget must be non-negative, got "
-            f"{args.call_budget}",
-            file=sys.stderr,
-        )
-        return 2
     from repro.cluster import (
         replicas_from_env,
         resolve_replicas,
@@ -206,6 +193,12 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         shards_from_env,
     )
     from repro.parallel import resolve_executor, resolve_workers
+    from repro.robustness.budget import (
+        call_budget_from_env,
+        deadline_from_env,
+        resolve_call_budget,
+        resolve_deadline,
+    )
 
     try:
         resolve_workers(args.workers)
@@ -216,9 +209,25 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         replicas = resolve_replicas(
             args.replicas, default=replicas_from_env(), option="--replicas"
         )
+        # Typed validation (ConfigError names the option): zero/negative
+        # deadlines and call budgets are operator error, exactly like
+        # REPRO_WORKERS/REPRO_SHARDS junk.  Absent flags fall back to
+        # REPRO_DEADLINE / REPRO_CALL_BUDGET.
+        deadline = (
+            resolve_deadline(args.deadline, option="--deadline")
+            if args.deadline is not None
+            else deadline_from_env()
+        )
+        call_budget = (
+            resolve_call_budget(args.call_budget, option="--call-budget")
+            if args.call_budget is not None
+            else call_budget_from_env()
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    args.deadline = deadline
+    args.call_budget = call_budget
     db = load_database(args.dbdir)
     workload = read_workload_file(args.workload, strict=args.strict)
     if len(workload) == 0:
@@ -311,6 +320,132 @@ def _recommend_cluster(
             "\nindexes were built on the in-memory cluster; cluster "
             "topologies are not persisted to the database directory"
         )
+    return 0
+
+
+def read_stream_file(path: str) -> list:
+    """Read a statement *stream* for ``serve``: statements separated by
+    ``;`` lines, replayed in file order.  A ``; @ N`` separator repeats
+    the preceding statement N times (arrival frequency).  No parsing
+    happens here -- the daemon's lenient window ingestion skips
+    unparseable texts with a diagnostic."""
+    texts = []
+    chunk: list = []
+    with open(path) as handle:
+        lines = list(handle)
+    lines.append(";")  # terminate a trailing unseparated statement
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith(";"):
+            text = " ".join(" ".join(chunk).split())
+            chunk = []
+            if not text:
+                continue
+            repeats = 1
+            suffix = stripped[1:].strip()
+            if suffix.startswith("@"):
+                try:
+                    repeats = max(1, int(suffix[1:].strip()))
+                except ValueError:
+                    repeats = 1
+            texts.extend([text] * repeats)
+        else:
+            chunk.append(line.rstrip("\n"))
+    return texts
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.online import OnlineAdvisor, OnlinePolicy
+    from repro.robustness.budget import call_budget_from_env
+    from repro.robustness.errors import ConfigError
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    if bool(args.workload) == bool(args.synthetic):
+        print(
+            "error: serve needs exactly one stream source: --workload "
+            "FILE or --synthetic N",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        policy = OnlinePolicy(
+            budget_bytes=args.budget,
+            algorithm=args.algorithm,
+            fallback_algorithm=args.fallback_algorithm,
+            window_capacity=args.window,
+            cycle_interval=args.cycle_interval,
+            drift_threshold=args.drift_threshold,
+            min_relative_improvement=args.min_improvement,
+            cooldown_cycles=args.cooldown,
+            max_flaps_per_index=args.max_flaps,
+            cycle_deadline_seconds=args.cycle_deadline,
+            cycle_call_budget=(
+                args.cycle_call_budget
+                if args.cycle_call_budget is not None
+                else call_budget_from_env()
+            ),
+            compress=args.compress,
+            retries=args.retries,
+            watchdog_limit=args.watchdog_limit,
+        ).validate()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workload:
+        texts = read_stream_file(args.workload)
+    else:
+        from repro.workloads.stream import drifting_stream
+
+        texts, _ = drifting_stream(
+            num_statements=args.synthetic,
+            seed=args.seed,
+            phases=args.phases,
+        )
+    db = load_database(args.dbdir)
+    if args.resume:
+        daemon = OnlineAdvisor.resume(db, policy, args.journal)
+    else:
+        daemon = OnlineAdvisor(db, policy, journal_path=args.journal)
+    reports = daemon.serve(texts)
+    status = daemon.status()
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        for report in reports:
+            line = (
+                f"cycle {report.cycle:>3}  {report.action:<16} "
+                f"drift={report.drift if report.drift is not None else '-'}"
+            )
+            if report.creates or report.drops:
+                line += (
+                    f"  +{len(report.creates)} create(s) "
+                    f"-{len(report.drops)} drop(s)"
+                )
+            if report.error:
+                line += f"  error: {report.error}"
+            print(line)
+        counters = status["counters"]
+        print(
+            f"-- served {status['statements_seen']} statements, "
+            f"{counters['cycles_tuned']} tuning cycles, "
+            f"{counters['applies']} applies, "
+            f"{counters['rollbacks']} rollbacks, "
+            f"{counters['failed_cycles']} failed cycles"
+        )
+        print(
+            f"-- materialized configuration: "
+            f"{', '.join(status['configuration_keys']) or '(empty)'}"
+        )
+        for diagnostic in status["diagnostics"]:
+            print(f"warning: {diagnostic}", file=sys.stderr)
+    if args.save:
+        save_database(db, args.dbdir)
+        if not args.json:
+            print("-- database (with materialized indexes) saved")
     return 0
 
 
@@ -551,6 +686,81 @@ def build_parser() -> argparse.ArgumentParser:
              "workload slice instead of one uniform configuration",
     )
     p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised online advisor daemon over a stream",
+        description=(
+            "Replay a statement stream through the online tuning daemon: "
+            "sliding-window statistics, drift-gated bounded tuning "
+            "cycles, hysteresis-gated CREATE/DROP application with "
+            "verify-then-rollback, and a crash-safe journal "
+            "(--journal + --resume continues mid-cycle)."
+        ),
+    )
+    p.add_argument("dbdir")
+    p.add_argument(
+        "--workload", default=None,
+        help="stream file (';' separated, '; @ N' repeats), replayed in "
+             "file order",
+    )
+    p.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="replay an N-statement seeded drifting stream instead of a "
+             "file (TPoX+XMark phased template mix)",
+    )
+    p.add_argument("--budget", type=int, required=True,
+                   help="per-cycle disk budget in bytes")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="crash-safe daemon journal (state + cycle checkpoint)")
+    p.add_argument("--resume", action="store_true",
+                   help="reconstruct the daemon from --journal and continue")
+    p.add_argument("--algorithm", default="greedy",
+                   choices=("greedy", "greedy_heuristics", "topdown_lite",
+                            "topdown_full", "dp", "ilp"))
+    p.add_argument("--fallback-algorithm", default="greedy_heuristics",
+                   choices=("greedy", "greedy_heuristics", "topdown_lite",
+                            "topdown_full", "dp", "ilp"),
+                   help="algorithm used after retries fail or the "
+                        "watchdog trips")
+    p.add_argument("--window", type=int, default=200,
+                   help="sliding-window capacity in statements")
+    p.add_argument("--cycle-interval", type=int, default=25,
+                   help="consider a tuning cycle every N ingested statements")
+    p.add_argument("--drift-threshold", type=float, default=0.25,
+                   help="total-variation signature drift that triggers "
+                        "re-tuning")
+    p.add_argument("--min-improvement", type=float, default=0.02,
+                   help="hysteresis: minimum relative window-cost "
+                        "improvement before touching indexes")
+    p.add_argument("--cooldown", type=int, default=1,
+                   help="cycles to hold after an apply")
+    p.add_argument("--max-flaps", type=int, default=2,
+                   help="freeze an index key after this many membership "
+                        "changes")
+    p.add_argument("--cycle-deadline", default=None, metavar="SECONDS",
+                   help="anytime deadline per tuning cycle")
+    p.add_argument("--cycle-call-budget", default=None, metavar="CALLS",
+                   help="optimizer-call budget per tuning cycle; defaults "
+                        "to $REPRO_CALL_BUDGET")
+    p.add_argument("--compress", default="template",
+                   choices=("off", "exact", "template", "cluster"),
+                   help="window compression before each tuning pass")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retries per failed tuning cycle before fallback")
+    p.add_argument("--watchdog-limit", type=int, default=3,
+                   help="consecutive failed cycles before the watchdog "
+                        "pins the fallback algorithm")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --synthetic streams")
+    p.add_argument("--phases", type=int, default=3,
+                   help="drift phases in --synthetic streams")
+    p.add_argument("--json", action="store_true",
+                   help="emit the daemon's final status as JSON")
+    p.add_argument("--save", action="store_true",
+                   help="save the database (materialized indexes) back "
+                        "to DBDIR")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "review", help="keep/drop review of existing physical indexes"

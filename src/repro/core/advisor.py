@@ -458,9 +458,15 @@ class IndexAdvisor:
             search_budget.mark_completed(
                 algorithm, budget_bytes, result.configuration, result.benefit
             )
-        return self._package(result)
+        return self._package(
+            result, extra_diagnostics=search_budget.diagnostics
+        )
 
-    def _package(self, result: SearchResult) -> Recommendation:
+    def _package(
+        self,
+        result: SearchResult,
+        extra_diagnostics: Sequence[str] = (),
+    ) -> Recommendation:
         evaluator = self.evaluator
         before = evaluator.total_base_cost()
         after = evaluator.workload_cost(result.configuration)
@@ -493,7 +499,7 @@ class IndexAdvisor:
             ddl=ddl,
             session_stats=self.session.stats(),
             degraded=self.session.is_degraded or self._degraded_sizes > 0,
-            diagnostics=list(self.diagnostics),
+            diagnostics=list(self.diagnostics) + list(extra_diagnostics),
             cluster_stats=(
                 cluster_stats() if callable(cluster_stats) else {}
             ),
@@ -549,3 +555,56 @@ class IndexAdvisor:
             except KeyError:
                 pass
         self._created_index_names = []
+
+    # ------------------------------------------------------------------
+    # Online promotion
+    # ------------------------------------------------------------------
+    def start_online(
+        self,
+        budget_bytes: int,
+        policy=None,  # OnlinePolicy; untyped to avoid an import cycle
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        seed_window: bool = True,
+        **policy_overrides,
+    ):
+        """Promote this one-shot advisor into a supervised
+        :class:`~repro.online.daemon.OnlineAdvisor` over the same
+        storage (docs/robustness.md, "Online daemon lifecycle").
+
+        With no ``policy``, one is built from ``budget_bytes`` plus
+        ``policy_overrides`` (any :class:`~repro.online.policy.
+        OnlinePolicy` field), inheriting this advisor's compression mode
+        when it is lossy-safe for streams.  ``seed_window`` pre-fills
+        the daemon's sliding window with this advisor's raw workload so
+        the first cycle tunes the traffic the batch run saw; ``resume``
+        reconstructs the daemon from ``journal_path`` instead (the
+        window then comes from the journal, not the workload).
+        """
+        from repro.online import OnlineAdvisor, OnlinePolicy
+
+        if policy is None:
+            policy_overrides.setdefault(
+                "compress",
+                self.compression.mode
+                if self.compression.mode != "off"
+                else "template",
+            )
+            policy = OnlinePolicy(budget_bytes=budget_bytes, **policy_overrides)
+        elif policy_overrides:
+            raise ValueError(
+                "pass either a policy or policy_overrides, not both"
+            )
+        if resume:
+            if journal_path is None:
+                raise ValueError("resume=True requires a journal_path")
+            return OnlineAdvisor.resume(self.storage, policy, journal_path)
+        daemon = OnlineAdvisor(self.storage, policy, journal_path=journal_path)
+        if seed_window:
+            for entry in self.raw_workload:
+                repeats = max(1, int(round(entry.frequency)))
+                text = entry.statement.describe()
+                for _ in range(repeats):
+                    daemon.window.ingest(text)
+            daemon._write_journal("idle")
+        return daemon

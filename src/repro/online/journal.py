@@ -1,0 +1,103 @@
+"""The online daemon's crash-safe state journal.
+
+One JSON document holding everything ``repro serve --resume`` needs to
+continue mid-cycle: the sliding window's texts, the baseline signature
+distribution, the materialized configuration (by index name and
+candidate key), hysteresis state (cooldown, flap counters, frozen keys),
+lifecycle counters, and -- while an apply is in flight -- the pending
+CREATE/DROP actions so a crash between actions rolls *forward* on
+resume instead of leaving a half-applied configuration.
+
+Writes are atomic (temp file + rename, same discipline as
+:class:`~repro.robustness.checkpoint.SearchCheckpoint`) and go through
+the ``persist.save`` fault-injection site.  A corrupt or truncated
+journal loads as a typed :class:`~repro.robustness.errors.JournalError`;
+:meth:`load_for_resume` degrades it to ``(None, diagnostic)`` so the
+daemon starts fresh with a visible diagnostic instead of refusing to
+start.  See ``docs/robustness.md`` for the format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.robustness.errors import JournalError
+from repro.robustness.faults import maybe_inject
+
+JOURNAL_VERSION = 1
+
+
+class DaemonJournal:
+    """Atomic on-disk persistence of the daemon's state dictionary."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.writes = 0
+
+    @property
+    def checkpoint_path(self) -> str:
+        """Where the per-cycle search checkpoint lives (next to the
+        journal, so one ``--journal`` flag names the whole state)."""
+        return self.path + ".cycle.ckpt"
+
+    def write(self, state: Dict) -> None:
+        """Atomically replace the journal with ``state``."""
+        payload = dict(state)
+        payload["version"] = JOURNAL_VERSION
+        tmp_path = self.path + ".tmp"
+        try:
+            maybe_inject("persist.save")
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(tmp_path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            raise JournalError(
+                f"cannot write daemon journal: {exc}", path=self.path
+            ) from exc
+        self.writes += 1
+
+    def load(self) -> Optional[Dict]:
+        """The journaled state, or ``None`` when no journal exists.
+        Corrupt/truncated/foreign journals raise :class:`JournalError`."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            maybe_inject("persist.load")
+            with open(self.path) as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise JournalError(
+                    "daemon journal is not a JSON object", path=self.path
+                )
+            if data.get("version") != JOURNAL_VERSION:
+                raise JournalError(
+                    f"unsupported journal version {data.get('version')!r}",
+                    path=self.path,
+                )
+            return data
+        except JournalError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise JournalError(
+                f"corrupt daemon journal: {exc}", path=self.path
+            ) from exc
+
+    def load_for_resume(self) -> Tuple[Optional[Dict], Optional[str]]:
+        """Like :meth:`load`, but a bad journal degrades to
+        ``(None, diagnostic)`` -- the daemon starts fresh and surfaces
+        the diagnostic instead of dying on startup."""
+        try:
+            return self.load(), None
+        except JournalError as exc:
+            return None, f"journal ignored: {exc}"
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,194 @@
+"""Sliding-window workload statistics for the online advisor daemon.
+
+The daemon never tunes on the raw stream: statements land in a bounded
+:class:`StatementWindow` that keeps one frequency-weighted entry per
+distinct statement text (the same merge the ``exact`` compression mode
+performs), memoizes parsing and coverage signatures per distinct text,
+and exposes the two views tuning needs:
+
+* :meth:`workload` -- the window as a :class:`~repro.query.workload.
+  Workload`, entries in stable sorted text order so a resumed daemon
+  rebuilds the identical workload regardless of arrival interleaving;
+* :meth:`signature_distribution` -- the normalized distribution of
+  coverage signatures (:func:`~repro.core.compression.
+  coverage_signature`), the drift detector's feature space.  Drift
+  between the live window and the window that produced the current
+  configuration is their total-variation distance
+  (:func:`drift_distance`).
+
+Unparseable statements -- and statements addressing collections the
+served database does not have -- are degraded, never fatal: the text is
+counted out of the window and a bounded diagnostic recorded, mirroring
+lenient workload ingestion (docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.compression import coverage_signature
+from repro.query.parser import QuerySyntaxError, parse_statement
+from repro.query.workload import Workload, WorkloadEntry
+
+#: Canonical string form of a coverage signature (sorted, joined) --
+#: signatures must round-trip through the JSON journal.
+SignatureKey = str
+
+_MAX_DIAGNOSTICS = 50
+
+
+def signature_key(statement) -> SignatureKey:
+    """Canonical journal-safe key of a statement's coverage signature."""
+    pairs = sorted(coverage_signature(statement))
+    return ";".join(f"{pattern}|{value_type}" for pattern, value_type in pairs)
+
+
+def drift_distance(
+    baseline: Dict[SignatureKey, float], current: Dict[SignatureKey, float]
+) -> float:
+    """Total-variation distance between two normalized signature
+    distributions (0 = identical, 1 = disjoint)."""
+    keys = set(baseline) | set(current)
+    return 0.5 * sum(
+        abs(baseline.get(key, 0.0) - current.get(key, 0.0)) for key in keys
+    )
+
+
+def _referenced_collections(statement) -> set:
+    """Every collection a statement touches (both sides of a join)."""
+    left = getattr(statement, "left", None)
+    right = getattr(statement, "right", None)
+    if left is not None and right is not None:
+        return {left.collection, right.collection}
+    return {statement.collection}
+
+
+class StatementWindow:
+    """A bounded sliding window of statement texts with per-distinct-text
+    parse/signature memoization."""
+
+    def __init__(
+        self,
+        capacity: int,
+        collections: Optional[Callable[[], set]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: Live view of the served database's collection names; texts
+        #: addressing anything else are rejected at ingestion (they could
+        #: only ever fail the tuning cycle).  ``None`` accepts all.
+        self._collections = collections
+        self._texts: Deque[str] = deque()
+        self._counts: Dict[str, int] = {}
+        # Memoized per distinct text; entries die with their last count.
+        self._parsed: Dict[str, object] = {}
+        self._signatures: Dict[str, SignatureKey] = {}
+        self.ingested = 0
+        self.rejected = 0
+        self.diagnostics: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    @property
+    def distinct(self) -> int:
+        return len(self._counts)
+
+    def ingest(self, text: str) -> bool:
+        """Add one statement text; returns False (with a diagnostic) when
+        it does not parse."""
+        text = text.strip()
+        if not text:
+            return False
+        statement = self._parse(text)
+        reason = None
+        if statement is None:
+            reason = "unparseable"
+        elif self._collections is not None:
+            missing = _referenced_collections(statement) - self._collections()
+            if missing:
+                reason = f"unknown collection(s) {sorted(missing)}"
+        if reason is not None:
+            self.rejected += 1
+            if len(self.diagnostics) < _MAX_DIAGNOSTICS:
+                preview = " ".join(text.split())[:60]
+                self.diagnostics.append(
+                    f"statement skipped ({reason}): {preview!r}"
+                )
+            return False
+        self.ingested += 1
+        self._texts.append(text)
+        self._counts[text] = self._counts.get(text, 0) + 1
+        if len(self._texts) > self.capacity:
+            evicted = self._texts.popleft()
+            remaining = self._counts[evicted] - 1
+            if remaining:
+                self._counts[evicted] = remaining
+            else:
+                del self._counts[evicted]
+                self._parsed.pop(evicted, None)
+                self._signatures.pop(evicted, None)
+        return True
+
+    def _parse(self, text: str):
+        if text in self._parsed:
+            return self._parsed[text]
+        try:
+            statement = parse_statement(text)
+        except QuerySyntaxError:
+            statement = None
+        else:
+            self._parsed[text] = statement
+            self._signatures[text] = signature_key(statement)
+        return statement
+
+    # ------------------------------------------------------------------
+    # Tuning views
+    # ------------------------------------------------------------------
+    def workload(self) -> Workload:
+        """The window as a frequency-weighted workload, entries in sorted
+        text order (stable under arrival interleaving and resume)."""
+        entries = [
+            WorkloadEntry(self._parsed[text], float(count))
+            for text, count in sorted(self._counts.items())
+        ]
+        return Workload(entries)
+
+    def signature_distribution(self) -> Dict[SignatureKey, float]:
+        """Normalized weight per coverage signature over the window."""
+        weights: Dict[SignatureKey, float] = {}
+        total = 0.0
+        for text, count in self._counts.items():
+            key = self._signatures[text]
+            weights[key] = weights.get(key, 0.0) + count
+            total += count
+        if total <= 0:
+            return {}
+        return {key: weight / total for key, weight in weights.items()}
+
+    def drift_from(
+        self, baseline: Optional[Dict[SignatureKey, float]]
+    ) -> Optional[float]:
+        """Total-variation drift of the live window from ``baseline``
+        (``None`` when there is no baseline yet)."""
+        if baseline is None:
+            return None
+        return drift_distance(baseline, self.signature_distribution())
+
+    # ------------------------------------------------------------------
+    # Journal round-trip
+    # ------------------------------------------------------------------
+    def texts(self) -> List[str]:
+        """The window's texts in arrival order (journal form)."""
+        return list(self._texts)
+
+    def replace(self, texts: Iterable[str]) -> None:
+        """Rebuild the window from journaled texts (resume path)."""
+        self._texts.clear()
+        self._counts.clear()
+        self._parsed.clear()
+        self._signatures.clear()
+        for text in texts:
+            self.ingest(text)

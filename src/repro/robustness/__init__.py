@@ -17,11 +17,19 @@ across that surface:
   deadlines, optimizer-call budgets, best-so-far truncation.
 * :mod:`repro.robustness.checkpoint` -- crash-safe checkpoint/resume of
   search runs.
+* :mod:`repro.robustness.watchdog` -- heartbeat/watchdog counters that
+  make the online daemon's supervision observable.
 
 See ``docs/robustness.md`` for the full contract.
 """
 
-from repro.robustness.budget import SearchBudget
+from repro.robustness.budget import (
+    SearchBudget,
+    call_budget_from_env,
+    deadline_from_env,
+    resolve_call_budget,
+    resolve_deadline,
+)
 from repro.robustness.checkpoint import (
     CheckpointState,
     SearchCheckpoint,
@@ -30,8 +38,12 @@ from repro.robustness.checkpoint import (
 from repro.robustness.errors import (
     AdvisorError,
     BudgetExhausted,
+    ConfigError,
+    CycleError,
     DegradedEstimate,
     FatalAdvisorError,
+    JournalError,
+    LifecycleError,
     OptimizerTimeout,
     PersistError,
     RetryableOptimizerError,
@@ -49,17 +61,23 @@ from repro.robustness.faults import (
     uninstall,
 )
 from repro.robustness.policy import NO_RETRY, RetryPolicy
+from repro.robustness.watchdog import Heartbeat, Watchdog
 
 __all__ = [
     "AdvisorError",
     "BudgetExhausted",
     "CheckpointState",
+    "ConfigError",
+    "CycleError",
     "DegradedEstimate",
     "FatalAdvisorError",
     "FaultInjector",
     "FaultRule",
+    "Heartbeat",
     "InjectedFault",
     "InjectedIOError",
+    "JournalError",
+    "LifecycleError",
     "NO_RETRY",
     "OptimizerTimeout",
     "PersistError",
@@ -68,10 +86,15 @@ __all__ = [
     "SearchBudget",
     "SearchCheckpoint",
     "StatisticsUnavailable",
+    "Watchdog",
     "WorkloadParseError",
+    "call_budget_from_env",
+    "deadline_from_env",
     "injected",
     "install",
     "maybe_inject",
+    "resolve_call_budget",
     "resolve_candidates",
+    "resolve_deadline",
     "uninstall",
 ]

@@ -22,11 +22,12 @@ checkpoint never raises and never touches the clock.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
 
 from repro.robustness.checkpoint import CheckpointState, SearchCheckpoint
-from repro.robustness.errors import BudgetExhausted
+from repro.robustness.errors import BudgetExhausted, ConfigError
 
 
 class SearchBudget:
@@ -59,6 +60,10 @@ class SearchBudget:
         #: Set when the budget first expires; also the searcher's
         #: ``truncated_reason``.
         self.exhausted_reason: Optional[str] = None
+        #: Non-fatal notes accumulated while the budget is in use (e.g. a
+        #: corrupt checkpoint that was ignored); surfaced through
+        #: ``Recommendation.diagnostics``.
+        self.diagnostics: List[str] = []
 
     # ------------------------------------------------------------------
     # Limits
@@ -137,7 +142,9 @@ class SearchBudget:
         budget), or ``None``.  A completed checkpoint is not resumed."""
         if self.checkpoint is None:
             return None
-        state = self.checkpoint.load()
+        state, diagnostic = self.checkpoint.load_for_resume()
+        if diagnostic is not None:
+            self.diagnostics.append(diagnostic)
         if state is None or state.completed:
             return None
         if state.algorithm != algorithm or state.budget_bytes != budget_bytes:
@@ -163,3 +170,96 @@ class SearchBudget:
                 completed=True,
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Budget-limit resolution (CLI flags and REPRO_* environment fallbacks)
+# ----------------------------------------------------------------------
+def resolve_deadline(value, option: str = "deadline") -> Optional[float]:
+    """Normalize a deadline spec to seconds (``None`` means unbounded).
+
+    Accepts positive numbers, numeric strings, and
+    ``none``/``off``/empty (unbounded).  Zero, negative, and junk input
+    raise :class:`~repro.robustness.errors.ConfigError` naming the
+    offending option, matching the ``REPRO_WORKERS`` treatment.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):  # bool is an int; reject it explicitly
+        raise ConfigError(f"invalid deadline {value!r}", option=option)
+    if isinstance(value, (int, float)):
+        seconds = float(value)
+    else:
+        text = str(value).strip().lower()
+        if text in ("", "none", "off"):
+            return None
+        try:
+            seconds = float(text)
+        except ValueError:
+            raise ConfigError(
+                f"invalid deadline {value!r}: expected a positive number "
+                f"of seconds or 'none'",
+                option=option,
+            ) from None
+    if not seconds > 0:
+        raise ConfigError(
+            f"deadline must be positive, got {seconds!r}", option=option
+        )
+    return seconds
+
+
+def resolve_call_budget(value, option: str = "call-budget") -> Optional[int]:
+    """Normalize an optimizer-call budget to a positive int (``None``
+    means unbounded).
+
+    Accepts positive ints, digit strings, and ``none``/``off``/empty
+    (unbounded).  Zero, negative, and junk input raise
+    :class:`~repro.robustness.errors.ConfigError` -- a zero budget can
+    never evaluate a single configuration, so it is operator error, not
+    a degenerate bound.  (The programmatic :class:`SearchBudget` API
+    still accepts 0 for truncation tests.)
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ConfigError(f"invalid call budget {value!r}", option=option)
+    if isinstance(value, int):
+        calls = value
+    else:
+        text = str(value).strip().lower()
+        if text in ("", "none", "off"):
+            return None
+        try:
+            calls = int(text)
+        except ValueError:
+            raise ConfigError(
+                f"invalid call budget {value!r}: expected a positive "
+                f"integer or 'none'",
+                option=option,
+            ) from None
+    if calls <= 0:
+        raise ConfigError(
+            f"call budget must be positive, got {calls}", option=option
+        )
+    return calls
+
+
+def deadline_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[float]:
+    """Deadline from ``REPRO_DEADLINE`` (absent/empty means unbounded)."""
+    environ = os.environ if environ is None else environ
+    return resolve_deadline(
+        environ.get("REPRO_DEADLINE"), option="REPRO_DEADLINE"
+    )
+
+
+def call_budget_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[int]:
+    """Optimizer-call budget from ``REPRO_CALL_BUDGET`` (absent/empty
+    means unbounded)."""
+    environ = os.environ if environ is None else environ
+    return resolve_call_budget(
+        environ.get("REPRO_CALL_BUDGET"), option="REPRO_CALL_BUDGET"
+    )

@@ -81,6 +81,9 @@ class SearchCheckpoint:
         tmp_path = self.path + ".tmp"
         try:
             maybe_inject("persist.save")
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
             with open(tmp_path, "w") as handle:
                 json.dump(state.to_dict(), handle, indent=2)
             os.replace(tmp_path, self.path)
@@ -112,6 +115,18 @@ class SearchCheckpoint:
             raise PersistError(
                 f"corrupt search checkpoint: {exc}", path=self.path
             ) from exc
+
+    def load_for_resume(
+        self,
+    ) -> Tuple[Optional[CheckpointState], Optional[str]]:
+        """Like :meth:`load`, but a corrupt/truncated/foreign checkpoint
+        degrades to ``(None, diagnostic)`` instead of raising -- the
+        caller falls back to a fresh search and surfaces the diagnostic.
+        A missing checkpoint is ``(None, None)`` (nothing to report)."""
+        try:
+            return self.load(), None
+        except PersistError as exc:
+            return None, f"checkpoint ignored: {exc}"
 
     def clear(self) -> None:
         """Remove the checkpoint (after a completed run)."""

@@ -92,6 +92,31 @@ class PersistError(AdvisorError):
         self.path = path
 
 
+class LifecycleError(AdvisorError):
+    """Base class of online-daemon lifecycle failures (the supervised
+    ``repro serve`` loop, docs/robustness.md).  Never raised by the
+    one-shot batch ``recommend()`` path."""
+
+
+class CycleError(LifecycleError):
+    """One tuning cycle failed past its retry and algorithm-fallback
+    attempts.  The daemon's supervisor absorbs it -- the cycle is
+    skipped, the watchdog records the failure, the materialized
+    configuration is left untouched, and ingestion continues."""
+
+    def __init__(self, message: str, *, cycle: Optional[int] = None) -> None:
+        if cycle is not None:
+            message = f"cycle {cycle}: {message}"
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class JournalError(PersistError):
+    """A corrupt, truncated, or unwritable daemon journal.  Carries the
+    journal path; ``repro serve --resume`` degrades to a fresh daemon
+    (with a diagnostic) instead of refusing to start."""
+
+
 class WorkloadParseError(AdvisorError):
     """A malformed workload statement (strict ingestion only; lenient
     ingestion records a diagnostic and skips the statement instead)."""

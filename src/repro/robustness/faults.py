@@ -14,6 +14,8 @@ site                         guarded operation
 ``persist.load``             reading database files from disk
 ``persist.save``             writing database files to disk
 ``workload.parse``           parsing one workload statement
+``online.cycle``             entering one online-daemon tuning cycle
+``online.apply``             materializing one online CREATE/DROP action
 ===========================  ====================================================
 
 With no injector installed, :func:`maybe_inject` is a dictionary miss --

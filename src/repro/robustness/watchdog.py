@@ -1,0 +1,98 @@
+"""Liveness counters for the supervised online advisor daemon.
+
+The daemon (``repro.online``) is a long-running loop whose cycles can
+fail without killing the process -- every failure is absorbed and the
+loop keeps ingesting.  These two small counters make that supervision
+observable and bounded:
+
+* :class:`Heartbeat` -- a monotonic beat the daemon records on every
+  ingested statement; its age tells an operator (or a test) whether the
+  loop is still alive and how long ago it last made progress.
+* :class:`Watchdog` -- consecutive-failure tracking over tuning cycles.
+  Once ``limit`` cycles in a row have failed the watchdog *trips*: the
+  daemon drops to its fallback algorithm (degraded tuning) until a cycle
+  succeeds again.  Trips are counted, never fatal -- the daemon's
+  contract is that no cycle failure ends the loop.
+
+Both take an injectable ``clock`` so tests control time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class Heartbeat:
+    """Monotonic progress counter with a wall-clock age."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self.beats = 0
+        self.last_beat: Optional[float] = None
+
+    def beat(self) -> int:
+        """Record one unit of progress; returns the total beat count."""
+        self.beats += 1
+        self.last_beat = self.clock()
+        return self.beats
+
+    def age_seconds(self) -> Optional[float]:
+        """Seconds since the last beat, or ``None`` before the first."""
+        if self.last_beat is None:
+            return None
+        return self.clock() - self.last_beat
+
+    def to_dict(self) -> Dict:
+        age = self.age_seconds()
+        return {
+            "beats": self.beats,
+            "age_seconds": None if age is None else round(age, 6),
+        }
+
+
+class Watchdog:
+    """Consecutive-failure tracking with a trip threshold.
+
+    ``record_failure``/``record_success`` are called once per supervised
+    cycle; :attr:`tripped` stays True from the ``limit``-th consecutive
+    failure until the next success.
+    """
+
+    def __init__(self, limit: int = 3) -> None:
+        if limit <= 0:
+            raise ValueError(f"watchdog limit must be positive, got {limit}")
+        self.limit = limit
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        #: Number of times the watchdog newly crossed its limit.
+        self.trips = 0
+
+    @property
+    def tripped(self) -> bool:
+        return self.consecutive_failures >= self.limit
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one failed cycle; returns True when this failure newly
+        trips the watchdog."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures == self.limit:
+            self.trips += 1
+            return True
+        return False
+
+    def to_dict(self) -> Dict:
+        return {
+            "limit": self.limit,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "trips": self.trips,
+            "tripped": self.tripped,
+        }

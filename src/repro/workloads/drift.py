@@ -15,6 +15,11 @@ the data that are reachable by different paths with slight variations."
   ``SecInfo/*/Sector`` -> ``SecInfo/*/Industry``.  Specific indexes on the
   original path are useless for the drifted query; general indexes
   (``/Security//*``) still apply.
+
+:func:`drift_texts` lifts the same transformation to *statement texts*:
+it parses, drifts, and unparses each query back into replayable
+statement syntax, so any recorded stream (``workloads/stream.py``) can
+be replayed through the online daemon as its drifted twin.
 """
 
 from __future__ import annotations
@@ -88,6 +93,66 @@ def _drift_query(
         return_paths=query.return_paths,
         text=f"drifted:{query.describe()}",
     )
+
+
+def unparse_query(query: Query) -> str:
+    """Serialize a (possibly drifted) :class:`Query` back into statement
+    syntax that :func:`~repro.query.parser.parse_statement` accepts.
+    Drifted queries carry a non-parseable ``text`` tag, so replaying one
+    requires rebuilding the text from the AST."""
+    parts = [f"for $v in C('{query.collection}'){query.binding_path}"]
+    if query.where:
+        clauses = []
+        for clause in query.where:
+            text = f"$v/{clause.path}" if str(clause.path) else "$v"
+            if clause.is_comparison:
+                text += f" {clause.op} {clause.literal}"
+            clauses.append(text)
+        parts.append("where " + " and ".join(clauses))
+    if query.aggregates:
+        parts.append(
+            "return "
+            + ", ".join(
+                f"{agg.function}($v/{agg.path})" for agg in query.aggregates
+            )
+        )
+    elif query.return_paths:
+        parts.append(
+            "return " + ", ".join(f"$v/{path}" for path in query.return_paths)
+        )
+    return " ".join(parts)
+
+
+def drift_texts(
+    database: Database,
+    texts: List[str],
+    seed: int = 0,
+    literal_probability: float = 0.5,
+    sibling_probability: float = 0.5,
+) -> List[str]:
+    """Drift a replayable stream: parse each text, apply the same
+    literal/sibling drift as :func:`drift_workload` against the live
+    data, and unparse the result back into statement syntax.
+    Non-queries and unparseable texts pass through unchanged, so the
+    drifted stream lines up arrival-for-arrival with the original."""
+    from repro.query.parser import QuerySyntaxError, parse_statement
+
+    rng = random.Random(seed)
+    drifted: List[str] = []
+    for text in texts:
+        try:
+            statement = parse_statement(text)
+        except QuerySyntaxError:
+            drifted.append(text)
+            continue
+        if not isinstance(statement, Query):
+            drifted.append(text)
+            continue
+        moved = _drift_query(
+            database, statement, rng, literal_probability, sibling_probability
+        )
+        drifted.append(text if moved is statement else unparse_query(moved))
+    return drifted
 
 
 def _full_pattern(skeleton: LocationPath, clause: WhereClause):

@@ -10,7 +10,11 @@ deterministically: a seeded mix of TPoX and XMark query templates (plus
 a small update mix) at any requested length.
 
 Used by the BENCH_PR7 10k-statement benchmark (``record_bench.py
---ilp-sweep``) and the compression tests.
+--ilp-sweep``) and the compression tests.  :func:`drifting_stream`
+produces the phase-shifted variant the online daemon's drift-replay
+benchmark (``--serve-sweep``, BENCH_PR8) and ``repro serve`` replay;
+:func:`~repro.workloads.drift.drift_texts` turns any recorded stream
+into its sibling/literal-drifted replica.
 """
 
 from __future__ import annotations
@@ -175,6 +179,55 @@ def synthetic_stream(
             template = rng.choices(templates, weights=weights)[0]
             texts.append(template(rng))
     return Workload.from_statements(texts)
+
+
+def drifting_stream(
+    num_statements: int = 600,
+    seed: int = 0,
+    num_securities: int = 120,
+    phases: int = 3,
+    update_fraction: float = 0.0,
+) -> Tuple[List[str], List[int]]:
+    """A replayable *drifting* statement stream (the PR 8 online-daemon
+    setting): arrivals are split into ``phases`` equal segments, and
+    phase ``p`` draws only from its own disjoint slice of the template
+    list (Zipfian within the slice).  The coverage-signature
+    distribution is therefore stationary inside a phase and shifts
+    sharply at each boundary -- exactly the shape the daemon's drift
+    detector gates on.
+
+    Returns ``(texts, boundaries)`` where ``boundaries[p]`` is the index
+    of phase ``p``'s first arrival.  Deterministic in ``seed``; replaying
+    the same stream twice drives the daemon through the same cycles.
+    """
+    if phases <= 0:
+        raise ValueError(f"phases must be positive, got {phases}")
+    rng = random.Random(seed)
+    templates = _templates(num_securities)
+    if phases > len(templates):
+        raise ValueError(
+            f"at most {len(templates)} phases (one disjoint template "
+            f"slice each), got {phases}"
+        )
+    slice_size = len(templates) // phases
+    per_phase = num_statements // phases
+    texts: List[str] = []
+    boundaries: List[int] = []
+    for phase in range(phases):
+        boundaries.append(len(texts))
+        pool = templates[phase * slice_size:(phase + 1) * slice_size]
+        weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+        count = per_phase if phase < phases - 1 else num_statements - len(texts)
+        for _ in range(count):
+            if update_fraction > 0 and rng.random() < update_fraction:
+                texts.append(
+                    f"delete from SDOC where /Security/Symbol = "
+                    f'"{symbol_for(rng.randrange(num_securities))}"'
+                )
+            else:
+                template = rng.choices(pool, weights=weights)[0]
+                texts.append(template(rng))
+    return texts, boundaries
 
 
 def stream_profile(workload: Workload) -> Tuple[int, int]:

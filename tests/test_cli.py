@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -341,8 +342,135 @@ class TestRecommendValidation:
 
         workload = self.write_workload(tmp_path)
         assert main(["recommend", dbdir, "--workload", workload,
-                     "--budget", "20000", "--call-budget", "0",
+                     "--budget", "20000", "--call-budget", "1",
                      "--json"]) == 0
         payload = json_module.loads(capsys.readouterr().out)
         assert payload["truncated"] is True
         assert "optimizer-call budget" in payload["truncated_reason"]
+
+    def test_zero_call_budget_is_rejected_as_config_error(
+        self, dbdir, tmp_path, capsys
+    ):
+        """PR 8 satellite: a zero budget can never evaluate a single
+        configuration, so it is typed operator error (ConfigError),
+        matching the REPRO_WORKERS/REPRO_SHARDS treatment."""
+        workload = self.write_workload(tmp_path)
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--call-budget", "0"]) == 2
+        assert "--call-budget" in capsys.readouterr().err
+
+    def test_junk_deadline_env_fallback_is_rejected(
+        self, dbdir, tmp_path, capsys, monkeypatch
+    ):
+        workload = self.write_workload(tmp_path)
+        monkeypatch.setenv("REPRO_DEADLINE", "soon")
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000"]) == 2
+        assert "REPRO_DEADLINE" in capsys.readouterr().err
+
+    def test_negative_call_budget_env_fallback_is_rejected(
+        self, dbdir, tmp_path, capsys, monkeypatch
+    ):
+        workload = self.write_workload(tmp_path)
+        monkeypatch.setenv("REPRO_CALL_BUDGET", "-3")
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000"]) == 2
+        assert "REPRO_CALL_BUDGET" in capsys.readouterr().err
+
+    def test_env_deadline_none_means_unbounded(self, dbdir, tmp_path, capsys,
+                                               monkeypatch):
+        import json as json_module
+
+        workload = self.write_workload(tmp_path)
+        monkeypatch.setenv("REPRO_DEADLINE", "none")
+        monkeypatch.setenv("REPRO_CALL_BUDGET", "")
+        assert main(["recommend", dbdir, "--workload", workload,
+                     "--budget", "20000", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["truncated"] is False
+
+
+class TestServe:
+    """The online daemon's CLI front end (PR 8 tentpole)."""
+
+    STREAM = (
+        "for $s in X('SDOC')/Security where $s/Symbol = \"AA0001\" return $s\n"
+        "; @ 8\n"
+        "for $s in X('SDOC')/Security where $s/Yield > 4.5 return $s/Name\n"
+        "; @ 8\n"
+        "this is not parseable\n"
+        ";\n"
+        "for $s in X('SDOC')/Security"
+        " where $s/SecInfo/*/Sector = \"Energy\" return $s/Symbol\n"
+        "; @ 7\n"
+    )
+
+    def write_stream(self, tmp_path):
+        path = tmp_path / "stream.xq"
+        path.write_text(self.STREAM)
+        return str(path)
+
+    def test_read_stream_file_expands_repeats(self, tmp_path):
+        from repro.cli import read_stream_file
+
+        texts = read_stream_file(self.write_stream(tmp_path))
+        assert len(texts) == 24  # 8 + 8 + 1 unparseable + 7
+        assert texts[0] == texts[7]
+
+    def test_serve_smoke(self, dbdir, tmp_path, capsys):
+        stream = self.write_stream(tmp_path)
+        journal = str(tmp_path / "daemon.journal")
+        assert main(["serve", dbdir, "--workload", stream,
+                     "--budget", "200000", "--journal", journal,
+                     "--cycle-interval", "10", "--cooldown", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "applied" in captured.out
+        assert "materialized configuration:" in captured.out
+        assert "statement skipped (unparseable)" in captured.err
+        assert os.path.exists(journal)
+
+    def test_serve_resume_continues_from_the_journal(
+        self, dbdir, tmp_path, capsys
+    ):
+        stream = self.write_stream(tmp_path)
+        journal = str(tmp_path / "daemon.journal")
+        base = ["serve", dbdir, "--workload", stream, "--budget", "200000",
+                "--journal", journal, "--cycle-interval", "10",
+                "--cooldown", "0"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume", "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["configuration_keys"]
+        assert status["counters"]["applies"] >= 1
+        # Resumed over the same traffic: no drift, nothing re-applied.
+        resumed_cycles = status["cycles"]
+        assert {c["action"] for c in resumed_cycles} == {"skip-no-drift"}
+
+    def test_serve_synthetic_stream(self, dbdir, capsys):
+        assert main(["serve", dbdir, "--synthetic", "40", "--budget",
+                     "200000", "--cycle-interval", "20", "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["statements_seen"] == 40
+
+    def test_resume_requires_journal(self, dbdir, tmp_path, capsys):
+        stream = self.write_stream(tmp_path)
+        assert main(["serve", dbdir, "--workload", stream,
+                     "--budget", "200000", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_exactly_one_stream_source(self, dbdir, tmp_path, capsys):
+        assert main(["serve", dbdir, "--budget", "200000"]) == 2
+        assert "stream source" in capsys.readouterr().err
+
+    def test_bad_policy_knob_is_a_config_error(self, dbdir, tmp_path, capsys):
+        stream = self.write_stream(tmp_path)
+        assert main(["serve", dbdir, "--workload", stream,
+                     "--budget", "200000", "--drift-threshold", "2.0"]) == 2
+        assert "drift-threshold" in capsys.readouterr().err
+
+    def test_zero_budget_is_a_config_error(self, dbdir, tmp_path, capsys):
+        stream = self.write_stream(tmp_path)
+        assert main(["serve", dbdir, "--workload", stream,
+                     "--budget", "0"]) == 2
+        assert "budget" in capsys.readouterr().err

@@ -46,7 +46,7 @@ RULES = st.builds(
 )
 
 ALGORITHMS = st.sampled_from(
-    ["greedy", "greedy_heuristics", "topdown_full", "dp"]
+    ["greedy", "greedy_heuristics", "topdown_full", "dp", "ilp"]
 )
 
 
@@ -113,6 +113,40 @@ def test_chaos_schedules_replay_deterministically(seed, algorithm):
         )
 
     assert run() == run()
+
+
+def test_degraded_ilp_still_beats_degraded_greedy():
+    """PR 8 satellite: with every optimizer evaluation failing
+    (rate=1.0 pins the degradation deterministically regardless of call
+    order), ``ilp`` must still return a valid configuration whose
+    benefit -- scored on the same degraded estimates -- is at least the
+    degraded greedy baseline's."""
+    rules = [
+        FaultRule(
+            site="optimizer.evaluate",
+            rate=1.0,
+            exception=lambda site, index: InjectedFault(site, 0),
+        )
+    ]
+
+    def run(algorithm):
+        database = small_database()
+        advisor = IndexAdvisor(
+            database,
+            Workload(SMALL_WORKLOAD.entries),
+            session=WhatIfSession(database, retry_policy=FAST_RETRIES),
+        )
+        with injected(FaultInjector(rules, seed=5)):
+            return advisor.recommend(BUDGET, algorithm=algorithm)
+
+    ilp = run("ilp")
+    greedy = run("greedy_heuristics")
+    assert isinstance(ilp, Recommendation)
+    assert ilp.degraded and greedy.degraded
+    assert len(ilp.configuration) > 0
+    assert ilp.search.size_bytes <= BUDGET
+    assert ilp.search.benefit >= greedy.search.benefit - 1e-9
+    json.dumps(ilp.to_dict())
 
 
 # ---------------------------------------------------------------------------

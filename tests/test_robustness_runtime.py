@@ -316,3 +316,71 @@ class TestWorkloadIngestion:
         assert recommendation.diagnostics == workload.diagnostics
         assert recommendation.to_dict()["diagnostics"] == workload.diagnostics
         assert "Diagnostic" in recommendation.report()
+
+
+# ---------------------------------------------------------------------------
+# Corrupt / truncated checkpoint files (PR 8 satellite)
+# ---------------------------------------------------------------------------
+
+class TestCorruptCheckpoint:
+    def half_written(self, tmp_path):
+        """A checkpoint whose write died halfway through the payload."""
+        from repro.robustness.checkpoint import (
+            CheckpointState,
+            SearchCheckpoint,
+        )
+
+        path = str(tmp_path / "search.ckpt")
+        checkpoint = SearchCheckpoint(path)
+        checkpoint.write(
+            CheckpointState(
+                algorithm="greedy_heuristics",
+                budget_bytes=BUDGET,
+                candidate_keys=[("/Security/Symbol", "string")],
+                cursor=3,
+            )
+        )
+        with open(path) as handle:
+            payload = handle.read()
+        with open(path, "w") as handle:
+            handle.write(payload[: len(payload) // 2])
+        return checkpoint
+
+    def test_load_raises_typed_persist_error(self, tmp_path):
+        from repro.robustness.errors import PersistError
+
+        checkpoint = self.half_written(tmp_path)
+        with pytest.raises(PersistError) as excinfo:
+            checkpoint.load()
+        assert "corrupt search checkpoint" in str(excinfo.value)
+        assert checkpoint.path in str(excinfo.value)
+
+    def test_load_for_resume_degrades_with_diagnostic(self, tmp_path):
+        checkpoint = self.half_written(tmp_path)
+        state, diagnostic = checkpoint.load_for_resume()
+        assert state is None
+        assert diagnostic.startswith("checkpoint ignored")
+
+    @no_env_chaos
+    def test_recommend_falls_back_to_a_fresh_search(
+        self, tpox_db, tpox_wl, tmp_path
+    ):
+        """A half-written checkpoint must not poison the search: the
+        advisor degrades to a fresh run, surfaces the diagnostic, and
+        still lands on the unbounded answer."""
+        checkpoint = self.half_written(tmp_path)
+        recommendation = IndexAdvisor(tpox_db, tpox_wl).recommend(
+            BUDGET,
+            algorithm="greedy_heuristics",
+            checkpoint_path=checkpoint.path,
+        )
+        assert not recommendation.search.resumed
+        pin = TestZeroFaultPin.PINS["greedy_heuristics"]
+        assert recommendation.search.benefit == pin[0]
+        assert any(
+            "checkpoint ignored" in d for d in recommendation.diagnostics
+        )
+        assert any(
+            "checkpoint ignored" in d
+            for d in recommendation.to_dict()["diagnostics"]
+        )

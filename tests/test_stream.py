@@ -6,6 +6,8 @@ vocabulary (finite literal pools), and a parseable update mix.  Pin
 them here so the benchmark's stream can't silently drift.
 """
 
+import pytest
+
 from repro.query.model import StatementKind
 from repro.workloads.stream import stream_profile, synthetic_stream
 
@@ -63,3 +65,58 @@ class TestSyntheticStream:
         assert all(
             e.statement.kind is StatementKind.QUERY for e in stream
         )
+
+
+class TestDriftingStream:
+    """The phase-shifted replay stream behind ``repro serve`` and the
+    BENCH_PR8 drift-replay sweep."""
+
+    def test_boundaries_split_the_stream_evenly(self):
+        from repro.workloads.stream import drifting_stream
+
+        texts, boundaries = drifting_stream(num_statements=90, phases=3)
+        assert len(texts) == 90
+        assert boundaries == [0, 30, 60]
+
+    def test_deterministic_in_seed(self):
+        from repro.workloads.stream import drifting_stream
+
+        assert drifting_stream(num_statements=60, seed=4) == (
+            drifting_stream(num_statements=60, seed=4)
+        )
+        assert drifting_stream(num_statements=60, seed=4) != (
+            drifting_stream(num_statements=60, seed=5)
+        )
+
+    def test_phases_draw_from_disjoint_template_slices(self):
+        from repro.online.window import StatementWindow, drift_distance
+        from repro.workloads.stream import drifting_stream
+
+        texts, boundaries = drifting_stream(
+            num_statements=120, seed=1, phases=3
+        )
+        distributions = []
+        for start, end in zip(boundaries, boundaries[1:] + [len(texts)]):
+            window = StatementWindow(200)
+            for text in texts[start:end]:
+                window.ingest(text)
+            distributions.append(window.signature_distribution())
+        # Disjoint template slices => disjoint signature mixes.
+        for a, b in zip(distributions, distributions[1:]):
+            assert drift_distance(a, b) == pytest.approx(1.0)
+
+    def test_every_text_is_parseable(self):
+        from repro.query.parser import parse_statement
+        from repro.workloads.stream import drifting_stream
+
+        texts, __ = drifting_stream(num_statements=60, seed=2)
+        for text in texts:
+            parse_statement(text)
+
+    def test_phase_count_is_validated(self):
+        from repro.workloads.stream import drifting_stream
+
+        with pytest.raises(ValueError):
+            drifting_stream(num_statements=10, phases=0)
+        with pytest.raises(ValueError):
+            drifting_stream(num_statements=10, phases=99)

@@ -191,3 +191,54 @@ class TestDriftWithJoins:
         assert [e.statement.describe() for e in drifted] == [
             e.statement.describe() for e in wl
         ]
+
+
+class TestDriftTexts:
+    """Text-level drift replay: ``drift_texts`` must line up with the
+    original stream arrival-for-arrival and produce replayable syntax."""
+
+    def test_unparse_round_trips_undrifted_queries(self, tpox_db, workload):
+        from repro.query.parser import parse_statement
+        from repro.workloads.drift import unparse_query
+
+        for entry in workload:
+            if not isinstance(entry.statement, Query):
+                continue
+            rebuilt = parse_statement(unparse_query(entry.statement))
+            assert rebuilt.collection == entry.statement.collection
+            assert str(rebuilt.binding_path) == (
+                str(entry.statement.binding_path)
+            )
+            assert len(rebuilt.where) == len(entry.statement.where)
+            assert rebuilt.return_paths == entry.statement.return_paths
+
+    def test_drift_texts_lines_up_and_stays_parseable(self, tpox_db):
+        from repro.query.parser import parse_statement
+        from repro.workloads.drift import drift_texts
+        from repro.workloads.stream import drifting_stream
+
+        texts, __ = drifting_stream(num_statements=60, seed=3)
+        drifted = drift_texts(tpox_db, texts, seed=3)
+        assert len(drifted) == len(texts)
+        changed = sum(a != b for a, b in zip(texts, drifted))
+        assert changed > 0
+        for text in drifted:
+            parse_statement(text)
+
+    def test_drift_texts_is_deterministic(self, tpox_db):
+        from repro.workloads.drift import drift_texts
+        from repro.workloads.stream import drifting_stream
+
+        texts, __ = drifting_stream(num_statements=40, seed=3)
+        assert drift_texts(tpox_db, texts, seed=9) == (
+            drift_texts(tpox_db, texts, seed=9)
+        )
+
+    def test_non_queries_pass_through(self, tpox_db):
+        from repro.workloads.drift import drift_texts
+
+        texts = [
+            'delete from SDOC where /Security/Symbol = "AA0001"',
+            "complete gibberish",
+        ]
+        assert drift_texts(tpox_db, texts, seed=1) == texts
