@@ -61,6 +61,17 @@ reconciliation pass all included); in-run gates: >= 5x fewer calls in
 the tight-budget regime, equal-or-better reconciled benefit in every
 regime, and an absolute call budget on the compressed tight leg (the
 CI smoke gate).
+
+PR 9 adds ``--serve-latency-sweep``: the concurrent serving front end
+(``repro.serve``) under sustained mixed query+DML+advise traffic
+(``BENCH_PR9.json`` at the repo root is the committed copy).  Latency
+percentiles per request kind are informational wall clock; four
+contracts are asserted in-run: the concurrent schedule replays
+serially bit-identical, p99 recommend latency stays within the
+deadline knob plus a fixed overhead slack, the tournament portfolio is
+at least every single strategy run standalone, and the deterministic
+cost-makespan read-throughput model (PR 6 precedent) shows >= 2x
+serial throughput at 4 workers.
 """
 
 from __future__ import annotations
@@ -1167,6 +1178,289 @@ def run_serve(smoke=False, journal_dir=None):
     }
 
 
+# ---------------------------------------------------------------------------
+# PR 9: serving front end latency sweep (concurrent serving, portfolio)
+# ---------------------------------------------------------------------------
+
+SERVE_LATENCY_SEED = 7
+#: The recommend deadline knob the latency leg serves under, and the
+#: overhead allowance (snapshotting, scheduling, thread handoff) the
+#: p99 gate grants on top of it.
+SERVE_LATENCY_DEADLINE = 1.0
+SERVE_LATENCY_SLACK = 2.0
+SERVE_LATENCY_CLIENTS = 4
+SERVE_LATENCY_BUDGET = 100_000
+SERVE_READ_WORKER_COUNTS = (1, 2, 4)
+#: Concurrent read throughput at 4 workers must be at least this many
+#: times the serial throughput (deterministic cost-makespan model, PR 6
+#: precedent -- machine-independent).
+SERVE_READ_SPEEDUP_FLOOR = 2.0
+
+
+def _latency_percentile(values, fraction):
+    """Nearest-rank percentile (same rule as the CLI summary)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def _latency_build(smoke):
+    scale = 60 if smoke else 120
+    database = tpox.build_database(
+        num_securities=scale,
+        num_orders=scale,
+        num_customers=scale // 2,
+        seed=SERVE_LATENCY_SEED,
+    )
+    texts = [
+        entry.statement.describe()
+        for entry in tpox.tpox_workload(
+            num_securities=scale, seed=42
+        ).subset(8).entries
+    ]
+    return database, texts, scale
+
+
+def _latency_schedule(texts, rounds):
+    """Sustained mixed traffic: every round replays the query set with
+    interleaved inserts/deletes, one whatif, and one recommend."""
+    schedule = []
+    for round_index in range(rounds):
+        for index, text in enumerate(texts):
+            schedule.append({"kind": "query", "text": text})
+            if index % 3 == 0:
+                schedule.append(
+                    {
+                        "kind": "dml",
+                        "text": "insert into SDOC value "
+                        f"'<Security><Symbol>L{round_index}x{index}"
+                        f"</Symbol></Security>'",
+                    }
+                )
+        schedule.append(
+            {
+                "kind": "dml",
+                "text": "delete from SDOC where "
+                f'/Security/Symbol = "L{round_index}x0"',
+            }
+        )
+        schedule.append(
+            {
+                "kind": "whatif",
+                "statements": texts,
+                "patterns": ["/Security/Symbol"],
+                "collection": "SDOC",
+            }
+        )
+        schedule.append(
+            {
+                "kind": "recommend",
+                "statements": texts,
+                "budget_bytes": SERVE_LATENCY_BUDGET,
+            }
+        )
+    return schedule
+
+
+def _read_makespan(weights, workers):
+    """LPT list-scheduling makespan: reads are lock-free, so any worker
+    can take any read; the model is deterministic in the per-query
+    optimizer-measured costs."""
+    bins = [0.0] * workers
+    for weight in sorted(weights, reverse=True):
+        bins[bins.index(min(bins))] += weight
+    return max(bins)
+
+
+def serve_latency_bench(smoke=False):
+    """The PR 9 latency leg: p50/p99 per request kind under sustained
+    mixed traffic through :class:`repro.serve.server.AdvisorServer`,
+    plus the deterministic concurrent-read throughput model.  Four
+    in-run gates: (1) the concurrent schedule is bit-identical to its
+    serial replay, (2) p99 recommend latency stays within the deadline
+    knob plus slack, (3) the tournament portfolio is at least every
+    single strategy run standalone, (4) modelled read throughput at 4
+    workers is >= 2x serial."""
+    import asyncio
+
+    from repro.core.advisor import IndexAdvisor
+    from repro.optimizer.session import WhatIfSession
+    from repro.query.workload import Workload
+    from repro.serve import AdvisorServer
+    from repro.serve.portfolio import run_portfolio
+    from repro.serve.server import serial_order
+
+    database, texts, scale = _latency_build(smoke)
+    rounds = 2 if smoke else 4
+    schedule = _latency_schedule(texts, rounds)
+
+    async def drive(server, requests, clients):
+        async with server:
+            return await server.run_schedule(requests, clients=clients)
+
+    def serve(requests, clients):
+        db, _, _ = _latency_build(smoke)
+        server = AdvisorServer(
+            db, deadline_seconds=SERVE_LATENCY_DEADLINE, mode="tournament"
+        )
+        responses = asyncio.run(
+            asyncio.wait_for(drive(server, requests, clients), timeout=600)
+        )
+        return server, responses
+
+    start = time.perf_counter()
+    server, responses = serve(schedule, SERVE_LATENCY_CLIENTS)
+    wall_seconds = time.perf_counter() - start
+    failed = [r for r in responses if not r.ok]
+    if failed:  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"serve latency leg had failed requests: "
+            f"{[(r.kind, r.code, r.error) for r in failed]}"
+        )
+
+    # Gate 1: serial-equivalence replay -- the concurrent schedule's
+    # responses must be bit-identical to a serial replay in commit order.
+    order = serial_order(responses)
+    replay_server, replayed = serve(
+        [schedule[index] for index in order], clients=1
+    )
+    for position, index in enumerate(order):
+        if (
+            responses[index].comparable() != replayed[position].comparable()
+        ):  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"response {index} diverged from its serial replay"
+            )
+    if server.journal != replay_server.journal:  # pragma: no cover
+        raise AssertionError("commit journal diverged from serial replay")
+
+    kinds = {}
+    for kind in ("query", "dml", "whatif", "recommend"):
+        latencies = [
+            r.elapsed_seconds for r in responses if r.kind == kind
+        ]
+        kinds[kind] = {
+            "count": len(latencies),
+            "p50_ms": _latency_percentile(latencies, 0.50) * 1000.0,
+            "p99_ms": _latency_percentile(latencies, 0.99) * 1000.0,
+        }
+
+    # Gate 2: p99 recommend latency is bounded by the deadline knob plus
+    # the fixed overhead slack.
+    p99_recommend = kinds["recommend"]["p99_ms"] / 1000.0
+    ceiling = SERVE_LATENCY_DEADLINE + SERVE_LATENCY_SLACK
+    if p99_recommend > ceiling:  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"p99 recommend latency {p99_recommend:.3f}s exceeds the "
+            f"deadline knob + slack ({ceiling:.3f}s)"
+        )
+
+    # Gate 3: tournament dominance, deadline-free so the comparison is
+    # deterministic -- the portfolio winner must be at least every
+    # single strategy run standalone on the same database.
+    workload_entries = Workload.from_statements(texts).entries
+    tournament = run_portfolio(
+        _latency_build(smoke)[0],
+        Workload(workload_entries),
+        SERVE_LATENCY_BUDGET,
+        mode="tournament",
+    )
+    standalone_benefits = {}
+    for algorithm in ("greedy", "greedy_heuristics", "ilp"):
+        db = _latency_build(smoke)[0]
+        standalone = IndexAdvisor(
+            db, Workload(workload_entries), session=WhatIfSession(db)
+        ).recommend(SERVE_LATENCY_BUDGET, algorithm=algorithm)
+        standalone_benefits[algorithm] = standalone.search.benefit
+        if (
+            tournament.search.benefit < standalone.search.benefit - 1e-9
+        ):  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"tournament ({tournament.search.benefit:.4f}) lost to "
+                f"standalone {algorithm} "
+                f"({standalone.search.benefit:.4f})"
+            )
+
+    # Gate 4: deterministic concurrent-read throughput model.  Weights
+    # are each query's measured engine cost (docs examined) from a
+    # serial read-only pass; reads are lock-free, so the concurrent
+    # makespan is LPT list scheduling over the worker count.
+    read_schedule = [
+        {"kind": "query", "text": text} for text in texts
+    ] * (3 if smoke else 6)
+    _, read_responses = serve(read_schedule, clients=1)
+    weights = [
+        float(r.value["docs_examined"] + 1) for r in read_responses
+    ]
+    total = sum(weights)
+    throughput = {}
+    serial_makespan = _read_makespan(weights, 1)
+    for workers in SERVE_READ_WORKER_COUNTS:
+        makespan = _read_makespan(weights, workers)
+        throughput[str(workers)] = {
+            "makespan": makespan,
+            "throughput": total / makespan,
+            "speedup": serial_makespan / makespan,
+        }
+    speedup_at_4 = throughput["4"]["speedup"]
+    if speedup_at_4 < SERVE_READ_SPEEDUP_FLOOR:  # pragma: no cover
+        raise AssertionError(
+            f"modelled read throughput speedup at 4 workers "
+            f"({speedup_at_4:.2f}x) is below the "
+            f"{SERVE_READ_SPEEDUP_FLOOR}x floor"
+        )
+
+    return {
+        "scale": scale,
+        "rounds": rounds,
+        "requests": len(schedule),
+        "clients": SERVE_LATENCY_CLIENTS,
+        "wall_seconds": wall_seconds,
+        "deadline_seconds": SERVE_LATENCY_DEADLINE,
+        "deadline_slack_seconds": SERVE_LATENCY_SLACK,
+        "budget_bytes": SERVE_LATENCY_BUDGET,
+        "latency": kinds,
+        "gate_counters": server.gate.stats(),
+        "serial_equivalent": True,
+        "portfolio": {
+            "tournament_benefit": tournament.search.benefit,
+            "winner": tournament.portfolio_stats["winner"],
+            "standalone_benefits": standalone_benefits,
+        },
+        "read_throughput_model": {
+            "items": len(weights),
+            "total_cost": total,
+            "workers": throughput,
+            "speedup_floor": SERVE_READ_SPEEDUP_FLOOR,
+        },
+    }
+
+
+def run_serve_latency(smoke=False):
+    """The PR 9 sweep (``--serve-latency-sweep``), written to
+    ``BENCH_PR9.json`` at the repo root as the committed copy.  All four
+    contracts -- serial-equivalent replay, bounded p99 recommend,
+    tournament dominance, modelled read-throughput floor -- are asserted
+    in-run (this is the CI serve leg's gate)."""
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "note": (
+                "latency figures are informational wall clock; the "
+                "gates (serial equivalence, deadline ceiling, "
+                "tournament dominance, modelled read speedup) are "
+                "asserted in-run"
+            ),
+        },
+        "serve_latency": serve_latency_bench(smoke),
+    }
+
+
 def run_dml(smoke=False):
     """The PR 5 storage-engine sweep (``--dml-sweep``), written to
     ``BENCH_PR5.json`` at the repo root as the committed copy.  The
@@ -1308,6 +1602,12 @@ def main(argv=None):
         help="run only the PR 8 online-daemon drift replay (BENCH_PR8.json)",
     )
     parser.add_argument(
+        "--serve-latency-sweep",
+        action="store_true",
+        help="run only the PR 9 serving-front-end latency sweep "
+        "(BENCH_PR9.json)",
+    )
+    parser.add_argument(
         "--journal-dir",
         default=None,
         help="directory for the --serve-sweep cycle journal "
@@ -1342,6 +1642,7 @@ def main(argv=None):
         or args.cluster_sweep
         or args.ilp_sweep
         or args.serve_sweep
+        or args.serve_latency_sweep
     ):
         if args.workers_sweep:
             results = run_workers(smoke=args.smoke)
@@ -1349,6 +1650,8 @@ def main(argv=None):
             results = run_dml(smoke=args.smoke)
         elif args.ilp_sweep:
             results = run_ilp(smoke=args.smoke)
+        elif args.serve_latency_sweep:
+            results = run_serve_latency(smoke=args.smoke)
         elif args.serve_sweep:
             results = run_serve(
                 smoke=args.smoke, journal_dir=args.journal_dir

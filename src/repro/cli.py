@@ -25,7 +25,7 @@ from repro.optimizer.executor import Executor
 from repro.optimizer.session import WhatIfSession
 from repro.query.parser import parse_statement
 from repro.query.workload import Workload
-from repro.robustness.errors import AdvisorError
+from repro.robustness.errors import AdvisorError, ConfigError
 from repro.storage.database import Database
 from repro.storage.persist import load_database, save_database
 
@@ -238,6 +238,15 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.mode is not None:
+        if shards > 1 or replicas > 1 or args.divergent:
+            print(
+                "error: --mode portfolio search runs on a plain database; "
+                "drop --shards/--replicas/--divergent",
+                file=sys.stderr,
+            )
+            return 2
+        return _recommend_portfolio(args, db, workload)
     if shards > 1 or replicas > 1 or args.divergent:
         return _recommend_cluster(args, db, workload, shards, replicas)
     advisor = IndexAdvisor(
@@ -266,6 +275,59 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             print(recommendation.stats_report())
     if args.create:
         names = advisor.create_indexes(recommendation)
+        save_database(db, args.dbdir)
+        if not args.json:
+            print(f"\ncreated {len(names)} indexes and saved the database")
+    return 0
+
+
+def _recommend_portfolio(
+    args: argparse.Namespace, db: Database, workload: Workload
+) -> int:
+    """The ``recommend --mode`` path: race several strategies under one
+    deadline (docs/serving.md) and report the winner with per-strategy
+    telemetry."""
+    import json
+
+    from repro.parallel import resolve_workers, workers_from_env
+    from repro.serve.portfolio import DEFAULT_STRATEGIES, run_portfolio
+
+    strategies = (
+        tuple(s for s in args.strategies.split(",") if s)
+        if args.strategies
+        else DEFAULT_STRATEGIES
+    )
+    recommendation = run_portfolio(
+        db,
+        workload,
+        args.budget,
+        mode=args.mode,
+        strategies=strategies,
+        deadline_seconds=args.deadline,
+        optimizer_call_budget=args.call_budget,
+        seed=args.portfolio_seed,
+        workers=(
+            workers_from_env()
+            if args.workers is None
+            else resolve_workers(args.workers, option="--workers")
+        )
+        or None,
+    )
+    if args.json:
+        print(json.dumps(recommendation.to_dict(), indent=2))
+    else:
+        print(recommendation.report())
+        if args.stats:
+            print()
+            print(recommendation.stats_report())
+    if args.create:
+        names = []
+        for candidate in recommendation.configuration:
+            definition = candidate.definition(
+                db.catalog.fresh_name("xmlidx"), virtual=False
+            )
+            db.create_index(definition)
+            names.append(definition.name)
         save_database(db, args.dbdir)
         if not args.json:
             print(f"\ncreated {len(names)} indexes and saved the database")
@@ -446,6 +508,151 @@ def cmd_serve(args: argparse.Namespace) -> int:
         save_database(db, args.dbdir)
         if not args.json:
             print("-- database (with materialized indexes) saved")
+    return 0
+
+
+def _latency_percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile (no numpy in the base image)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def cmd_server(args: argparse.Namespace) -> int:
+    """Drive a workload file through the concurrent serving front end
+    (docs/serving.md): queries and DML run as concurrent requests,
+    every ``--recommend-every``-th request is a portfolio recommend."""
+    import asyncio
+    import json
+
+    from repro.query.model import DeleteStatement, InsertStatement
+    from repro.serve import AdvisorServer, TenantPolicy
+
+    db = load_database(args.dbdir)
+    workload = read_workload_file(args.workload)
+    if len(workload) == 0:
+        print(
+            f"error: workload file {args.workload!r} contains no parseable "
+            f"statements",
+            file=sys.stderr,
+        )
+        return 2
+    tenants = [t for t in (args.tenants or "default").split(",") if t]
+    query_texts = [
+        entry.statement.describe()
+        for entry in workload
+        if not isinstance(
+            entry.statement, (InsertStatement, DeleteStatement)
+        )
+    ]
+    schedule = []
+    for position, entry in enumerate(workload):
+        tenant = tenants[position % len(tenants)]
+        is_dml = isinstance(
+            entry.statement, (InsertStatement, DeleteStatement)
+        )
+        schedule.append(
+            {
+                "kind": "dml" if is_dml else "query",
+                "text": entry.statement.describe(),
+                "tenant": tenant,
+            }
+        )
+        if (
+            args.recommend_every
+            and query_texts
+            and (position + 1) % args.recommend_every == 0
+        ):
+            schedule.append(
+                {
+                    "kind": "recommend",
+                    "statements": query_texts,
+                    "budget_bytes": args.budget,
+                    "tenant": tenant,
+                }
+            )
+    server = AdvisorServer(
+        db,
+        default_policy=TenantPolicy(
+            search_call_quota=args.quota,
+            deadline_seconds=args.deadline,
+        ),
+        mode=args.mode,
+        deadline_seconds=args.deadline,
+        workers=args.workers,
+        lanes=args.lanes,
+        seed=args.seed,
+    )
+
+    async def run():
+        await server.start()
+        try:
+            return await server.run_schedule(schedule, clients=args.clients)
+        finally:
+            await server.stop()
+
+    responses = asyncio.run(run())
+    by_kind = {}
+    for response in responses:
+        by_kind.setdefault(response.kind, []).append(response)
+    summary = {
+        "requests": len(responses),
+        "clients": args.clients,
+        "kinds": {
+            kind: {
+                "count": len(group),
+                "ok": sum(1 for r in group if r.ok),
+                "errors": sorted(
+                    {r.code for r in group if not r.ok} - {None}
+                ),
+                "p50_seconds": _latency_percentile(
+                    [r.elapsed_seconds for r in group], 0.50
+                ),
+                "p99_seconds": _latency_percentile(
+                    [r.elapsed_seconds for r in group], 0.99
+                ),
+            }
+            for kind, group in sorted(by_kind.items())
+        },
+        "server": server.stats(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"served {summary['requests']} requests "
+            f"({args.clients} clients, {args.lanes} lanes)"
+        )
+        for kind, block in summary["kinds"].items():
+            print(
+                f"  {kind:<10}: {block['ok']}/{block['count']} ok, "
+                f"p50 {block['p50_seconds'] * 1000:.1f} ms, "
+                f"p99 {block['p99_seconds'] * 1000:.1f} ms"
+                + (
+                    f", errors: {','.join(block['errors'])}"
+                    if block["errors"]
+                    else ""
+                )
+            )
+        gate = summary["server"]["gate"]
+        print(
+            f"  gate      : {gate['reads_validated']} validated, "
+            f"{gate['reads_torn']} torn, {gate['reads_refused']} refused, "
+            f"{gate['writes_gated']} writes"
+        )
+    config_failures = [
+        r for r in responses if not r.ok and r.code == "config"
+    ]
+    if config_failures:
+        print(
+            f"error: {config_failures[0].error}",
+            file=sys.stderr,
+        )
+        return 2
+    if any(not r.ok and r.code == "internal" for r in responses):
+        return 1
     return 0
 
 
@@ -685,6 +892,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="tune each replica on its own similarity-partitioned "
              "workload slice instead of one uniform configuration",
     )
+    p.add_argument(
+        "--mode", default=None,
+        choices=("retry", "tournament", "evolutionary"),
+        help="portfolio search: race multiple strategies under one "
+             "deadline (retry: sequential first-success; tournament: "
+             "concurrent, best benefit wins; evolutionary: tournament "
+             "generations with seeded-perturbed variants)",
+    )
+    p.add_argument(
+        "--strategies", default=None, metavar="A,B,...",
+        help="comma-separated portfolio strategies "
+             "(default greedy,greedy_heuristics,ilp)",
+    )
+    p.add_argument(
+        "--portfolio-seed", type=int, default=0, metavar="N",
+        help="seed of the evolutionary mode's perturbed variants",
+    )
     p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser(
@@ -763,6 +987,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "server",
+        help="serve a workload concurrently (query/dml/recommend)",
+        description=(
+            "Drive a workload file through the concurrent serving front "
+            "end: lock-free epoch-gated reads, per-collection serialized "
+            "writers, and portfolio recommends raced under a deadline "
+            "(docs/serving.md)."
+        ),
+    )
+    p.add_argument("dbdir")
+    p.add_argument(
+        "--workload", required=True,
+        help="workload file (';' separated); queries and DML become "
+             "concurrent requests",
+    )
+    p.add_argument(
+        "--budget", type=int, default=200_000,
+        help="disk budget (bytes) of the interleaved recommends",
+    )
+    p.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client tasks driving the schedule",
+    )
+    p.add_argument(
+        "--lanes", type=int, default=0,
+        help="thread lanes for engine steps (0 = inline on the event "
+             "loop)",
+    )
+    p.add_argument(
+        "--recommend-every", type=int, default=0, metavar="K",
+        help="inject a portfolio recommend after every K requests "
+             "(0 = never)",
+    )
+    p.add_argument(
+        "--mode", default="tournament",
+        choices=("retry", "tournament", "evolutionary"),
+        help="portfolio mode of the interleaved recommends",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-recommend deadline (also the default tenant ceiling)",
+    )
+    p.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="per-tenant optimizer-call quota; exhausted tenants get "
+             "typed 'rejected' responses",
+    )
+    p.add_argument(
+        "--tenants", default=None, metavar="T1,T2,...",
+        help="round-robin requests across these tenant names "
+             "(default: one 'default' tenant)",
+    )
+    p.add_argument(
+        "--workers", default=None, metavar="N",
+        help="portfolio lane workers: a count or 'auto'; defaults to "
+             "$REPRO_WORKERS, else one lane per strategy",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the serving summary as JSON",
+    )
+    p.set_defaults(func=cmd_server)
+
+    p = sub.add_parser(
         "review", help="keep/drop review of existing physical indexes"
     )
     p.add_argument("dbdir")
@@ -803,6 +1092,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        # Junk configuration -- a bad flag or a junk REPRO_* environment
+        # variable resolved anywhere downstream (including inside worker
+        # or async request tasks) -- is operator error: exit 2, like
+        # argparse itself.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (AdvisorError, FileNotFoundError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -108,6 +108,17 @@ class SearchBudget:
         if reason is not None:
             raise BudgetExhausted(reason)
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock left on the deadline (``None`` when unbounded,
+        floored at 0).  The serving layer's portfolio mode uses this to
+        hand later sequential attempts only what is left of the request
+        deadline."""
+        if self.deadline_seconds is None:
+            return None
+        return max(
+            0.0, self.deadline_seconds - (self.clock() - self._started)
+        )
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

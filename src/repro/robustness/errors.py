@@ -70,6 +70,25 @@ class ConfigError(AdvisorError, ValueError):
         self.option = option
 
 
+class AdmissionRejected(AdvisorError):
+    """A serving-layer request was refused admission: the tenant's
+    budget pool is exhausted (optimizer-call quota spent) or its
+    concurrent in-flight limit is reached.  Typed so front ends map it
+    to a ``rejected`` response instead of a stack trace; carries the
+    tenant and the machine-readable reason."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str = "default",
+        reason: str = "rejected",
+    ) -> None:
+        super().__init__(f"tenant {tenant!r}: {message}")
+        self.tenant = tenant
+        self.reason = reason
+
+
 class FatalAdvisorError(AdvisorError):
     """An unrecoverable advisor failure.  ``recommend()`` raises nothing
     else for runtime faults: retryable errors are retried, degradable

@@ -16,6 +16,8 @@ site                         guarded operation
 ``workload.parse``           parsing one workload statement
 ``online.cycle``             entering one online-daemon tuning cycle
 ``online.apply``             materializing one online CREATE/DROP action
+``serve.request``            admitting one serving-front-end request
+``serve.portfolio``          running one portfolio search strategy lane
 ===========================  ====================================================
 
 With no injector installed, :func:`maybe_inject` is a dictionary miss --

@@ -1,0 +1,43 @@
+"""Concurrent serving front end over the advisor engine.
+
+The paper's advisor is a one-shot library call; this package turns it
+into a service (ROADMAP north-star, AIM-style supervised multi-tenancy):
+
+* :class:`~repro.serve.server.AdvisorServer` -- an asyncio front end
+  with concurrent ``query`` / ``dml`` / ``whatif`` / ``recommend``
+  endpoints.  Reads run lock-free against the per-collection epochs of
+  the storage engine through a seqlock-style
+  :class:`~repro.storage.database.EpochGate`; writers are serialized per
+  collection.
+* :class:`~repro.serve.tenants.AdmissionController` -- per-tenant
+  ``SearchBudget`` admission control with typed rejection
+  (:class:`~repro.robustness.errors.AdmissionRejected`) when the budget
+  pool is exhausted.
+* :func:`~repro.serve.portfolio.run_portfolio` -- CoPhy-style portfolio
+  search: multiple strategies raced under one deadline
+  (``retry`` / ``tournament`` / ``evolutionary`` modes), best result
+  wins, per-strategy telemetry in ``Recommendation.to_dict()``.
+
+See docs/serving.md for the endpoint contracts and epoch-gate semantics.
+"""
+
+from repro.serve.portfolio import (
+    DEFAULT_STRATEGIES,
+    PORTFOLIO_MODES,
+    run_portfolio,
+)
+from repro.serve.requests import Response
+from repro.serve.scheduler import SeededScheduler
+from repro.serve.server import AdvisorServer
+from repro.serve.tenants import AdmissionController, TenantPolicy
+
+__all__ = [
+    "AdvisorServer",
+    "AdmissionController",
+    "TenantPolicy",
+    "Response",
+    "SeededScheduler",
+    "run_portfolio",
+    "PORTFOLIO_MODES",
+    "DEFAULT_STRATEGIES",
+]

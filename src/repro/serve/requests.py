@@ -1,0 +1,86 @@
+"""Typed responses of the serving front end.
+
+Every endpoint of :class:`~repro.serve.server.AdvisorServer` returns a
+:class:`Response` -- never raises.  Failures are mapped onto a small
+machine-readable error-code taxonomy (the serve analogue of the
+robustness error taxonomy) so clients, the chaos tests, and the CLI can
+branch on ``code`` instead of parsing tracebacks:
+
+==================  =========================================================
+code                meaning
+==================  =========================================================
+``rejected``        admission control refused the request (typed
+                    :class:`~repro.robustness.errors.AdmissionRejected`:
+                    tenant budget pool exhausted or in-flight limit hit)
+``config``          a :class:`~repro.robustness.errors.ConfigError`
+                    surfaced inside the request (junk ``REPRO_*`` env or
+                    server option); the CLI maps this onto exit code 2
+``bad-request``     malformed payload: unparseable statement, unknown
+                    collection, wrong statement kind for the endpoint
+``advisor-error``   a typed advisor runtime failure (FatalAdvisorError,
+                    injected faults past retries, ...)
+``internal``        anything else -- the "never a 500" backstop; the
+                    exception is captured, never propagated
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Error codes a Response may carry (``None`` on success).
+ERROR_CODES = ("rejected", "config", "bad-request", "advisor-error", "internal")
+
+
+@dataclass
+class Response:
+    """One endpoint result.
+
+    ``epoch`` is the validated epoch token the read observed (sorted
+    ``(collection, epoch)`` pairs; writes carry the single post-commit
+    pair).  ``seq`` is the global write sequence number for writes, and
+    for reads the *watermark*: how many writes had committed when the
+    read validated -- the exact position a serial replay must execute
+    the read at (tests/test_serve_differential.py).
+    """
+
+    kind: str
+    ok: bool
+    tenant: str = "default"
+    value: Any = None
+    error: Optional[str] = None
+    code: Optional[str] = None
+    epoch: Optional[Tuple[Tuple[str, int], ...]] = None
+    seq: Optional[int] = None
+    retries: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (CLI ``--json``, bench artifacts)."""
+        return {
+            "kind": self.kind,
+            "ok": self.ok,
+            "tenant": self.tenant,
+            "value": self.value,
+            "error": self.error,
+            "code": self.code,
+            "epoch": (
+                [list(pair) for pair in self.epoch]
+                if self.epoch is not None
+                else None
+            ),
+            "seq": self.seq,
+            "retries": self.retries,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def comparable(self) -> Dict:
+        """The schedule-invariant projection compared bit-for-bit by the
+        differential tests: everything except wall-clock latency and the
+        retry count (both depend on physical interleaving, not on the
+        serialization order the epoch token pins)."""
+        data = self.to_dict()
+        data.pop("elapsed_seconds")
+        data.pop("retries")
+        return data

@@ -1,0 +1,83 @@
+"""Deterministic cooperative scheduling for the inline server mode.
+
+The differential and property tests need *adversarial but replayable*
+interleavings: every concurrent schedule they explore must be a pure
+function of a seed, so hypothesis can shrink a failing schedule to a
+minimal counterexample.  :class:`SeededScheduler` provides that: the
+server awaits :meth:`SeededScheduler.__call__` at each yield point
+(between read steps, inside writer critical sections, on refused
+reads), the scheduler parks the task, and :meth:`drive` releases parked
+tasks one at a time in an order drawn from a seeded RNG.
+
+With no scheduler installed the server's yield points are plain
+``asyncio.sleep(0)`` -- normal event-loop interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import List, Optional, Tuple
+
+
+class SeededScheduler:
+    """Replayable random scheduler over the server's yield points."""
+
+    def __init__(self, seed: int = 0, max_steps: int = 100_000) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+        self.steps = 0
+        #: Parked tasks: ``(site, future)`` in arrival order (arrival
+        #: order is deterministic -- tasks are created in program order
+        #: and the loop runs ready callbacks FIFO).
+        self._waiters: List[Tuple[str, asyncio.Future]] = []
+        #: The release order actually chosen (the shrinkable trace
+        #: reported on failure).
+        self.trace: List[str] = []
+
+    async def __call__(self, site: str) -> None:
+        """Park the calling task until :meth:`drive` releases it."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._waiters.append((site, future))
+        await future
+
+    def _release_one(self) -> Optional[str]:
+        if not self._waiters:
+            return None
+        index = self.rng.randrange(len(self._waiters))
+        site, future = self._waiters.pop(index)
+        if not future.done():  # pragma: no branch - cancelled tasks
+            future.set_result(None)
+        self.trace.append(site)
+        return site
+
+    async def drive(self, coroutines) -> list:
+        """Run ``coroutines`` to completion under this schedule and
+        return their results in argument order."""
+        tasks = [asyncio.ensure_future(coro) for coro in coroutines]
+        try:
+            while not all(task.done() for task in tasks):
+                self.steps += 1
+                if self.steps > self.max_steps:  # pragma: no cover - guard
+                    for task in tasks:
+                        task.cancel()
+                    raise RuntimeError(
+                        f"SeededScheduler(seed={self.seed}) exceeded "
+                        f"{self.max_steps} steps; trace tail: "
+                        f"{self.trace[-10:]}"
+                    )
+                # Let every runnable task advance to its next yield point
+                # (a few no-op turns drain chained awaits like released
+                # asyncio.Lock waiters).
+                for _ in range(4):
+                    await asyncio.sleep(0)
+                if all(task.done() for task in tasks):
+                    break
+                self._release_one()
+            return [task.result() for task in tasks]
+        finally:
+            for task in tasks:
+                if not task.done():  # pragma: no cover - error path
+                    task.cancel()

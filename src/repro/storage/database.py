@@ -315,3 +315,95 @@ class Database:
             f"<Database {self.name!r} collections={list(self.collections)} "
             f"indexes={len(self.indexes)}>"
         )
+
+
+class EpochGate:
+    """Optimistic read / serialized write gate over a database's
+    per-collection epochs -- the serving layer's concurrency control.
+
+    Readers are lock-free, seqlock style: :meth:`read_view` snapshots
+    the epochs of the collections a request touches (refusing to start
+    only while a writer is inside its critical section), the read then
+    runs without holding anything, and :meth:`validate` confirms the
+    epochs never moved.  A failed validation means the read may have
+    observed state from two epochs (a *torn* read); the caller discards
+    the result and retries against the new epochs.
+
+    Writers never wait for readers.  :meth:`begin_write` /
+    :meth:`end_write` bracket a writer's critical section; the gate only
+    tracks which collections currently have an active writer, so new
+    reads refuse to start against them (the epoch bump itself happens
+    inside the write via :meth:`Database.touch`).  Serializing writers
+    *per collection* is the caller's job -- the serve layer holds one
+    ``asyncio.Lock`` per collection around the gate.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self.database = database
+        self._writing: Dict[str, int] = {}
+        self.reads_validated = 0
+        self.reads_torn = 0
+        self.reads_refused = 0
+        self.writes_gated = 0
+
+    def epochs(self, collections: Iterable[str]) -> tuple:
+        """Sorted ``(collection, epoch)`` snapshot; unknown collections
+        read as epoch 0 (consistent with :meth:`Database.touch`)."""
+        eps = self.database.collection_epochs
+        return tuple(
+            (name, eps.get(name, 0)) for name in sorted(set(collections))
+        )
+
+    def read_view(self, collections: Iterable[str]) -> Optional[tuple]:
+        """Begin an optimistic read over ``collections``: the epoch token
+        to validate against, or ``None`` while a writer is active on any
+        of them (the reader yields and retries)."""
+        names = list(collections)
+        if any(self._writing.get(name) for name in names):
+            self.reads_refused += 1
+            return None
+        return self.epochs(names)
+
+    def validate(self, token: tuple) -> bool:
+        """``True`` iff no write on the token's collections started or
+        committed since :meth:`read_view` handed it out -- i.e. the read
+        observed a single epoch per collection."""
+        names = [name for name, _ in token]
+        consistent = (
+            not any(self._writing.get(name) for name in names)
+            and self.epochs(names) == token
+        )
+        if consistent:
+            self.reads_validated += 1
+        else:
+            self.reads_torn += 1
+        return consistent
+
+    def begin_write(self, collection_name: str) -> None:
+        """Enter a writer critical section on one collection (re-entrant:
+        a multi-step write may nest)."""
+        self._writing[collection_name] = (
+            self._writing.get(collection_name, 0) + 1
+        )
+        self.writes_gated += 1
+
+    def end_write(self, collection_name: str) -> None:
+        """Leave the writer critical section opened by
+        :meth:`begin_write`."""
+        depth = self._writing.get(collection_name, 0) - 1
+        if depth > 0:
+            self._writing[collection_name] = depth
+        else:
+            self._writing.pop(collection_name, None)
+
+    def writing(self, collection_name: str) -> bool:
+        return bool(self._writing.get(collection_name))
+
+    def stats(self) -> Dict[str, int]:
+        """Gate counters for telemetry / the serve differential tests."""
+        return {
+            "reads_validated": self.reads_validated,
+            "reads_torn": self.reads_torn,
+            "reads_refused": self.reads_refused,
+            "writes_gated": self.writes_gated,
+        }

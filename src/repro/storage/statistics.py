@@ -389,6 +389,19 @@ class DataStatistics:
             self.summary_rebuilds += 1
             summary.dirty = False
 
+    def rebuild_dirty_summaries(self) -> int:
+        """Eagerly rebuild every dirty per-path summary (the serve
+        layer's write path calls this inside the writer critical section
+        so subsequent lock-free reads never repair state -- reads stay
+        side-effect free and the ``summary_rebuilds`` counter moves only
+        under the write gate).  Returns the number rebuilt."""
+        rebuilt = 0
+        for tag_path, summary in list(dict.items(self.summaries)):
+            if summary.dirty:
+                self._clean_summary(tag_path, summary)
+                rebuilt += 1
+        return rebuilt
+
     # ------------------------------------------------------------------
     # Collection-side (used by collect_statistics)
     # ------------------------------------------------------------------

@@ -5,6 +5,7 @@ exception.  PR 4 extends the same property to the parallel session:
 faults injected inside worker fan-outs merge into the parent's degraded
 counters and still never escape as anything but FatalAdvisorError."""
 
+import asyncio
 import json
 
 from hypothesis import given, settings
@@ -22,6 +23,8 @@ from repro.robustness.faults import (
     injected,
 )
 from repro.robustness.policy import RetryPolicy
+from repro.serve import AdvisorServer, run_portfolio
+from repro.serve.requests import ERROR_CODES, Response
 from repro.workloads import tpox
 
 FAST_RETRIES = RetryPolicy(sleep=lambda seconds: None)
@@ -275,3 +278,147 @@ def test_parallel_checkpoint_resumes_mid_fanout(tmp_path):
         str(c.pattern) for c in clean.configuration
     ]
     assert resumed.search.benefit == clean.search.benefit
+
+# ---------------------------------------------------------------------------
+# PR 9: the serving front end under the same chaos discipline
+# ---------------------------------------------------------------------------
+
+QUERY_TEXTS = [e.statement.describe() for e in SMALL_WORKLOAD.entries]
+SERVE_TIMEOUT = 120
+
+
+def _serve(coro):
+    """Every serve chaos scenario is hang-guarded: a faulted request
+    that deadlocked the event loop would trip the wait_for, not CI."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=SERVE_TIMEOUT))
+
+
+def test_faulted_portfolio_lane_degrades_to_survivors_best():
+    """Killing exactly the first ``serve.portfolio`` lane (greedy) must
+    degrade the retry ladder to the next strategy's standalone result --
+    the portfolio never surfaces the fault and never falls below the
+    survivors' best."""
+    rules = [
+        FaultRule(
+            site="serve.portfolio",
+            at={0},
+            exception=lambda site, index: InjectedFault(site, 0),
+        )
+    ]
+    database = small_database()
+    with injected(FaultInjector(rules, seed=5)):
+        winner = run_portfolio(
+            database, Workload(SMALL_WORKLOAD.entries), BUDGET, mode="retry"
+        )
+    stats = winner.portfolio_stats
+    assert stats["strategies_failed"] == 1
+    assert stats["strategies"][0]["error_type"] == "InjectedFault"
+    assert stats["winner"] == "greedy_heuristics"
+    assert any("failed" in line for line in winner.diagnostics)
+
+    clean_db = small_database()
+    standalone = IndexAdvisor(
+        clean_db,
+        Workload(SMALL_WORKLOAD.entries),
+        session=WhatIfSession(clean_db),
+    ).recommend(BUDGET, algorithm="greedy_heuristics")
+    assert winner.search.benefit == standalone.search.benefit
+    assert winner.ddl == standalone.ddl
+    json.dumps(winner.to_dict())
+
+
+def test_all_lanes_faulted_is_a_typed_response_never_a_hang():
+    """Every tournament lane faulted: the server's recommend endpoint
+    must answer with a typed ``advisor-error`` response -- not an
+    unhandled exception, not a hang, not a bare 500."""
+    rules = [
+        FaultRule(
+            site="serve.portfolio",
+            rate=1.0,
+            exception=lambda site, index: InjectedFault(site, 0),
+        )
+    ]
+
+    async def scenario():
+        async with AdvisorServer(small_database()) as server:
+            return await server.recommend(QUERY_TEXTS, BUDGET)
+
+    with injected(FaultInjector(rules, seed=9)):
+        response = _serve(scenario())
+    assert isinstance(response, Response)
+    assert not response.ok
+    assert response.code == "advisor-error"
+    assert "injected" in response.error
+    json.dumps(response.to_dict())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_request_faults_always_typed_never_hang(rate, seed):
+    """Faults at the ``serve.request`` admission boundary, at any rate
+    and seed: every response is still a typed :class:`Response` (ok or
+    a taxonomy code), the server never raises, and rejected requests
+    leave no partial state (storage counters equal a fault-free run's
+    for the requests that did commit)."""
+    rules = [
+        FaultRule(
+            site="serve.request",
+            rate=rate,
+            exception=lambda site, index: InjectedFault(site, 0),
+        )
+    ]
+    schedule = [{"kind": "query", "text": text} for text in QUERY_TEXTS[:3]]
+    schedule.append(
+        {
+            "kind": "dml",
+            "text": "insert into SDOC value "
+            "'<Security><Symbol>CHAOS</Symbol></Security>'",
+        }
+    )
+
+    async def scenario():
+        async with AdvisorServer(small_database()) as server:
+            responses = await server.run_schedule(schedule, clients=3)
+            return responses, server
+
+    with injected(FaultInjector(rules, seed=seed)):
+        responses, server = _serve(scenario())
+    for response in responses:
+        assert isinstance(response, Response)
+        if not response.ok:
+            assert response.code in ERROR_CODES
+            assert response.seq is None  # nothing committed
+    committed = [r for r in responses if r.kind == "dml" and r.ok]
+    assert server.stats()["writes"] == len(committed)
+    json.dumps([response.to_dict() for response in responses])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_serve_chaos_replays_deterministically(seed):
+    """The same fault seed against the same schedule reproduces the
+    same responses -- serve chaos failures are debuggable replays, like
+    every other chaos site."""
+    rules = [FaultRule(site="serve.request", rate=0.5)]
+    schedule = [
+        {"kind": "query", "text": QUERY_TEXTS[0]},
+        {
+            "kind": "dml",
+            "text": "insert into SDOC value "
+            "'<Security><Symbol>RPL</Symbol></Security>'",
+        },
+        {"kind": "query", "text": QUERY_TEXTS[1]},
+    ]
+
+    async def scenario():
+        async with AdvisorServer(small_database()) as server:
+            return await server.run_schedule(schedule, clients=2)
+
+    def run_once():
+        with injected(FaultInjector(rules, seed=seed)):
+            return [r.comparable() for r in _serve(scenario())]
+
+    assert run_once() == run_once()
