@@ -72,6 +72,18 @@ deadline knob plus a fixed overhead slack, the tournament portfolio is
 at least every single strategy run standalone, and the deterministic
 cost-makespan read-throughput model (PR 6 precedent) shows >= 2x
 serial throughput at 4 workers.
+
+PR 10 adds ``--snapshot-sweep``: the epoch-keyed snapshot engine
+(``repro.storage.snapshots``) across its three consumers
+(``BENCH_PR10.json`` at the repo root is the committed copy).  Leg 1
+drives repeat advise/whatif serve traffic at unchanged epochs, leg 2
+mixed-DML serve traffic, leg 3 the process-pool delta-ship protocol
+vs the legacy full-payload re-ship.  In-run gates: zero re-pickles at
+unchanged epochs, single-collection DML re-serializes only the touched
+collection, the backed-off epoch gate validates more reads than it
+wastes under free-running mixed traffic, delta syncs ship <= 1/3 of
+the full payload, and every store-backed result is bit-identical to
+its fresh-pickle baseline.
 """
 
 from __future__ import annotations
@@ -321,6 +333,9 @@ def _normalized_recommendation(recommendation):
     # Storage counters depend on the executor kind (process workers
     # rebuild summaries in their own database copies), not on the result.
     session.pop("storage", None)
+    # Snapshot-store counters depend on which consumers share the cache,
+    # not on the result.
+    session.pop("snapshots", None)
     data["session"] = session
     return data
 
@@ -1461,6 +1476,361 @@ def run_serve_latency(smoke=False):
     }
 
 
+# ---------------------------------------------------------------------------
+# PR 10: epoch-keyed snapshot engine sweep
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_SEED = 7
+SNAPSHOT_BUDGET = 50_000
+#: The delta-ship gate: bytes shipped per DML sync must be at most this
+#: fraction of the full base payload the legacy protocol re-shipped.
+SNAPSHOT_DELTA_FRACTION = 1.0 / 3.0
+
+
+def _snapshot_build(smoke):
+    """The sweep's database: bytes skewed toward the unqueried
+    collections so single-collection DML on SDOC (the collection every
+    workload query reads) is a genuinely small delta."""
+    scale = 1 if smoke else 2
+    return tpox.build_database(
+        num_securities=12 * scale,
+        num_orders=60 * scale,
+        num_customers=30 * scale,
+        seed=SNAPSHOT_SEED,
+    )
+
+
+def _snapshot_texts(smoke):
+    return [
+        entry.statement.describe()
+        for entry in tpox.tpox_workload(
+            num_securities=12 * (1 if smoke else 2), seed=SNAPSHOT_SEED
+        ).subset(6).entries
+    ]
+
+
+def _assert_store_bit_identity(store, database):
+    """The in-run bit-identity gate: a store-composed snapshot equals a
+    fresh whole-database pickle round-trip in both serialized forms."""
+    import pickle
+
+    from repro.storage.snapshots import canonical_dumps, partitioned_dumps
+
+    baseline = pickle.loads(
+        pickle.dumps(database, pickle.HIGHEST_PROTOCOL)
+    )
+    snapshot = store.snapshot(database)
+    if partitioned_dumps(snapshot) != partitioned_dumps(
+        baseline
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            "store snapshot diverged from fresh pickle (partitioned form)"
+        )
+    if canonical_dumps(snapshot) != canonical_dumps(
+        baseline
+    ):  # pragma: no cover - contract breach
+        raise AssertionError(
+            "store snapshot diverged from fresh pickle (canonical form)"
+        )
+
+
+def snapshot_repeat_advise_bench(smoke):
+    """Leg 1: repeat advise/whatif traffic at unchanged epochs through
+    the serving front end.  Gates: (a) after the first request warms the
+    store, repeats serialize NOTHING (zero re-pickles); (b) every repeat
+    returns the identical recommendation; (c) the store snapshot is
+    bit-identical to a fresh pickle round-trip."""
+    import asyncio
+    import pickle
+
+    from repro.serve import AdvisorServer
+
+    database = _snapshot_build(smoke)
+    texts = _snapshot_texts(smoke)
+    repeats = 3 if smoke else 6
+
+    async def scenario():
+        async with AdvisorServer(database, mode="tournament") as server:
+            first = await server.recommend(texts, SNAPSHOT_BUDGET)
+            warm = dict(server.snapshots.stats())
+            values = []
+            elapsed = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                response = await server.recommend(texts, SNAPSHOT_BUDGET)
+                elapsed.append(time.perf_counter() - started)
+                values.append(response.value)
+                await server.dispatch(
+                    {
+                        "kind": "whatif",
+                        "statements": texts,
+                        "patterns": ["/Security/Symbol"],
+                        "collection": "SDOC",
+                    }
+                )
+            return server, first, values, warm, elapsed
+
+    server, first, values, warm, elapsed = asyncio.run(
+        asyncio.wait_for(scenario(), timeout=600)
+    )
+    after = server.snapshots.stats()
+    if not first.ok:  # pragma: no cover - contract breach
+        raise AssertionError(f"warmup recommend failed: {first.error}")
+    # Gate (a): zero re-pickles at unchanged epochs.
+    if after["serializations"] != warm["serializations"]:  # pragma: no cover
+        raise AssertionError(
+            f"repeat advise at unchanged epochs re-serialized "
+            f"{after['serializations'] - warm['serializations']} blob(s)"
+        )
+    # Gate (b): repeats are identical.
+    for value in values:  # pragma: no branch
+        if value != first.value:  # pragma: no cover - contract breach
+            raise AssertionError("repeat advise diverged at unchanged epoch")
+    # Gate (c): bit-identity.
+    _assert_store_bit_identity(server.snapshots, server.database)
+    full_payload = len(
+        pickle.dumps(server.database, pickle.HIGHEST_PROTOCOL)
+    )
+    return {
+        "repeats": repeats,
+        "advise_requests": 1 + 2 * repeats,
+        "zero_repickles_at_unchanged_epoch": True,
+        "bit_identical": True,
+        "full_payload_bytes": full_payload,
+        "warm_serializations": warm["serializations"],
+        "warm_bytes_serialized": warm["bytes_serialized"],
+        "steady_state_hits": after["hits"] - warm["hits"],
+        "compositions": after["compositions"],
+        "repeat_recommend_seconds": {
+            "best": min(elapsed),
+            "mean": sum(elapsed) / len(elapsed),
+        },
+    }
+
+
+def snapshot_serve_dml_bench(smoke):
+    """Leg 2: mixed-DML serve traffic.  Gates: (a) each
+    single-collection DML re-serializes exactly ONE blob (the touched
+    collection -- untouched collections ride the cache); (b) under
+    free-running concurrent mixed traffic the backed-off gate validates
+    more reads than it wastes (BENCH_PR9's counters were 32 torn + 54
+    refused vs 40 validated); (c) bit-identity after the full run."""
+    import asyncio
+
+    from repro.serve import AdvisorServer
+
+    database = _snapshot_build(smoke)
+    texts = _snapshot_texts(smoke)
+    events = 3 if smoke else 6
+
+    async def paced():
+        async with AdvisorServer(database, mode="tournament") as server:
+            await server.recommend(texts, SNAPSHOT_BUDGET)
+            deltas = []
+            for index in range(events):
+                before = server.snapshots.stats()["serializations"]
+                await server.dispatch(
+                    {
+                        "kind": "dml",
+                        "text": "insert into SDOC value "
+                        f"'<Security><Symbol>SW{index}</Symbol>"
+                        "</Security>'",
+                    }
+                )
+                await server.recommend(texts, SNAPSHOT_BUDGET)
+                deltas.append(
+                    server.snapshots.stats()["serializations"] - before
+                )
+            return server, deltas
+
+    server, deltas = asyncio.run(asyncio.wait_for(paced(), timeout=600))
+    # Gate (a): touched-only re-serialization, one blob per DML event.
+    if any(delta != 1 for delta in deltas):  # pragma: no cover
+        raise AssertionError(
+            f"single-collection DML re-serialized more than the touched "
+            f"collection: per-event serializations {deltas}"
+        )
+    _assert_store_bit_identity(server.snapshots, server.database)
+
+    # Free-running concurrent mixed traffic for the gate-backoff half.
+    rounds = 3 if smoke else 4
+    schedule = []
+    for round_index in range(rounds):
+        for index, text in enumerate(texts):
+            schedule.append({"kind": "query", "text": text})
+            if round_index == 0:
+                schedule.append(
+                    {
+                        "kind": "dml",
+                        "text": "insert into SDOC value "
+                        f"'<Security><Symbol>FR{index}</Symbol>"
+                        "</Security>'",
+                    }
+                )
+
+    async def concurrent():
+        fresh = _snapshot_build(smoke)
+        async with AdvisorServer(fresh) as server:
+            responses = await server.run_schedule(schedule, clients=4)
+            return server, responses
+
+    gate_server, responses = asyncio.run(
+        asyncio.wait_for(concurrent(), timeout=600)
+    )
+    failed = [r for r in responses if not r.ok]
+    if failed:  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"mixed-DML serve leg had failed requests: "
+            f"{[(r.kind, r.code, r.error) for r in failed]}"
+        )
+    counters = gate_server.gate.stats()
+    wasted = counters["reads_torn"] + counters["reads_refused"]
+    # Gate (b): validated reads dominate under write pressure.
+    if counters["reads_validated"] <= wasted:  # pragma: no cover
+        raise AssertionError(
+            f"gate backoff regressed: {counters['reads_validated']} "
+            f"validated vs {wasted} wasted read attempts ({counters})"
+        )
+    return {
+        "dml_events": events,
+        "serializations_per_dml_event": deltas,
+        "touched_collection_only": True,
+        "bit_identical": True,
+        "concurrent_requests": len(schedule),
+        "gate_counters": counters,
+        "validated_reads_dominate": True,
+    }
+
+
+def snapshot_workers_bench(smoke):
+    """Leg 3: the process-pool delta-ship sweep.  Two advisor runs over
+    one session with single-collection DML in between, serial vs
+    delta-shipped vs legacy full-payload process pools.  Gates: (a) both
+    pool protocols reproduce the serial pair bit-identically; (b) the
+    delta protocol ships one base + deltas totalling at most
+    ``SNAPSHOT_DELTA_FRACTION`` of the legacy full payload per DML."""
+    from repro.query.workload import Workload
+    from repro.storage.snapshots import SnapshotStore
+
+    texts = _snapshot_texts(smoke)
+
+    def advise_pair(session_factory):
+        database = _snapshot_build(smoke)
+        workload = Workload.from_statements(texts)
+        session = session_factory(database)
+        try:
+            started = time.perf_counter()
+            first = IndexAdvisor(
+                database, workload, session=session
+            ).recommend(SNAPSHOT_BUDGET)
+            database.insert_document(
+                "SDOC",
+                "<Security><Symbol>WZ</Symbol><Yield>9.9</Yield>"
+                "</Security>",
+            )
+            second = IndexAdvisor(
+                database, workload, session=session
+            ).recommend(SNAPSHOT_BUDGET)
+            seconds = time.perf_counter() - started
+            stats = session.stats()
+            return (
+                _normalized_recommendation(first),
+                _normalized_recommendation(second),
+                stats,
+                seconds,
+            )
+        finally:
+            session.close()
+
+    serial_first, serial_second, _, serial_seconds = advise_pair(
+        WhatIfSession
+    )
+
+    def pool_factory(delta_ship):
+        return lambda db: ParallelWhatIfSession(
+            db,
+            workers=2,
+            executor="process",
+            min_batch=1,
+            snapshot_store=SnapshotStore() if delta_ship else None,
+            delta_ship=delta_ship,
+        )
+
+    record = {"serial_seconds": serial_seconds, "modes": {}}
+    shipping_by_mode = {}
+    for label, delta_ship in (("delta", True), ("legacy", False)):
+        first, second, stats, seconds = advise_pair(pool_factory(delta_ship))
+        # Gate (a): bit-identical to the serial pair.
+        if (first, second) != (
+            serial_first,
+            serial_second,
+        ):  # pragma: no cover - contract breach
+            raise AssertionError(
+                f"{label} process pool diverged from the serial pair"
+            )
+        shipping = stats["workers"]["shipping"]
+        shipping_by_mode[label] = shipping
+        record["modes"][label] = {
+            "seconds": seconds,
+            "shipping": shipping,
+            "bit_identical": True,
+        }
+    delta = shipping_by_mode["delta"]
+    legacy = shipping_by_mode["legacy"]
+    if delta["delta_syncs"] < 1 or delta["rebases"]:  # pragma: no cover
+        raise AssertionError(
+            f"delta protocol did not exercise the delta lane: {delta}"
+        )
+    if legacy["legacy_ships"] < 2:  # pragma: no cover - contract breach
+        raise AssertionError(
+            f"legacy protocol did not re-ship after DML: {legacy}"
+        )
+    # Gate (b): delta bytes per sync <= 1/3 of the legacy full payload.
+    full_payload = legacy["legacy_bytes"] / legacy["legacy_ships"]
+    per_sync = delta["delta_bytes"] / delta["delta_syncs"]
+    ratio = per_sync / full_payload
+    if ratio > SNAPSHOT_DELTA_FRACTION:  # pragma: no cover
+        raise AssertionError(
+            f"delta sync shipped {ratio:.2%} of the full payload "
+            f"(gate: {SNAPSHOT_DELTA_FRACTION:.2%})"
+        )
+    record["delta_bytes_per_sync"] = per_sync
+    record["full_payload_bytes"] = full_payload
+    record["delta_fraction"] = ratio
+    record["delta_fraction_gate"] = SNAPSHOT_DELTA_FRACTION
+    return record
+
+
+def run_snapshots(smoke=False):
+    """The PR 10 sweep (``--snapshot-sweep``), written to
+    ``BENCH_PR10.json`` at the repo root as the committed copy.  All
+    gates -- zero re-pickles at unchanged epochs, touched-collection-only
+    re-serialization, validated-reads dominance, the <= 1/3 delta-bytes
+    ceiling, and store/fresh-pickle bit-identity -- are asserted in-run
+    (this is the CI snapshots leg's gate)."""
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": available_workers(),
+            "smoke": smoke,
+            "budget_bytes": SNAPSHOT_BUDGET,
+            "note": (
+                "*_seconds fields are informational wall clock; the "
+                "gates (zero re-pickles at unchanged epochs, touched-"
+                "only re-serialization, validated-reads dominance, "
+                "delta bytes <= 1/3 of full payload, bit-identity to "
+                "fresh pickles) are asserted in-run"
+            ),
+        },
+        "snapshots": {
+            "repeat_advise": snapshot_repeat_advise_bench(smoke),
+            "serve_dml": snapshot_serve_dml_bench(smoke),
+            "workers_delta_ship": snapshot_workers_bench(smoke),
+        },
+    }
+
+
 def run_dml(smoke=False):
     """The PR 5 storage-engine sweep (``--dml-sweep``), written to
     ``BENCH_PR5.json`` at the repo root as the committed copy.  The
@@ -1608,6 +1978,11 @@ def main(argv=None):
         "(BENCH_PR9.json)",
     )
     parser.add_argument(
+        "--snapshot-sweep",
+        action="store_true",
+        help="run only the PR 10 snapshot-engine sweep (BENCH_PR10.json)",
+    )
+    parser.add_argument(
         "--journal-dir",
         default=None,
         help="directory for the --serve-sweep cycle journal "
@@ -1643,6 +2018,7 @@ def main(argv=None):
         or args.ilp_sweep
         or args.serve_sweep
         or args.serve_latency_sweep
+        or args.snapshot_sweep
     ):
         if args.workers_sweep:
             results = run_workers(smoke=args.smoke)
@@ -1652,6 +2028,8 @@ def main(argv=None):
             results = run_ilp(smoke=args.smoke)
         elif args.serve_latency_sweep:
             results = run_serve_latency(smoke=args.smoke)
+        elif args.snapshot_sweep:
+            results = run_snapshots(smoke=args.smoke)
         elif args.serve_sweep:
             results = run_serve(
                 smoke=args.smoke, journal_dir=args.journal_dir

@@ -208,6 +208,7 @@ def tune_cluster(
     create: bool = True,
     deadline_seconds: Optional[float] = None,
     optimizer_call_budget: Optional[int] = None,
+    snapshot_store=None,
 ) -> ClusterTuningResult:
     """Tune every replica of ``cluster`` for ``workload``.
 
@@ -216,7 +217,10 @@ def tune_cluster(
     tunes each shard once on the full workload and applies the same
     configuration to every replica.  ``create=True`` (the default)
     physically builds the recommended indexes; the router then prices
-    statements against the real configurations.
+    statements against the real configurations.  ``snapshot_store``
+    shares one :class:`~repro.storage.snapshots.SnapshotStore` across
+    every replica's advisor (blobs are keyed per database, so replicas
+    coexist in the cache under one byte budget).
     """
     mode = "divergent" if divergent else "uniform"
     if divergent:
@@ -236,6 +240,7 @@ def tune_cluster(
                     slice_workload,
                     workers=workers,
                     executor=executor,
+                    snapshot_store=snapshot_store,
                 )
                 try:
                     recommendation = advisor.recommend(

@@ -198,6 +198,17 @@ class Recommendation:
                 f"{storage.get('stats_delta_applies', 0)} delta applies, "
                 f"{storage.get('summary_rebuilds', 0)} summary rebuilds"
             )
+        snapshots = stats.get("snapshots")
+        if snapshots:
+            lines.append(
+                f"  snapshot store    : {snapshots.get('hits', 0)} hits / "
+                f"{snapshots.get('misses', 0)} misses, "
+                f"{snapshots.get('serializations', 0)} serializations "
+                f"({snapshots.get('bytes_serialized', 0)} bytes), "
+                f"{snapshots.get('compositions', 0)} compositions, "
+                f"{snapshots.get('evictions', 0)} evictions, "
+                f"{snapshots.get('bytes_cached', 0)} bytes cached"
+            )
         workers = stats.get("workers")
         if workers:
             lines.append(
@@ -221,6 +232,17 @@ class Recommendation:
                 (workers.get("per_worker_tasks") or {}).items()
             ):
                 lines.append(f"  worker {label}: {count} tasks")
+            shipping = workers.get("shipping")
+            if shipping and any(shipping.values()):
+                lines.append(
+                    f"  snapshot shipping : "
+                    f"{shipping.get('base_ships', 0)} base "
+                    f"({shipping.get('base_bytes', 0)} bytes), "
+                    f"{shipping.get('delta_syncs', 0)} deltas "
+                    f"({shipping.get('delta_bytes', 0)} bytes), "
+                    f"{shipping.get('rebases', 0)} rebases, "
+                    f"{shipping.get('legacy_ships', 0)} legacy"
+                )
         compression = self.compression_stats
         if compression:
             lines.append(
@@ -317,6 +339,7 @@ class IndexAdvisor:
         session: Optional[WhatIfSession] = None,
         workers=None,
         executor: Optional[str] = None,
+        snapshot_store=None,
         compress: str = "off",
     ) -> None:
         #: The storage target as handed in -- a plain :class:`Database`
@@ -350,11 +373,19 @@ class IndexAdvisor:
         #: advisors (e.g. the generalization experiments).  ``workers``
         #: selects the parallel session (``None`` consults
         #: ``REPRO_WORKERS``; 0/"serial" stays serial).
+        #: ``snapshot_store`` lets callers that already snapshot this
+        #: database (the serving front end, the cluster tuner, the
+        #: online daemon) share one blob cache with the parallel
+        #: session's shipping.
         if session is None:
             from repro.parallel import create_session
 
             session = create_session(
-                database, cost_constants, workers=workers, executor=executor
+                database,
+                cost_constants,
+                workers=workers,
+                executor=executor,
+                snapshot_store=snapshot_store,
             )
         self.session = session
         # Ship the workload statements with the worker snapshot so batch
@@ -630,11 +661,22 @@ class IndexAdvisor:
             raise ValueError(
                 "pass either a policy or policy_overrides, not both"
             )
+        # The daemon inherits this advisor's snapshot blob cache (if its
+        # session kept one) so re-tuning cycles reuse the blobs the
+        # batch run already serialized.
+        store = getattr(self.session, "_snapshot_store", None)
         if resume:
             if journal_path is None:
                 raise ValueError("resume=True requires a journal_path")
-            return OnlineAdvisor.resume(self.storage, policy, journal_path)
-        daemon = OnlineAdvisor(self.storage, policy, journal_path=journal_path)
+            return OnlineAdvisor.resume(
+                self.storage, policy, journal_path, snapshot_store=store
+            )
+        daemon = OnlineAdvisor(
+            self.storage,
+            policy,
+            journal_path=journal_path,
+            snapshot_store=store,
+        )
         if seed_window:
             for entry in self.raw_workload:
                 repeats = max(1, int(round(entry.frequency)))

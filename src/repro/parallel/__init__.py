@@ -51,6 +51,7 @@ def create_session(
     *,
     workers=None,
     executor: Optional[str] = None,
+    snapshot_store=None,
     **kwargs,
 ) -> WhatIfSession:
     """Build the right session for a worker-count spec.
@@ -59,6 +60,9 @@ def create_session(
     serial); ``"auto"`` uses the CPU count.  0 workers returns a plain
     :class:`WhatIfSession` -- the parallel session's serial mode is
     reserved for tests that want the chunk/merge machinery inline.
+    ``snapshot_store`` (a :class:`~repro.storage.snapshots.
+    SnapshotStore`) feeds the parallel session's base/delta shipping;
+    the serial session never snapshots, so it is dropped there.
     """
     count = (
         workers_from_env() if workers is None else resolve_workers(workers)
@@ -66,5 +70,10 @@ def create_session(
     if count <= 0:
         return WhatIfSession(database, constants, **kwargs)
     return ParallelWhatIfSession(
-        database, constants, workers=count, executor=executor, **kwargs
+        database,
+        constants,
+        workers=count,
+        executor=executor,
+        snapshot_store=snapshot_store,
+        **kwargs,
     )

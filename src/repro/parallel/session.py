@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import tempfile
 import threading
 import weakref
 from dataclasses import dataclass, replace
@@ -72,6 +74,9 @@ from repro.parallel.snapshot import (
     EVALUATE_MODE,
     ChunkOutcome,
     EvaluationSnapshot,
+    SnapshotBundle,
+    SnapshotSync,
+    StaleSnapshotError,
     TaskOutcome,
     WorkerChunk,
     WorkerTask,
@@ -87,6 +92,12 @@ from repro.robustness.faults import maybe_inject
 from repro.robustness.policy import RetryPolicy
 from repro.storage.catalog import IndexDefinition
 from repro.storage.database import Database
+from repro.storage.snapshots import (
+    SnapshotStore,
+    capture_part,
+    compose_database,
+    load_parts,
+)
 
 _MODE_BY_NAME = {
     EVALUATE_MODE: OptimizerMode.EVALUATE,
@@ -113,10 +124,39 @@ class WorkerRuntime:
 
     def __init__(self, snapshot: EvaluationSnapshot) -> None:
         self.database = snapshot.database
+        self.constants = snapshot.constants
         self.optimizer = Optimizer(snapshot.database, snapshot.constants)
         self.statements = snapshot.statements
         self.retry_policy = snapshot.retry_policy or RetryPolicy()
         self._fallback = None
+        #: Delta-protocol generation this runtime has applied (0 = the
+        #: base ship).  In-process runtimes read the live database and
+        #: never advance it.
+        self.version = 0
+        self._base_statements = snapshot.statements
+
+    def apply_sync(self, sync: SnapshotSync) -> None:
+        """Patch the runtime to the parent's state: swap in the synced
+        collections (unchanged ones carry over by reference -- their
+        documents are not re-deserialized), recompose the database from
+        the synced shell, and rebuild the optimizer and fallback over
+        it.  Syncs diff against the base ship, so this converges from
+        any generation the worker happens to hold."""
+        if sync.version <= self.version:
+            return
+        shell = pickle.loads(sync.shell)
+        parts = load_parts(sync.collections)
+        for name in shell.collection_order:
+            if name not in parts:
+                parts[name] = capture_part(self.database, name)
+        self.database = compose_database(shell, parts)
+        self.optimizer = Optimizer(self.database, self.constants)
+        self.statements = (
+            self._base_statements[: sync.base_statement_count]
+            + sync.statements_tail
+        )
+        self._fallback = None
+        self.version = sync.version
 
     def _fallback_model(self):
         if self._fallback is None:
@@ -199,14 +239,48 @@ _RUNTIME: Optional[WorkerRuntime] = None
 
 
 def _initialize_worker(payload: bytes) -> None:
-    """Pool initializer: unpickle the snapshot once per worker."""
+    """Pool initializer: unpickle the base payload once per worker.  A
+    :class:`SnapshotBundle` (the delta protocol's partitioned base) is
+    composed into a database; a legacy :class:`EvaluationSnapshot`
+    (full-payload escape hatch) is used as-is."""
     global _RUNTIME
-    _RUNTIME = WorkerRuntime(pickle.loads(payload))
+    snapshot = pickle.loads(payload)
+    if isinstance(snapshot, SnapshotBundle):
+        snapshot = EvaluationSnapshot(
+            database=snapshot.compose(),
+            constants=snapshot.constants,
+            statements=snapshot.statements,
+            retry_policy=snapshot.retry_policy,
+        )
+    _RUNTIME = WorkerRuntime(snapshot)
+
+
+def _load_sync(chunk: WorkerChunk) -> SnapshotSync:
+    if not chunk.sync_path:
+        raise StaleSnapshotError(
+            f"chunk requires sync generation {chunk.required_version} "
+            f"but names no sync file"
+        )
+    try:
+        with open(chunk.sync_path, "rb") as handle:
+            sync = pickle.load(handle)
+    except Exception as exc:
+        raise StaleSnapshotError(
+            f"sync file {chunk.sync_path!r} unreadable: {exc}"
+        ) from exc
+    if sync.version < chunk.required_version:
+        raise StaleSnapshotError(
+            f"sync file at generation {sync.version} older than required "
+            f"{chunk.required_version}"
+        )
+    return sync
 
 
 def _evaluate_chunk_in_worker(chunk: WorkerChunk) -> ChunkOutcome:
     if _RUNTIME is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker runtime was not initialized")
+    if chunk.required_version > _RUNTIME.version:
+        _RUNTIME.apply_sync(_load_sync(chunk))
     return _RUNTIME.evaluate_chunk(chunk)
 
 
@@ -233,6 +307,11 @@ class ParallelWhatIfSession(WhatIfSession):
     batches parallelize.
     """
 
+    #: A sync payload larger than this fraction of the base payload
+    #: stops being a delta worth shipping: discard the pool and re-ship
+    #: a fresh base (cheap -- its blobs are already in the store).
+    REBASE_FRACTION = 0.5
+
     def __init__(
         self,
         database: Database,
@@ -242,6 +321,8 @@ class ParallelWhatIfSession(WhatIfSession):
         executor: Optional[str] = None,
         chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
         min_batch: int = 2,
+        snapshot_store: Optional[SnapshotStore] = None,
+        delta_ship: Optional[bool] = None,
         **kwargs,
     ) -> None:
         super().__init__(database, constants, **kwargs)
@@ -257,6 +338,25 @@ class ParallelWhatIfSession(WhatIfSession):
         self._pool_finalizer = None
         self._local_runtime: Optional[WorkerRuntime] = None
         self._snapshot_payload: Optional[bytes] = None
+        #: Snapshot engine driving the base/delta ship protocol; shared
+        #: when the caller passes one (serve layer, cluster tuner),
+        #: created lazily otherwise.  ``delta_ship=False`` (or
+        #: ``REPRO_DELTA_SHIP=0``) restores the legacy full-payload
+        #: protocol: DML discards the pool and re-pickles the world.
+        self._snapshot_store = snapshot_store
+        if delta_ship is None:
+            delta_ship = os.environ.get(
+                "REPRO_DELTA_SHIP", "1"
+            ).strip().lower() not in ("0", "off", "false")
+        self.delta_ship = bool(delta_ship)
+        self._base_keys = None
+        self._base_statement_count = 0
+        self._base_payload_bytes = 0
+        self._sync_version = 0
+        self._sync_path: Optional[str] = None
+        self._sync_dir: Optional[str] = None
+        self._sync_dir_finalizer = None
+        self._sync_dirty = False
         #: Statements shipped (or shippable) to workers by reference.
         self._registered: Dict[Statement, int] = {}
         self._registered_list: List[Statement] = []
@@ -273,6 +373,18 @@ class ParallelWhatIfSession(WhatIfSession):
             "chunks": 0,
             "parallel_tasks": 0,
             "pool_failures": 0,
+        }
+        #: Ship accounting for the delta protocol (and the legacy escape
+        #: hatch), surfaced under ``stats()["workers"]["shipping"]`` and
+        #: gated by the ``--snapshot-sweep`` bench.
+        self._ship_stats = {
+            "base_ships": 0,
+            "base_bytes": 0,
+            "delta_syncs": 0,
+            "delta_bytes": 0,
+            "rebases": 0,
+            "legacy_ships": 0,
+            "legacy_bytes": 0,
         }
 
     # ------------------------------------------------------------------
@@ -297,17 +409,119 @@ class ParallelWhatIfSession(WhatIfSession):
             retry_policy=sanitize_retry_policy(self.retry_policy),
         )
 
+    def snapshot_store(self) -> SnapshotStore:
+        """The session's snapshot engine (lazily created unless one was
+        shared in)."""
+        if self._snapshot_store is None:
+            self._snapshot_store = SnapshotStore()
+        return self._snapshot_store
+
     def _payload(self) -> bytes:
         if self._snapshot_payload is None:
             try:
-                self._snapshot_payload = pickle.dumps(
-                    self._build_snapshot(), protocol=pickle.HIGHEST_PROTOCOL
-                )
+                if self.delta_ship:
+                    self._snapshot_payload = self._build_base_payload()
+                else:
+                    self._snapshot_payload = pickle.dumps(
+                        self._build_snapshot(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    self._ship_stats["legacy_ships"] += 1
+                    self._ship_stats["legacy_bytes"] += len(
+                        self._snapshot_payload
+                    )
+            except PoolBrokenError:
+                raise
             except Exception as exc:
                 raise PoolBrokenError(
                     f"snapshot is not picklable: {exc}"
                 ) from exc
         return self._snapshot_payload
+
+    def _build_base_payload(self) -> bytes:
+        """The partitioned base payload for a fresh pool, plus the base
+        bookkeeping the delta protocol diffs against."""
+        store = self.snapshot_store()
+        shell, blobs = store.blobs(self.database)
+        self._shipped_count = len(self._registered_list)
+        bundle = SnapshotBundle(
+            shell=shell,
+            collections=blobs,
+            constants=self._constants,
+            statements=tuple(self._registered_list),
+            retry_policy=sanitize_retry_policy(self.retry_policy),
+        )
+        payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._base_keys = store.current_keys(self.database)
+        self._base_statement_count = self._shipped_count
+        self._base_payload_bytes = bundle.payload_bytes()
+        self._sync_version = 0
+        self._drop_sync_file()
+        self._sync_dirty = False
+        self._ship_stats["base_ships"] += 1
+        self._ship_stats["base_bytes"] += self._base_payload_bytes
+        return payload
+
+    # ------------------------------------------------------------------
+    # Delta sync protocol
+    # ------------------------------------------------------------------
+    def _sync_directory(self) -> str:
+        if self._sync_dir is None:
+            self._sync_dir = tempfile.mkdtemp(prefix="repro-snapsync-")
+            self._sync_dir_finalizer = weakref.finalize(
+                self, shutil.rmtree, self._sync_dir, True
+            )
+        return self._sync_dir
+
+    def _drop_sync_file(self) -> None:
+        path, self._sync_path = self._sync_path, None
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def _prepare_sync(self) -> None:
+        """Bring a live pool up to date before dispatch: write one sync
+        generation covering everything that diverged from the base ship,
+        or -- when the divergence stopped being a delta worth shipping --
+        discard the pool so the next dispatch re-ships a fresh base."""
+        if not self._sync_dirty and self._shipped_count == len(
+            self._registered_list
+        ):
+            return
+        store = self.snapshot_store()
+        changed, removed = store.delta(self.database, self._base_keys or {})
+        sync = SnapshotSync(
+            version=self._sync_version + 1,
+            shell=store.shell_blob(self.database),
+            collections=changed,
+            removed=removed,
+            base_statement_count=self._base_statement_count,
+            statements_tail=tuple(
+                self._registered_list[self._base_statement_count:]
+            ),
+        )
+        payload_bytes = sync.payload_bytes()
+        if payload_bytes > self.REBASE_FRACTION * self._base_payload_bytes:
+            self._ship_stats["rebases"] += 1
+            self._discard_pool()
+            self._snapshot_payload = None
+            self._sync_dirty = False
+            return
+        directory = self._sync_directory()
+        path = os.path.join(directory, f"sync-{sync.version}.pkl")
+        temp_path = path + ".tmp"
+        with open(temp_path, "wb") as handle:
+            pickle.dump(sync, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_path, path)
+        self._drop_sync_file()
+        self._sync_path = path
+        self._sync_version = sync.version
+        self._shipped_count = len(self._registered_list)
+        self._sync_dirty = False
+        self._ship_stats["delta_syncs"] += 1
+        self._ship_stats["delta_bytes"] += payload_bytes
 
     def _runtime(self) -> WorkerRuntime:
         """The in-process runtime (thread/serial executors and the
@@ -355,18 +569,27 @@ class ParallelWhatIfSession(WhatIfSession):
         self._drop_stale_workers()
 
     def _invalidate_collections(self, collections) -> None:
-        # The scoped drop keeps cache entries for untouched collections,
-        # but worker *state* is all-or-nothing: process workers hold a
-        # copy of the whole database (every collection), so any DML makes
-        # the shipped snapshot stale.
+        # The scoped drop keeps cache entries for untouched collections;
+        # worker state follows suit under the delta protocol -- the next
+        # dispatch syncs process workers with only the collections whose
+        # epoch/stamp key moved.
         super()._invalidate_collections(collections)
         self._drop_stale_workers()
 
     def _drop_stale_workers(self) -> None:
         # Process workers hold a *copy* of the database; a modification
-        # makes that copy stale, so the snapshot and pool are rebuilt on
-        # next use.  The in-process runtime reads the live database (its
-        # statistics absorb DML deltas in place), so it stays.
+        # makes that copy stale.  Under the delta protocol the pool
+        # stays up and the next dispatch ships a sync covering exactly
+        # the diverged collections; in legacy mode the snapshot and pool
+        # are rebuilt from scratch on next use.  The in-process runtime
+        # reads the live database (its statistics absorb DML deltas in
+        # place), so it stays either way.
+        if self.delta_ship and self.executor_kind == "process":
+            if self._pool is not None:
+                self._sync_dirty = True
+            else:
+                self._snapshot_payload = None
+            return
         self._snapshot_payload = None
         if self.executor_kind == "process":
             self._discard_pool()
@@ -380,6 +603,11 @@ class ParallelWhatIfSession(WhatIfSession):
         self._discard_pool(wait=True)
         self._snapshot_payload = None
         self._local_runtime = None
+        self._drop_sync_file()
+        if self._sync_dir_finalizer is not None:
+            self._sync_dir_finalizer()
+            self._sync_dir_finalizer = None
+        self._sync_dir = None
 
     # ------------------------------------------------------------------
     # Batch entry points
@@ -496,6 +724,15 @@ class ParallelWhatIfSession(WhatIfSession):
             self._result_cache[job.key] = job.result
 
     def _dispatch(self, jobs: List[_Job]) -> List[TaskOutcome]:
+        # A live process pool may be behind the database: write this
+        # round's sync generation (or decide to rebase) before building
+        # chunks, so they carry the right required_version.
+        if (
+            self.delta_ship
+            and self.executor_kind == "process"
+            and self._pool is not None
+        ):
+            self._prepare_sync()
         # The pool (and with it the snapshot) must exist before chunks
         # are built: _shipped_count decides which statements may travel
         # by reference.
@@ -552,7 +789,14 @@ class ParallelWhatIfSession(WhatIfSession):
                             definitions=job.definitions,
                         )
                     )
-            chunks.append(WorkerChunk(chunk_id, chunk_tasks))
+            chunks.append(
+                WorkerChunk(
+                    chunk_id,
+                    chunk_tasks,
+                    required_version=self._sync_version,
+                    sync_path=self._sync_path,
+                )
+            )
         return chunks
 
     def _merge(self, jobs: List[_Job], outcomes: List[TaskOutcome]) -> None:
@@ -603,5 +847,8 @@ class ParallelWhatIfSession(WhatIfSession):
         workers_block["per_worker_tasks"] = dict(
             sorted(self._worker_tasks.items())
         )
+        workers_block["shipping"] = dict(self._ship_stats)
         snapshot["workers"] = workers_block
+        if self._snapshot_store is not None:
+            snapshot["snapshots"] = self._snapshot_store.stats()
         return snapshot

@@ -1,13 +1,18 @@
 """Read-only state shipped to parallel what-if workers.
 
-The parallel engine sends each worker one :class:`EvaluationSnapshot` --
-the database (documents, statistics, catalog), the optimizer's cost
-constants, the registered workload statements, and a sanitized retry
-policy -- via the pool initializer, *once per worker*.  After that,
-tasks are tiny: a statement reference (an index into the snapshot's
-statement tuple, or an inline statement for late arrivals), the
-projected virtual index definitions, and a task id for the deterministic
-merge.
+The parallel engine sends each worker one :class:`SnapshotBundle` -- the
+database as store-partitioned blobs (shell + one blob per collection,
+out of the parent's snapshot cache), the optimizer's cost constants, the
+registered workload statements, and a sanitized retry policy -- via the
+pool initializer, *once per worker*.  DML in the parent then ships only
+a :class:`SnapshotSync` delta (the blobs whose epoch/stamp key moved)
+through a spill file every worker reads lazily, instead of discarding
+the pool and re-pickling the world.  Tasks stay tiny: a statement
+reference (an index into the snapshot's statement tuple, or an inline
+statement for late arrivals), the projected virtual index definitions,
+and a task id for the deterministic merge.  (:class:`EvaluationSnapshot`
+is the legacy whole-database payload, kept for the in-process executors
+and for delta-shipping's escape hatch.)
 
 Everything here must pickle cleanly across a spawn boundary:
 
@@ -29,8 +34,9 @@ Everything here must pickle cleanly across a spawn boundary:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.optimizer.cost import CostConstants
 from repro.optimizer.optimizer import OptimizationResult
@@ -69,6 +75,71 @@ class EvaluationSnapshot:
     retry_policy: Optional[RetryPolicy] = None
 
 
+class StaleSnapshotError(RuntimeError):
+    """A worker was handed a chunk requiring a sync generation it cannot
+    reach (missing/unreadable sync file, or a file older than required).
+    Escapes the worker, where the pool wraps it in
+    :class:`~repro.parallel.executors.PoolBrokenError` -- the parent
+    falls back to serial and rebuilds the pool, the engine's standing
+    backstop."""
+
+
+@dataclass
+class SnapshotBundle:
+    """The store-partitioned base payload shipped once per process
+    worker: the database as a shell blob plus per-collection blobs
+    (straight out of the parent's
+    :class:`~repro.storage.snapshots.SnapshotStore`, so an unchanged
+    collection costs zero serialization), with the same sidecar state
+    :class:`EvaluationSnapshot` carries.  Workers compose their database
+    from the blobs; afterwards the parent ships only
+    :class:`SnapshotSync` deltas."""
+
+    shell: bytes
+    collections: Dict[str, bytes]
+    constants: Optional[CostConstants]
+    statements: Tuple[Statement, ...]
+    retry_policy: Optional[RetryPolicy] = None
+
+    def payload_bytes(self) -> int:
+        return len(self.shell) + sum(
+            len(blob) for blob in self.collections.values()
+        )
+
+    def compose(self) -> Database:
+        from repro.storage.snapshots import compose_database, load_parts
+
+        return compose_database(
+            pickle.loads(self.shell), load_parts(self.collections)
+        )
+
+
+@dataclass
+class SnapshotSync:
+    """One delta generation, written to a spill file all workers read.
+
+    Carries the current shell plus every collection blob whose cache key
+    moved since the *base ship* (not since the previous sync): keys move
+    monotonically, so the diff-vs-base is a superset of the diff against
+    any state a worker may hold, and applying the newest sync from any
+    generation -- including a worker that missed intermediate ones --
+    converges on the parent's state.  ``statements_tail`` extends the
+    base statement tuple so statements registered since the ship can
+    travel by reference again."""
+
+    version: int
+    shell: bytes
+    collections: Dict[str, bytes]
+    removed: Tuple[str, ...] = ()
+    base_statement_count: int = 0
+    statements_tail: Tuple[Statement, ...] = ()
+
+    def payload_bytes(self) -> int:
+        return len(self.shell) + sum(
+            len(blob) for blob in self.collections.values()
+        )
+
+
 @dataclass
 class WorkerTask:
     """One (statement, projected definitions) costing request.
@@ -87,10 +158,18 @@ class WorkerTask:
 
 @dataclass
 class WorkerChunk:
-    """A contiguous slice of a batch, dispatched as one pool task."""
+    """A contiguous slice of a batch, dispatched as one pool task.
+
+    ``required_version``/``sync_path`` drive the delta protocol: a
+    process worker whose runtime is older than ``required_version``
+    loads the :class:`SnapshotSync` at ``sync_path`` (once -- later
+    chunks at the same version are no-ops) before evaluating.  The
+    in-process executors ignore both (they read the live database)."""
 
     chunk_id: int
     tasks: List[WorkerTask] = field(default_factory=list)
+    required_version: int = 0
+    sync_path: Optional[str] = None
 
 
 @dataclass

@@ -23,7 +23,13 @@ budget and one deadline:
 
 Every variant is scored by the same full-workload evaluator, so
 benefits are directly comparable and the portfolio result is by
-construction ``>=`` each surviving single strategy.  A faulted variant
+construction ``>=`` each surviving single strategy.  When the caller
+passes a :class:`~repro.storage.snapshots.SnapshotStore` (the serving
+front end does), each *concurrent* lane runs against its own composed
+store snapshot instead of the shared live database: the first lane pays
+one compose from cached blobs, every other lane is pure cache hits, and
+lanes stop contending on the live catalog.  Retry mode and store-less
+calls keep the shared-database semantics.  A faulted variant
 (fault site ``serve.portfolio``) degrades the portfolio to the
 survivors' best -- never an unhandled exception; only when *every*
 variant fails does the portfolio raise (a typed
@@ -196,6 +202,7 @@ def run_portfolio(
     generations: int = 2,
     population: Optional[int] = None,
     workers: Optional[int] = None,
+    snapshots=None,
 ):
     """Race ``strategies`` against one deadline; return the best
     :class:`~repro.core.advisor.Recommendation` with per-strategy
@@ -230,8 +237,15 @@ def run_portfolio(
 
     def lane(spec: VariantSpec) -> VariantOutcome:
         remaining = clock_budget.remaining_seconds()
+        lane_database = database
+        if snapshots is not None and mode != "retry":
+            # Concurrent lanes each get an isolated composed snapshot:
+            # identical bytes (the differential suite pins this), zero
+            # re-serialization after the first lane, and no cross-lane
+            # catalog contention.
+            lane_database = snapshots.snapshot(database)
         return _run_variant(
-            database,
+            lane_database,
             entries,
             spec,
             budget_bytes,

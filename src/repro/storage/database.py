@@ -345,6 +345,15 @@ class EpochGate:
         self.reads_torn = 0
         self.reads_refused = 0
         self.writes_gated = 0
+        #: Adaptive backoff waits readers took between retries instead
+        #: of hot-spinning against an active writer (serve layer).
+        self.reads_backoff_waits = 0
+
+    def note_backoff(self) -> None:
+        """Record one reader backoff wait (the serve layer calls this
+        before parking a refused/torn read, so starvation pressure is
+        visible next to the torn/refused counts it relieves)."""
+        self.reads_backoff_waits += 1
 
     def epochs(self, collections: Iterable[str]) -> tuple:
         """Sorted ``(collection, epoch)`` snapshot; unknown collections
@@ -405,5 +414,6 @@ class EpochGate:
             "reads_validated": self.reads_validated,
             "reads_torn": self.reads_torn,
             "reads_refused": self.reads_refused,
+            "reads_backoff_waits": self.reads_backoff_waits,
             "writes_gated": self.writes_gated,
         }

@@ -1,0 +1,435 @@
+"""The epoch-keyed snapshot engine: :class:`SnapshotStore`.
+
+Every advise/whatif request on the serve path, every process-pool
+rebuild in the parallel engine, and every per-cycle tuning pass used to
+pay a full ``pickle.dumps`` of the entire database -- even when nothing
+(or only one collection) had changed since the last snapshot.  At an
+unchanged collection epoch a collection's serialized form is immutable,
+so the store serializes each collection to its *own* blob keyed by
+``(database, collection, epoch, statistics stamp)``, caches the blobs
+under an LRU byte budget, and assembles full-database snapshots by
+composing cached blobs:
+
+* DML on one collection re-serializes only that collection;
+* a no-DML steady state re-serializes nothing (every snapshot is pure
+  cache hits plus a tiny fresh "shell");
+* the parallel engine ships workers the base blobs once and then only
+  the blobs whose key moved (the delta protocol in
+  ``parallel/session.py``).
+
+The cache key
+-------------
+
+A collection blob captures the collection's documents, its built
+indexes, and its cached :class:`~repro.storage.statistics.DataStatistics`
+-- everything whose serialized form is pinned by the collection's
+epoch.  Two wrinkles make the key more than ``(collection, epoch)``:
+
+* Statistics can appear (``runstats``), disappear
+  (``invalidate_statistics``), and mutate (targeted dirty-summary
+  rebuilds) *without* an epoch bump, so the key carries the statistics'
+  :attr:`~repro.storage.statistics.DataStatistics.mutation_stamp`
+  (``None`` when no statistics are cached).  Any statistics transition
+  moves the stamp and therefore the key.
+* One store serves many databases (cluster replicas, the serve layer's
+  own snapshots), so the key leads with a per-database token.  Snapshot
+  databases composed *by* the store inherit their source's token: a
+  snapshot-of-a-snapshot at unchanged epochs is pure cache hits too
+  (portfolio lanes lean on this).
+
+Everything *outside* the per-collection blobs -- the catalog, the
+modification/epoch counters, the dict orders -- is the "shell", captured
+fresh for every snapshot.  The shell is tiny (it carries no documents,
+no index entries, no statistics), and capturing it fresh is what keeps
+store-backed snapshots **bit-identical** to a fresh
+``pickle.loads(pickle.dumps(database))`` round-trip even though parts
+of it (catalog name counters, rescan counters) move without epoch
+bumps.  "Bit-identical" is pinned in two serialized forms: the
+partitioned canonical form (:func:`partitioned_dumps` -- raw equality,
+exactly the bytes the store caches and ships) and the whole-graph form
+under string-canonical memoization (:func:`canonical_dumps` -- a plain
+whole-graph ``dumps`` additionally encodes which *equal* strings happen
+to share identity across collections, an accident of build history that
+is invisible to every consumer and that per-collection blobs
+deliberately do not reproduce).  The differential suite
+(``tests/test_snapshot_store.py``) and the ``--snapshot-sweep`` bench
+assert both identities in-run.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import pickle
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.database import Database
+
+#: Serialization protocol for every blob; pinned so blob bytes (and the
+#: bit-identity contract) do not depend on the caller.
+PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Default LRU byte budget (256 MiB of cached blobs).
+DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: ``(db token, collection, epoch, statistics stamp | None)``
+BlobKey = Tuple[int, str, int, Optional[int]]
+
+
+@dataclass
+class DatabaseShell:
+    """Everything of a :class:`Database` outside the per-collection
+    blobs: scalars, the catalog, and the dict orders needed to
+    reassemble ``collections`` / ``indexes`` / ``_statistics`` exactly
+    as a whole-database pickle round-trip would."""
+
+    name: str
+    catalog: object
+    modification_count: int
+    collection_epochs: Dict[str, int]
+    stats_rescans: int
+    stats_delta_applies: int
+    #: ``collections`` dict order (creation order).
+    collection_order: List[str] = field(default_factory=list)
+    #: ``indexes`` dict order as ``(index name, collection)`` pairs.
+    index_order: List[Tuple[str, str]] = field(default_factory=list)
+    #: ``_statistics`` dict order (runstats order).
+    stats_order: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CollectionPart:
+    """One collection's serialized unit: the collection, its cached
+    statistics (or ``None``), and its built indexes by name.  Statistics
+    and collection travel in one blob so their shared references (the
+    statistics' backing ``_collection``) survive serialization exactly
+    as they do in a whole-database pickle."""
+
+    collection: object
+    statistics: object
+    indexes: Dict[str, object] = field(default_factory=dict)
+
+
+def capture_shell(database: Database) -> DatabaseShell:
+    """The shell of ``database`` right now (no blob contents)."""
+    return DatabaseShell(
+        name=database.name,
+        catalog=database.catalog,
+        modification_count=database.modification_count,
+        collection_epochs=database.collection_epochs,
+        stats_rescans=database.stats_rescans,
+        stats_delta_applies=database.stats_delta_applies,
+        collection_order=list(database.collections),
+        index_order=[
+            (name, index.definition.collection)
+            for name, index in database.indexes.items()
+        ],
+        stats_order=list(database._statistics),
+    )
+
+
+def capture_part(database: Database, name: str) -> CollectionPart:
+    """One collection's :class:`CollectionPart` (not yet serialized)."""
+    return CollectionPart(
+        collection=database.collections[name],
+        statistics=database._statistics.get(name),
+        indexes={
+            index_name: index
+            for index_name, index in database.indexes.items()
+            if index.definition.collection == name
+        },
+    )
+
+
+def compose_database(
+    shell: DatabaseShell, parts: Dict[str, CollectionPart]
+) -> Database:
+    """Assemble a :class:`Database` from a shell and per-collection
+    parts, reproducing exactly the object graph a whole-database pickle
+    round-trip yields: same attribute order, same dict orders, and the
+    same cross-references (each built index shares its definition object
+    with the catalog, each statistics object its backing collection).
+    """
+    database = Database.__new__(Database)
+    # Attribute insertion order mirrors Database.__init__ so the
+    # composed __dict__ pickles byte-identically to a round-tripped one.
+    database.name = shell.name
+    database.collections = {
+        name: parts[name].collection for name in shell.collection_order
+    }
+    database.catalog = shell.catalog
+    indexes = {}
+    for index_name, collection_name in shell.index_order:
+        index = parts[collection_name].indexes[index_name]
+        # A whole-database pickle memoizes the definition once for the
+        # catalog and the built index; relink to restore that sharing.
+        index.definition = shell.catalog.get(index_name)
+        indexes[index_name] = index
+    database.indexes = indexes
+    database._statistics = {
+        name: parts[name].statistics
+        for name in shell.stats_order
+        if parts[name].statistics is not None
+    }
+    database.modification_count = shell.modification_count
+    database.collection_epochs = shell.collection_epochs
+    database.stats_rescans = shell.stats_rescans
+    database.stats_delta_applies = shell.stats_delta_applies
+    return database
+
+
+def load_parts(blobs: Dict[str, bytes]) -> Dict[str, CollectionPart]:
+    """Deserialize per-collection blobs back into parts."""
+    return {name: pickle.loads(blob) for name, blob in blobs.items()}
+
+
+def partitioned_dumps(database: Database) -> Dict[str, bytes]:
+    """The store's canonical serialized form of a database: one
+    standalone blob per collection (keyed by collection name; the shell
+    under ``""``), each under string-canonical memoization
+    (:func:`canonical_dumps`).  A store-composed snapshot and a fresh
+    whole-database pickle round-trip are **bit-identical** in this form
+    -- it mirrors the partition the store caches and the delta protocol
+    ships -- and the differential suites compare it directly."""
+    blobs = {"": canonical_dumps(capture_shell(database))}
+    for name in database.collections:
+        blobs[name] = canonical_dumps(capture_part(database, name))
+    return blobs
+
+
+def canonical_dumps(obj: object) -> bytes:
+    """A whole-graph pickle insensitive to the two serialization
+    accidents a plain ``pickle.dumps`` encodes:
+
+    * **string identity** -- a whole-database dump memoizes strings by
+      identity, so its bytes record which *equal* strings happen to be
+      shared across collections, an accident of build history that
+      per-collection blobs cannot (and should not) reproduce; equal
+      strings are memoized by value here instead;
+    * **set iteration order** -- a reconstructed set's order depends on
+      its insertion history, so it is not stable across pickle
+      round-trip *generations* even though the set is unchanged; sets
+      are serialized as sorted markers here instead.
+
+    Two databases agree under :func:`canonical_dumps` iff their object
+    graphs are identical up to exactly those two accidents.  Test/bench
+    currency only (pure-python pickler) -- production paths ship the
+    store's raw blobs."""
+    strings: Dict[str, str] = {}
+    buffer = io.BytesIO()
+    pickler = pickle._Pickler(buffer, PROTOCOL)
+    original_save = pickler.save
+
+    def save(item, save_persistent_id=True):
+        if type(item) is str:
+            item = strings.setdefault(item, item)
+        elif type(item) in (set, frozenset):
+            item = ("__canonical_set__", sorted(item, key=repr))
+        return original_save(item, save_persistent_id)
+
+    pickler.save = save
+    pickler.dump(obj)
+    return buffer.getvalue()
+
+
+@dataclass
+class SnapshotDelta:
+    """The difference between two snapshot states of one database:
+    the current shell plus blobs for every collection whose key moved
+    (and the names that disappeared).  Applying a delta on top of *any*
+    state at or after the base state yields the current state -- it is a
+    state sync over the diverged subset, not an op log."""
+
+    version: int
+    shell: bytes
+    collections: Dict[str, bytes]
+    removed: Tuple[str, ...] = ()
+
+    def payload_bytes(self) -> int:
+        return len(self.shell) + sum(
+            len(blob) for blob in self.collections.values()
+        )
+
+
+class SnapshotStore:
+    """Epoch-keyed cache of per-collection database blobs.
+
+    Thread-safe: the serve layer's thread lanes and portfolio lanes
+    compose snapshots concurrently.  The lock covers the whole
+    composition, serializing snapshot takes -- the win is skipping
+    serialization entirely, not overlapping it.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        self.budget_bytes = max(0, int(budget_bytes))
+        self._lock = threading.RLock()
+        self._blobs: "OrderedDict[BlobKey, bytes]" = OrderedDict()
+        self._tokens: "weakref.WeakValueDictionary[int, Database]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._token_ids: "weakref.WeakKeyDictionary[Database, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._token_counter = itertools.count(1)
+        # Counters (surfaced as ``snapshot_stats`` through sessions,
+        # ``--stats`` and ``stats_report``).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_cached = 0
+        #: Collection serializations performed (the "re-pickles" the
+        #: acceptance gates pin at zero for unchanged epochs).
+        self.serializations = 0
+        self.bytes_serialized = 0
+        #: Full snapshots composed.
+        self.compositions = 0
+        self.shell_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def token(self, database: Database) -> int:
+        """The store's identity for ``database``.  Databases composed by
+        :meth:`snapshot` inherit their source's token, so a re-snapshot
+        of an unmutated snapshot hits the same blobs."""
+        with self._lock:
+            token = self._token_ids.get(database)
+            if token is None:
+                token = next(self._token_counter)
+                self._token_ids[database] = token
+                self._tokens[token] = database
+            return token
+
+    def _adopt(self, database: Database, token: int) -> None:
+        """Register a composed snapshot under its source's token."""
+        self._token_ids[database] = token
+
+    def collection_key(self, database: Database, name: str) -> BlobKey:
+        """The blob cache key for one collection right now."""
+        stats = database._statistics.get(name)
+        stamp = None if stats is None else stats.mutation_stamp
+        return (
+            self.token(database),
+            name,
+            database.collection_epochs.get(name, 0),
+            stamp,
+        )
+
+    def current_keys(self, database: Database) -> Dict[str, BlobKey]:
+        """Blob keys of every collection of ``database`` right now."""
+        return {
+            name: self.collection_key(database, name)
+            for name in database.collections
+        }
+
+    # ------------------------------------------------------------------
+    # Blob cache
+    # ------------------------------------------------------------------
+    def collection_blob(self, database: Database, name: str) -> bytes:
+        """The serialized :class:`CollectionPart` for one collection,
+        from cache when its key is unchanged."""
+        with self._lock:
+            key = self.collection_key(database, name)
+            blob = self._blobs.get(key)
+            if blob is not None:
+                self.hits += 1
+                self._blobs.move_to_end(key)
+                return blob
+            self.misses += 1
+            blob = pickle.dumps(capture_part(database, name), PROTOCOL)
+            self.serializations += 1
+            self.bytes_serialized += len(blob)
+            self._store(key, blob)
+            return blob
+
+    def _store(self, key: BlobKey, blob: bytes) -> None:
+        if key in self._blobs:  # pragma: no cover - store() races are
+            return  # excluded by the lock; defensive only
+        self._blobs[key] = blob
+        self.bytes_cached += len(blob)
+        while self.bytes_cached > self.budget_bytes and len(self._blobs) > 1:
+            _, evicted = self._blobs.popitem(last=False)
+            self.bytes_cached -= len(evicted)
+            self.evictions += 1
+
+    def shell_blob(self, database: Database) -> bytes:
+        """The serialized shell, captured fresh (never cached: catalog
+        name counters and rescan counters move without epoch bumps, and
+        the shell is tiny)."""
+        blob = pickle.dumps(capture_shell(database), PROTOCOL)
+        self.shell_bytes += len(blob)
+        return blob
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def blobs(self, database: Database) -> Tuple[bytes, Dict[str, bytes]]:
+        """``(shell blob, per-collection blobs)`` for ``database`` --
+        the serialized form a process-pool initializer ships."""
+        with self._lock:
+            shell = self.shell_blob(database)
+            collection_blobs = {
+                name: self.collection_blob(database, name)
+                for name in database.collections
+            }
+            return shell, collection_blobs
+
+    def snapshot(self, database: Database) -> Database:
+        """An epoch-consistent deep snapshot of ``database``, composed
+        from cached blobs -- bit-identical to
+        ``pickle.loads(pickle.dumps(database))`` but only serializing
+        collections whose key moved since the last snapshot."""
+        with self._lock:
+            token = self.token(database)
+            shell_blob, collection_blobs = self.blobs(database)
+            self.compositions += 1
+            shell = pickle.loads(shell_blob)
+            composed = compose_database(shell, load_parts(collection_blobs))
+            self._adopt(composed, token)
+            return composed
+
+    def delta(
+        self, database: Database, base_keys: Dict[str, BlobKey]
+    ) -> Tuple[Dict[str, bytes], Tuple[str, ...]]:
+        """Per-collection blobs whose key moved since ``base_keys`` was
+        captured, plus the names that disappeared -- the payload of the
+        parallel engine's delta protocol."""
+        with self._lock:
+            changed: Dict[str, bytes] = {}
+            for name in database.collections:
+                if self.collection_key(database, name) != base_keys.get(name):
+                    changed[name] = self.collection_blob(database, name)
+            removed = tuple(
+                name
+                for name in base_keys
+                if name not in database.collections
+            )
+            return changed, removed
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """``snapshot_stats``: cache traffic and byte movement."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "serializations": self.serializations,
+                "bytes_serialized": self.bytes_serialized,
+                "bytes_cached": self.bytes_cached,
+                "cached_blobs": len(self._blobs),
+                "evictions": self.evictions,
+                "compositions": self.compositions,
+                "shell_bytes": self.shell_bytes,
+                "budget_bytes": self.budget_bytes,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blobs.clear()
+            self.bytes_cached = 0

@@ -252,6 +252,12 @@ class DataStatistics:
         self._collection = None
         #: Targeted per-path summary rebuilds performed (storage counter).
         self.summary_rebuilds = 0
+        #: Moves on every serialization-visible mutation (delta applies
+        #: and lazy summary repairs).  Collection epochs do NOT cover
+        #: these -- lazy ``_clean_summary`` fires during read-only
+        #: probes -- so the snapshot engine keys cached blobs on
+        #: ``(epoch, mutation_stamp)`` rather than the epoch alone.
+        self.mutation_stamp = 0
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -306,6 +312,7 @@ class DataStatistics:
                     summary = PathValueSummary()
                     dict.__setitem__(summaries, tag_path, summary)
                 summary.extend(synopsis.values[slot])
+            self.mutation_stamp += 1
             self._path_ids = []
             self._matching_cache.clear()
 
@@ -330,6 +337,7 @@ class DataStatistics:
                 if summary is not None:
                     summary.retract(count, numeric_count, string_bytes)
             self._canonicalize()
+            self.mutation_stamp += 1
             self._path_ids = []
             self._matching_cache.clear()
 
@@ -387,6 +395,7 @@ class DataStatistics:
             summary._distinct = rebuilt._distinct
             summary._sample_stride_state = rebuilt._sample_stride_state
             self.summary_rebuilds += 1
+            self.mutation_stamp += 1
             summary.dirty = False
 
     def rebuild_dirty_summaries(self) -> int:

@@ -24,11 +24,13 @@ from repro.workloads import synthetic, tpox, xmark
 BUDGET = 250_000
 
 #: Fields that legitimately differ between runs: wall-clock timing, the
-#: per-worker scheduling stats, and the storage-engine counters (process
+#: per-worker scheduling stats, the storage-engine counters (process
 #: workers rebuild summaries in their own database copies, so the
-#: parent's rebuild counter depends on the executor kind).
+#: parent's rebuild counter depends on the executor kind), and the
+#: snapshot-engine cache counters (only sessions that shipped a process
+#: pool have them at all).
 TIMING_KEYS = ("elapsed_seconds",)
-SESSION_TIMING_KEYS = ("phase_seconds", "workers", "storage")
+SESSION_TIMING_KEYS = ("phase_seconds", "workers", "storage", "snapshots")
 
 #: The matrix the ISSUE pins: serial session, then 1/2/4 workers.
 WORKER_COUNTS = (None, 1, 2, 4)
